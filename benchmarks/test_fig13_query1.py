@@ -1,0 +1,122 @@
+"""E2/E3/E4 — Figure 13: Query 1 on Configuration A, all 512 plans.
+
+(a) query-only time without view-tree reduction,
+(b) query-only time with reduction,
+(c) total time with reduction.
+
+Paper findings reproduced as shape assertions:
+* the unified outer-union plan is ~16% slower than optimal and the fully
+  partitioned plan ~24% slower (non-reduced, query time) — here both lose
+  by a comparable small factor;
+* with reduction the optimal plans are 2.6-4.3x faster than the outer-union
+  and fully partitioned baselines;
+* 101 of Query 1's 512 plans timed out under the 5-minute budget (the
+  nested-outer-join chain plans) — here a similar band of chain plans
+  times out.
+"""
+
+import pytest
+
+from repro.bench.figures import scatter_plot
+from repro.bench.report import format_series, summarize_sweep
+from repro.bench.sweep import run_single_partition
+from repro.core.partition import fully_partitioned, unified_partition
+from repro.core.sqlgen import PlanStyle
+
+
+@pytest.fixture(scope="module")
+def outer_union_baseline(config_a, trees_a):
+    config, db, conn, _ = config_a
+    tree = trees_a["Q1"]
+    return run_single_partition(
+        tree, db.schema, conn, unified_partition(tree),
+        style=PlanStyle.OUTER_UNION, reduce=False,
+        budget_ms=config.subquery_budget_ms,
+    )
+
+
+def test_fig13a_query_time_nonreduced(benchmark, sweeps_a, trees_a,
+                                      outer_union_baseline, report_writer):
+    tree = trees_a["Q1"]
+    sweep = benchmark.pedantic(
+        sweeps_a.sweep, args=("Q1", False), rounds=1, iterations=1
+    )
+    text = format_series(sweep, "query_ms", title="Query 1, Config A, "
+                         "query-only time, non-reduced (512 plans)")
+    summary = summarize_sweep(
+        sweep, {"fully_partitioned": fully_partitioned(tree)}, "query_ms"
+    )
+    optimal = summary["optimal"][0]
+    ou = outer_union_baseline.query_ms
+    text = scatter_plot(
+        sweep, "query_ms",
+        marks=[("unified outer-join", unified_partition(tree)),
+               ("fully partitioned", fully_partitioned(tree))],
+    ) + "\n\n" + text
+    text += (
+        f"\noptimal: {optimal:.0f}ms @ {summary['optimal'][2]} streams"
+        f"\nunified outer-union: {ou:.0f}ms ({ou / optimal:.2f}x; paper 1.16x)"
+        f"\nfully partitioned: {summary['fully_partitioned'][0]:.0f}ms "
+        f"({summary['fully_partitioned'][1]:.2f}x; paper 1.24x)"
+        f"\ntimed out: {len(sweep.timed_out())} of 512 (paper: 101)"
+    )
+    report_writer("fig13a_q1_query_nonreduced", text)
+
+    assert summary["optimal"][2] > 1  # multiple SQL queries win
+    assert 1.0 < ou / optimal < 2.0
+    assert 1.0 < summary["fully_partitioned"][1] < 3.0
+    assert 50 <= len(sweep.timed_out()) <= 150
+
+
+def test_fig13b_query_time_reduced(benchmark, sweeps_a, trees_a,
+                                   outer_union_baseline, report_writer):
+    tree = trees_a["Q1"]
+    sweep = benchmark.pedantic(
+        sweeps_a.sweep, args=("Q1", True), rounds=1, iterations=1
+    )
+    nonreduced = sweeps_a.sweep("Q1", False)
+    text = format_series(sweep, "query_ms", title="Query 1, Config A, "
+                         "query-only time, with view-tree reduction")
+    ten_fast_reduced = sum(t.query_ms for t in sweep.fastest(10))
+    ten_fast_plain = sum(t.query_ms for t in nonreduced.fastest(10))
+    speedup = ten_fast_plain / ten_fast_reduced
+    summary = summarize_sweep(
+        sweep, {"fully_partitioned": fully_partitioned(tree)}, "query_ms"
+    )
+    optimal = summary["optimal"][0]
+    ou = outer_union_baseline.query_ms
+    text += (
+        f"\nten-fastest speedup from reduction: {speedup:.2f}x (paper: 2.5x)"
+        f"\noptimal vs outer-union: {ou / optimal:.2f}x slower "
+        f"(paper band: 2.6-4.3x)"
+        f"\noptimal vs fully partitioned: {summary['fully_partitioned'][1]:.2f}x"
+    )
+    report_writer("fig13b_q1_query_reduced", text)
+
+    assert speedup > 1.5
+    assert 1.8 < ou / optimal < 5.0
+    assert 2.0 < summary["fully_partitioned"][1] < 5.0
+
+
+def test_fig13c_total_time_reduced(benchmark, sweeps_a, trees_a,
+                                   outer_union_baseline, report_writer):
+    tree = trees_a["Q1"]
+    sweep = benchmark.pedantic(
+        sweeps_a.sweep, args=("Q1", True), rounds=1, iterations=1
+    )
+    text = format_series(sweep, "total_ms", title="Query 1, Config A, "
+                         "total time, with view-tree reduction")
+    summary = summarize_sweep(
+        sweep, {"fully_partitioned": fully_partitioned(tree)}, "total_ms"
+    )
+    optimal = summary["optimal"][0]
+    ou = outer_union_baseline.total_ms
+    text += (
+        f"\nunified outer-union total: {ou / optimal:.2f}x optimal (paper: 4x)"
+        f"\nfully partitioned total: {summary['fully_partitioned'][1]:.2f}x "
+        "(paper: 3x)"
+    )
+    report_writer("fig13c_q1_total_reduced", text)
+
+    assert 1.8 < ou / optimal < 6.0
+    assert 1.8 < summary["fully_partitioned"][1] < 6.0

@@ -1,0 +1,108 @@
+"""E5 — Figure 14: Query 2 on Configuration A, all 512 plans.
+
+Query 2's two ``*`` edges are parallel (unions of outer joins) instead of
+chained, so — as in the paper — **no** plan times out; the outer-union
+unified plan is ~21% slower than optimal and the fully partitioned plan
+~41% slower (non-reduced, query time), and reduction again gives the
+2.5x-class improvement on the fastest plans.
+"""
+
+import pytest
+
+from repro.bench.figures import scatter_plot
+from repro.bench.report import format_series, summarize_sweep
+from repro.bench.sweep import run_single_partition
+from repro.core.partition import fully_partitioned, unified_partition
+from repro.core.sqlgen import PlanStyle
+
+
+@pytest.fixture(scope="module")
+def outer_union_baseline(config_a, trees_a):
+    config, db, conn, _ = config_a
+    tree = trees_a["Q2"]
+    return run_single_partition(
+        tree, db.schema, conn, unified_partition(tree),
+        style=PlanStyle.OUTER_UNION, reduce=False,
+        budget_ms=config.subquery_budget_ms,
+    )
+
+
+def test_fig14a_query_time_nonreduced(benchmark, sweeps_a, trees_a,
+                                      outer_union_baseline, report_writer):
+    tree = trees_a["Q2"]
+    sweep = benchmark.pedantic(
+        sweeps_a.sweep, args=("Q2", False), rounds=1, iterations=1
+    )
+    summary = summarize_sweep(
+        sweep, {"fully_partitioned": fully_partitioned(tree)}, "query_ms"
+    )
+    optimal = summary["optimal"][0]
+    ou = outer_union_baseline.query_ms
+    text = scatter_plot(
+        sweep, "query_ms",
+        marks=[("unified outer-join", unified_partition(tree)),
+               ("fully partitioned", fully_partitioned(tree))],
+    ) + "\n\n" + format_series(sweep, "query_ms", title="Query 2, Config A, "
+                               "query-only time, non-reduced (512 plans)")
+    text += (
+        f"\nunified outer-union: {ou / optimal:.2f}x optimal (paper 1.21x)"
+        f"\nfully partitioned: {summary['fully_partitioned'][1]:.2f}x "
+        "(paper 1.41x)"
+        f"\ntimed out: {len(sweep.timed_out())} (paper: 0)"
+    )
+    report_writer("fig14a_q2_query_nonreduced", text)
+
+    assert len(sweep.timed_out()) == 0  # parallel * edges never blow up
+    assert 1.0 < ou / optimal < 2.0
+    assert 1.0 < summary["fully_partitioned"][1] < 3.0
+
+
+def test_fig14b_query_time_reduced(benchmark, sweeps_a, trees_a,
+                                   outer_union_baseline, report_writer):
+    tree = trees_a["Q2"]
+    sweep = benchmark.pedantic(
+        sweeps_a.sweep, args=("Q2", True), rounds=1, iterations=1
+    )
+    nonreduced = sweeps_a.sweep("Q2", False)
+    speedup = (
+        sum(t.query_ms for t in nonreduced.fastest(10))
+        / sum(t.query_ms for t in sweep.fastest(10))
+    )
+    summary = summarize_sweep(
+        sweep, {"fully_partitioned": fully_partitioned(tree)}, "query_ms"
+    )
+    ou_factor = outer_union_baseline.query_ms / summary["optimal"][0]
+    text = format_series(sweep, "query_ms", title="Query 2, Config A, "
+                         "query-only time, with view-tree reduction")
+    text += (
+        f"\nten-fastest speedup from reduction: {speedup:.2f}x (paper 2.5x)"
+        f"\noptimal vs outer-union: {ou_factor:.2f}x (paper band 2.6-4.3x)"
+        f"\noptimal vs fully partitioned: {summary['fully_partitioned'][1]:.2f}x"
+    )
+    report_writer("fig14b_q2_query_reduced", text)
+
+    assert speedup > 1.5
+    assert 1.8 < ou_factor < 5.0
+
+
+def test_fig14c_total_time_reduced(benchmark, sweeps_a, trees_a,
+                                   outer_union_baseline, report_writer):
+    tree = trees_a["Q2"]
+    sweep = benchmark.pedantic(
+        sweeps_a.sweep, args=("Q2", True), rounds=1, iterations=1
+    )
+    summary = summarize_sweep(
+        sweep, {"fully_partitioned": fully_partitioned(tree)}, "total_ms"
+    )
+    ou_factor = outer_union_baseline.total_ms / summary["optimal"][0]
+    text = format_series(sweep, "total_ms", title="Query 2, Config A, "
+                         "total time, with view-tree reduction")
+    text += (
+        f"\nunified outer-union total: {ou_factor:.2f}x optimal (paper 4.8x)"
+        f"\nfully partitioned total: {summary['fully_partitioned'][1]:.2f}x "
+        "(paper 3.7x)"
+    )
+    report_writer("fig14c_q2_total_reduced", text)
+
+    assert 1.8 < ou_factor < 7.0
+    assert 1.8 < summary["fully_partitioned"][1] < 6.0

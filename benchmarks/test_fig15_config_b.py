@@ -1,0 +1,79 @@
+"""E6 — Figure 15: Configuration B, greedy-generated plans vs baselines.
+
+At 100 MB the paper could not sweep all 512 plans; it ran the greedy
+algorithm's plan family (with view-tree reduction) and compared against the
+unified outer-union and fully partitioned plans.  Query-only time: the
+outer-union was 5x (Q1) / 4.7x (Q2) slower than the best generated plan and
+the fully partitioned plan 2.4x / 2.6x; total time: 4.6x and 3.1x.
+"""
+
+import pytest
+
+from repro.bench.report import format_sweep_table
+from repro.bench.sweep import run_single_partition
+from repro.core.greedy import GreedyPlanner
+from repro.core.partition import fully_partitioned, unified_partition
+from repro.core.sqlgen import PlanStyle
+
+
+@pytest.mark.parametrize("query", ["Q1", "Q2"])
+def test_fig15_greedy_vs_baselines(benchmark, config_b, trees_b,
+                                   report_writer, query):
+    config, db, conn, estimator = config_b
+    tree = trees_b[query]
+
+    def run():
+        plan = GreedyPlanner(tree, db.schema, estimator, reduce=True).plan()
+        family = [
+            run_single_partition(
+                tree, db.schema, conn, partition,
+                style=PlanStyle.OUTER_JOIN, reduce=True,
+            )
+            for partition in plan.partitions()
+        ]
+        fully = run_single_partition(
+            tree, db.schema, conn, fully_partitioned(tree),
+            style=PlanStyle.OUTER_JOIN, reduce=True,
+        )
+        outer_union = run_single_partition(
+            tree, db.schema, conn, unified_partition(tree),
+            style=PlanStyle.OUTER_UNION, reduce=False,
+        )
+        return plan, family, fully, outer_union
+
+    plan, family, fully, outer_union = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    rows = [
+        [f"greedy #{i} ({t.n_streams} streams)", t.query_ms, t.total_ms]
+        for i, t in enumerate(sorted(family, key=lambda t: t.query_ms))
+    ]
+    rows.append(["fully partitioned", fully.query_ms, fully.total_ms])
+    rows.append(["unified outer-union", outer_union.query_ms, outer_union.total_ms])
+    table = format_sweep_table(rows, ["plan", "query ms", "total ms"])
+
+    best = min(family, key=lambda t: t.query_ms)
+    best_total = min(family, key=lambda t: t.total_ms)
+    table += (
+        f"\ngreedy family: {plan.describe()}"
+        f"\nouter-union query: {outer_union.query_ms / best.query_ms:.2f}x "
+        f"best (paper: 5x Q1 / 4.7x Q2)"
+        f"\nfully partitioned query: {fully.query_ms / best.query_ms:.2f}x "
+        "(paper: 2.4x / 2.6x)"
+        f"\nouter-union total: {outer_union.total_ms / best_total.total_ms:.2f}x "
+        "(paper: 4.6x)"
+        f"\nfully partitioned total: {fully.total_ms / best_total.total_ms:.2f}x "
+        "(paper: 3.1x)"
+    )
+    report_writer(f"fig15_{query.lower()}_config_b", table)
+
+    # Shape: every greedy family member beats both baselines on query time,
+    # and the gaps are of the paper's order.
+    worst_family = max(family, key=lambda t: t.query_ms)
+    assert worst_family.query_ms < fully.query_ms
+    assert worst_family.query_ms < outer_union.query_ms
+    assert 1.5 < fully.query_ms / best.query_ms < 6.0
+    assert 2.5 < outer_union.query_ms / best.query_ms < 12.0
+    assert 1.5 < fully.total_ms / best_total.total_ms < 6.0
+    assert 2.0 < outer_union.total_ms / best_total.total_ms < 9.0

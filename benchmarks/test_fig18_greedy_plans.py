@@ -1,0 +1,72 @@
+"""E7 — Figure 18: the plans selected by the greedy algorithm.
+
+The paper draws, for Queries 1 and 2 on Configurations A and B, the
+mandatory (solid) and optional (dashed) edges chosen by genPlan, and
+verifies against the Config A exhaustive sweep that the generated family
+corresponds directly to the fastest measured plans.
+"""
+
+import pytest
+
+from repro.core.greedy import GreedyPlanner
+from repro.core.sqlgen import PlanStyle
+
+
+def _families(db, estimator, trees):
+    lines = []
+    plans = {}
+    for query in ("Q1", "Q2"):
+        for reduce in (False, True):
+            planner = GreedyPlanner(
+                trees[query], db.schema, estimator,
+                style=PlanStyle.OUTER_JOIN, reduce=reduce,
+            )
+            plan = planner.plan()
+            plans[(query, reduce)] = plan
+            described = plan.describe()
+            lines.append(
+                f"{query} reduce={reduce}: "
+                f"mandatory={described['mandatory']} "
+                f"optional={described['optional']} "
+                f"family={described['family_size']} "
+                f"oracle_requests={plan.oracle_requests}"
+            )
+    return lines, plans
+
+
+def test_fig18_families_config_a(benchmark, config_a, trees_a, sweeps_a,
+                                 report_writer):
+    config, db, conn, estimator = config_a
+    lines, plans = benchmark.pedantic(
+        _families, args=(db, estimator, trees_a), rounds=1, iterations=1
+    )
+
+    # The paper's validation: the generated plans correspond directly to
+    # the fastest plans of the exhaustive sweep.
+    verdicts = []
+    for (query, reduce), plan in plans.items():
+        sweep = sweeps_a.sweep(query, reduce)
+        ranked = sorted(sweep.completed(), key=lambda t: t.query_ms)
+        rank_of = {t.partition: i for i, t in enumerate(ranked)}
+        family = plan.partitions()
+        worst = max(rank_of[p] for p in family)
+        verdicts.append(
+            f"{query} reduce={reduce}: family of {len(family)} within the "
+            f"fastest {worst + 1} of {len(ranked)} measured plans"
+        )
+        assert worst < max(8 * len(family), 40)
+
+    report_writer(
+        "fig18_greedy_plans_config_a", "\n".join(lines + verdicts)
+    )
+
+
+def test_fig18_families_config_b(benchmark, config_b, trees_b, report_writer):
+    config, db, conn, estimator = config_b
+    lines, plans = benchmark.pedantic(
+        _families, args=(db, estimator, trees_b), rounds=1, iterations=1
+    )
+    report_writer("fig18_greedy_plans_config_b", "\n".join(lines))
+
+    for plan in plans.values():
+        assert plan.mandatory or plan.optional  # something always qualifies

@@ -1,0 +1,96 @@
+"""Ablation — greedy parameter sensitivity (DESIGN.md §5).
+
+The paper fixed a=100, b=1, t1=-60000, t2=6000 across queries and
+configurations and hypothesized that the coefficients "depend primarily on
+the characteristics of the database environment, and not on the
+characteristics of the query."  This bench sweeps the thresholds and the
+a/b mix around our calibrated defaults and reports how the plan family and
+its measured quality respond — showing (a) a broad plateau where the family
+stays near-optimal, and (b) that one default works for both queries.
+"""
+
+from repro.bench.report import format_sweep_table
+from repro.bench.sweep import run_single_partition
+from repro.core.greedy import GreedyParameters, GreedyPlanner
+from repro.core.sqlgen import PlanStyle
+
+T1_VALUES = (-60_000.0, -15_000.0, -6_150.0, -3_000.0)
+T2_VALUES = (0.0, 6_000.0, 60_000.0)
+
+
+def test_threshold_sensitivity(benchmark, config_a, trees_a, report_writer):
+    config, db, conn, estimator = config_a
+
+    def run():
+        rows = []
+        for query in ("Q1", "Q2"):
+            tree = trees_a[query]
+            for t1 in T1_VALUES:
+                for t2 in T2_VALUES:
+                    planner = GreedyPlanner(
+                        tree, db.schema, estimator,
+                        style=PlanStyle.OUTER_JOIN, reduce=True,
+                    )
+                    plan = planner.plan(GreedyParameters(t1=t1, t2=t2))
+                    timing = run_single_partition(
+                        tree, db.schema, conn, plan.recommended(),
+                        style=PlanStyle.OUTER_JOIN, reduce=True,
+                        budget_ms=config.subquery_budget_ms,
+                    )
+                    rows.append([
+                        query, t1, t2,
+                        len(plan.mandatory), len(plan.optional),
+                        "timeout" if timing.timed_out
+                        else f"{timing.query_ms:.0f}",
+                    ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_sweep_table(
+        rows, ["query", "t1", "t2", "mandatory", "optional", "rec. query ms"]
+    )
+    report_writer("ablation_thresholds", table)
+
+    # The recommended plan never times out and stays within 2x of the best
+    # observed recommendation across the whole grid — the plateau.
+    for query in ("Q1", "Q2"):
+        times = [
+            float(r[5]) for r in rows if r[0] == query and r[5] != "timeout"
+        ]
+        assert len(times) == len(T1_VALUES) * len(T2_VALUES)
+        assert max(times) < 2.5 * min(times)
+
+
+def test_ab_mix_sensitivity(benchmark, config_a, trees_a, report_writer):
+    """Vary the a (evaluation cost) vs b (data size) weighting."""
+    config, db, conn, estimator = config_a
+    tree = trees_a["Q1"]
+
+    def run():
+        rows = []
+        for a, b in ((100.0, 0.0), (100.0, 1.0), (100.0, 10.0), (1.0, 1.0)):
+            planner = GreedyPlanner(
+                tree, db.schema, estimator, reduce=True
+            )
+            # Scale thresholds with `a` so the comparison stays meaningful.
+            scale = a / 100.0
+            plan = planner.plan(
+                GreedyParameters(a=a, b=b, t1=-6_150.0 * scale,
+                                 t2=6_000.0 * scale)
+            )
+            timing = run_single_partition(
+                tree, db.schema, conn, plan.recommended(), reduce=True,
+                budget_ms=config.subquery_budget_ms,
+            )
+            rows.append([
+                a, b, len(plan.mandatory), len(plan.optional),
+                "timeout" if timing.timed_out else f"{timing.query_ms:.0f}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_sweep_table(
+        rows, ["a", "b", "mandatory", "optional", "rec. query ms"]
+    )
+    report_writer("ablation_ab_mix", table)
+    assert all(r[4] != "timeout" for r in rows)

@@ -1,0 +1,107 @@
+"""Reproduction of "Efficient Evaluation of XML Middle-ware Queries"
+(Fernández, Morishima, Suciu — SIGMOD 2001): the SilkRoute view-tree
+decomposition and greedy plan-generation system, with a from-scratch
+in-memory relational engine, TPC-H data generator, RXL language, and
+constant-space XML tagger.
+
+Quickstart::
+
+    from repro import SilkRoute
+    from repro.tpch import CONFIG_A, build_configuration
+
+    database, connection, estimator = build_configuration(CONFIG_A)
+    silk = SilkRoute(connection, estimator=estimator)
+    view = silk.define_view(RXL_TEXT)
+    print(view.materialize(indent=2).xml)
+"""
+
+from repro.common.errors import (
+    ReproError,
+    SchemaError,
+    QueryError,
+    RxlSyntaxError,
+    RxlScopeError,
+    PlanError,
+    ExecutionError,
+    TimeoutExceeded,
+    DtdError,
+    ValidationError,
+)
+from repro.relational import (
+    Column,
+    Connection,
+    CostEstimator,
+    CostModel,
+    Database,
+    DatabaseSchema,
+    ForeignKey,
+    QueryEngine,
+    SourceDescription,
+    SqlType,
+    Table,
+    TableSchema,
+)
+from repro.core import (
+    GreedyParameters,
+    GreedyPlan,
+    GreedyPlanner,
+    MaterializedView,
+    Partition,
+    PlanStyle,
+    SilkRoute,
+    SqlGenerator,
+    ViewTree,
+    build_view_tree,
+    enumerate_partitions,
+    fully_partitioned,
+    label_view_tree,
+    unified_partition,
+)
+from repro.rxl import parse_rxl, validate_rxl
+from repro.xmlgen import parse_dtd, validate_document
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "QueryError",
+    "RxlSyntaxError",
+    "RxlScopeError",
+    "PlanError",
+    "ExecutionError",
+    "TimeoutExceeded",
+    "DtdError",
+    "ValidationError",
+    "Column",
+    "Connection",
+    "CostEstimator",
+    "CostModel",
+    "Database",
+    "DatabaseSchema",
+    "ForeignKey",
+    "QueryEngine",
+    "SourceDescription",
+    "SqlType",
+    "Table",
+    "TableSchema",
+    "GreedyParameters",
+    "GreedyPlan",
+    "GreedyPlanner",
+    "MaterializedView",
+    "Partition",
+    "PlanStyle",
+    "SilkRoute",
+    "SqlGenerator",
+    "ViewTree",
+    "build_view_tree",
+    "enumerate_partitions",
+    "fully_partitioned",
+    "label_view_tree",
+    "unified_partition",
+    "parse_rxl",
+    "validate_rxl",
+    "parse_dtd",
+    "validate_document",
+    "__version__",
+]

@@ -1,0 +1,82 @@
+"""Text rendering of the paper's figures.
+
+Figs. 13-15 are scatter plots of plan execution time (log scale) against
+the number of tuple streams per plan.  :func:`scatter_plot` draws the same
+picture in ASCII so sweeps can be eyeballed in a terminal or archived in
+the benchmark results.
+"""
+
+import math
+
+
+def scatter_plot(sweep, key="query_ms", title="", height=16, width=64,
+                 marks=()):
+    """Render a sweep as an ASCII scatter: x = streams, y = log time.
+
+    ``marks`` is an iterable of (label, partition) whose plans are singled
+    out with letters in the plot and a legend below.
+    """
+    completed = sweep.completed()
+    if not completed:
+        return (title + "\n" if title else "") + "(no completed plans)"
+
+    values = [getattr(t, key) for t in completed]
+    lo, hi = min(values), max(values)
+    lo_log, hi_log = math.log10(max(lo, 1e-9)), math.log10(max(hi, 1e-9))
+    if hi_log - lo_log < 1e-9:
+        hi_log = lo_log + 1.0
+    max_streams = max(t.n_streams for t in completed)
+
+    def cell(streams, value):
+        x = round((streams - 1) / max(max_streams - 1, 1) * (width - 1))
+        y = round(
+            (math.log10(max(value, 1e-9)) - lo_log)
+            / (hi_log - lo_log)
+            * (height - 1)
+        )
+        return x, height - 1 - y
+
+    grid = [[" "] * width for _ in range(height)]
+    for timing in completed:
+        x, y = cell(timing.n_streams, getattr(timing, key))
+        if grid[y][x] == " ":
+            grid[y][x] = "."
+        elif grid[y][x] == ".":
+            grid[y][x] = ":"
+        elif grid[y][x] == ":":
+            grid[y][x] = "*"
+
+    legend = []
+    letters = "ABCDEFGH"
+    for letter, (label, partition) in zip(letters, marks):
+        try:
+            timing = sweep.timing_for(partition)
+        except KeyError:
+            continue
+        if timing.timed_out:
+            legend.append(f"  {letter} = {label}: timed out")
+            continue
+        x, y = cell(timing.n_streams, getattr(timing, key))
+        grid[y][x] = letter
+        legend.append(
+            f"  {letter} = {label}: {getattr(timing, key):.0f}ms "
+            f"@ {timing.n_streams} streams"
+        )
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.0f}ms"
+    bottom_label = f"{lo:.0f}ms"
+    for i, row in enumerate(grid):
+        prefix = top_label if i == 0 else (
+            bottom_label if i == height - 1 else ""
+        )
+        lines.append(f"{prefix:>10} |{''.join(row)}")
+    axis = "-" * width
+    lines.append(f"{'':>10} +{axis}")
+    lines.append(f"{'':>10}  1{'streams':^{width - 4}}{max_streams}")
+    if sweep.timed_out():
+        lines.append(f"  ({len(sweep.timed_out())} plan(s) timed out, not shown)")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""The paper's two workload queries and the exchange DTD.
+
+**Query 1** (Fig. 3 / view tree Fig. 6): the supplier view.  Each supplier
+element contains its name, its nation, the geographic region of the nation,
+and the list of the supplier's parts; each part its name and pending
+orders; each order its order key, customer, and the customer's nation.  The
+two one-to-many (``*``) edges — supplier→part and part→order — are *nested
+in a chain*, so plans contain nested outer joins.
+
+**Query 2** (view tree Fig. 12): identical except the block defining the
+order node is a child of the *supplier* node instead of the part node, so
+the two ``*`` edges are *parallel* and plans contain unions of outer joins.
+
+Both view trees have 10 nodes and 9 edges: 2^9 = 512 possible plans.
+"""
+
+from repro.core.labeling import label_view_tree
+from repro.core.viewtree import build_view_tree
+from repro.rxl.parser import parse_rxl
+
+QUERY_1 = """
+from Supplier $s
+construct
+  <supplier>
+    <name>$s.name</name>
+    { from Nation $n
+      where $s.nationkey = $n.nationkey
+      construct <nation>$n.name</nation> }
+    { from Nation $n2, Region $r
+      where $s.nationkey = $n2.nationkey and $n2.regionkey = $r.regionkey
+      construct <region>$r.name</region> }
+    { from PartSupp $ps, Part $p
+      where $s.suppkey = $ps.suppkey and $ps.partkey = $p.partkey
+      construct
+        <part>
+          <pname>$p.name</pname>
+          { from LineItem $l, Orders $o
+            where $ps.partkey = $l.partkey and $ps.suppkey = $l.suppkey
+                  and $l.orderkey = $o.orderkey
+            construct
+              <order>
+                <okey>$o.orderkey</okey>
+                { from Customer $c
+                  where $o.custkey = $c.custkey
+                  construct <customer>$c.name</customer> }
+                { from Customer $c2, Nation $n3
+                  where $o.custkey = $c2.custkey
+                        and $c2.nationkey = $n3.nationkey
+                  construct <cnation>$n3.name</cnation> }
+              </order> }
+        </part> }
+  </supplier>
+"""
+
+QUERY_2 = """
+from Supplier $s
+construct
+  <supplier>
+    <name>$s.name</name>
+    { from Nation $n
+      where $s.nationkey = $n.nationkey
+      construct <nation>$n.name</nation> }
+    { from Nation $n2, Region $r
+      where $s.nationkey = $n2.nationkey and $n2.regionkey = $r.regionkey
+      construct <region>$r.name</region> }
+    { from PartSupp $ps, Part $p
+      where $s.suppkey = $ps.suppkey and $ps.partkey = $p.partkey
+      construct
+        <part>
+          <pname>$p.name</pname>
+        </part> }
+    { from PartSupp $ps2, LineItem $l, Orders $o
+      where $s.suppkey = $ps2.suppkey and $ps2.partkey = $l.partkey
+            and $ps2.suppkey = $l.suppkey and $l.orderkey = $o.orderkey
+      construct
+        <order>
+          <okey>$o.orderkey</okey>
+          { from Customer $c
+            where $o.custkey = $c.custkey
+            construct <customer>$c.name</customer> }
+          { from Customer $c2, Nation $n3
+            where $o.custkey = $c2.custkey
+                  and $c2.nationkey = $n3.nationkey
+            construct <cnation>$n3.name</cnation> }
+        </order> }
+  </supplier>
+"""
+
+#: The exchange DTD of Fig. 2, as described in the paper's introduction:
+#: "Each supplier element includes its name, its nation, the geographical
+#: region of the nation, and a list of the supplier's parts.  Each part
+#: element includes a part name and a list of orders pending for the part.
+#: Each order element includes an orderkey, the associated customer, and
+#: the customer's nation."
+SUPPLIER_DTD = """
+<!ELEMENT supplier (name, nation, region, part*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT nation (#PCDATA)>
+<!ELEMENT region (#PCDATA)>
+<!ELEMENT part (pname, order*)>
+<!ELEMENT pname (#PCDATA)>
+<!ELEMENT order (okey, customer, cnation)>
+<!ELEMENT okey (#PCDATA)>
+<!ELEMENT customer (#PCDATA)>
+<!ELEMENT cnation (#PCDATA)>
+"""
+
+#: DTD for Query 2's output, where orders hang off the supplier.
+SUPPLIER_DTD_QUERY_2 = """
+<!ELEMENT supplier (name, nation, region, part*, order*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT nation (#PCDATA)>
+<!ELEMENT region (#PCDATA)>
+<!ELEMENT part (pname)>
+<!ELEMENT pname (#PCDATA)>
+<!ELEMENT order (okey, customer, cnation)>
+<!ELEMENT okey (#PCDATA)>
+<!ELEMENT customer (#PCDATA)>
+<!ELEMENT cnation (#PCDATA)>
+"""
+
+
+def load_view(rxl_text, schema, simplify_args=False):
+    """Parse, build, and label a view tree for a workload query."""
+    query = parse_rxl(rxl_text)
+    tree = build_view_tree(query, schema, simplify_args=simplify_args)
+    label_view_tree(tree, schema)
+    return tree

@@ -1,0 +1,63 @@
+"""Formatting sweep results as the paper's tables and figure series."""
+
+
+def format_series(sweep, key="query_ms", title=""):
+    """Render the Fig. 13/14 scatter data as a text table: one row per
+    stream count with min / median / max times (ms, simulated)."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'streams':>8} {'plans':>6} {'min':>12} {'median':>12} {'max':>12}")
+    series = sweep.by_stream_count(key=key)
+    for n_streams in sorted(series):
+        values = series[n_streams]
+        lines.append(
+            f"{n_streams:>8} {len(values):>6} "
+            f"{values[0]:>12.0f} {values[len(values) // 2]:>12.0f} "
+            f"{values[-1]:>12.0f}"
+        )
+    n_timed_out = len(sweep.timed_out())
+    if n_timed_out:
+        lines.append(f"(+ {n_timed_out} plan(s) timed out)")
+    return "\n".join(lines)
+
+
+def format_sweep_table(rows, headers):
+    """Simple aligned text table."""
+    widths = [len(h) for h in headers]
+    rendered = []
+    for row in rows:
+        cells = [_fmt(cell) for cell in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        rendered.append(cells)
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    for cells in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def summarize_sweep(sweep, named_plans, key="query_ms"):
+    """Compare named plans (e.g. unified / fully partitioned) against the
+    sweep's optimum.  ``named_plans`` maps label -> Partition.
+
+    Returns {label: (value, slowdown_vs_optimal)}.
+    """
+    best = sweep.fastest(1, key=key)[0]
+    optimum = getattr(best, key)
+    summary = {"optimal": (optimum, 1.0, best.n_streams)}
+    for label, partition in named_plans.items():
+        timing = sweep.timing_for(partition)
+        if timing.timed_out:
+            summary[label] = (None, None, timing.n_streams)
+        else:
+            value = getattr(timing, key)
+            summary[label] = (value, value / optimum, timing.n_streams)
+    return summary
+
+
+def _fmt(cell):
+    if cell is None:
+        return "timeout"
+    if isinstance(cell, float):
+        return f"{cell:.0f}"
+    return str(cell)

@@ -1,0 +1,114 @@
+"""Exhaustive plan sweeps (the experiments behind Figs. 13 and 14).
+
+For every partition of a view tree's edge set, execute the generated
+queries against the simulated RDBMS and record query-only time (server
+execution) and total time (plus transfer).  Plans whose subqueries exceed
+the per-subquery budget are recorded as timed out ("no time was reported").
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import TimeoutExceeded
+from repro.core.partition import enumerate_partitions, partition_subtrees
+from repro.core.sqlgen import PlanStyle, SqlGenerator
+
+
+@dataclass(frozen=True)
+class PlanTiming:
+    """One plan's outcome in a sweep."""
+
+    partition: object
+    n_streams: int
+    query_ms: float = None
+    transfer_ms: float = None
+    timed_out: bool = False
+
+    @property
+    def total_ms(self):
+        if self.timed_out:
+            return None
+        return self.query_ms + self.transfer_ms
+
+
+@dataclass
+class SweepResult:
+    """All plan timings for one (query, configuration, style) sweep."""
+
+    timings: list
+    style: PlanStyle
+    reduced: bool
+
+    def completed(self):
+        return [t for t in self.timings if not t.timed_out]
+
+    def timed_out(self):
+        return [t for t in self.timings if t.timed_out]
+
+    def fastest(self, n=1, key="query_ms"):
+        ranked = sorted(self.completed(), key=lambda t: getattr(t, key))
+        return ranked[:n]
+
+    def timing_for(self, partition):
+        for timing in self.timings:
+            if timing.partition == partition:
+                return timing
+        raise KeyError(f"no timing recorded for {partition}")
+
+    def by_stream_count(self, key="query_ms"):
+        """{n_streams: [values]} — the scatter series of Figs. 13/14."""
+        series = {}
+        for timing in self.completed():
+            series.setdefault(timing.n_streams, []).append(getattr(timing, key))
+        for values in series.values():
+            values.sort()
+        return series
+
+
+def run_single_partition(tree, schema, connection, partition,
+                         style=PlanStyle.OUTER_JOIN, reduce=False,
+                         budget_ms=None):
+    """Execute one plan; returns a :class:`PlanTiming`."""
+    generator = SqlGenerator(tree, schema, style=style, reduce=reduce)
+    specs = generator.streams_for_partition(partition)
+    query_ms = 0.0
+    transfer_ms = 0.0
+    try:
+        for spec in specs:
+            stream = connection.execute(
+                spec.plan,
+                compact_rows=spec.compact,
+                budget_ms=budget_ms,
+                label=spec.label,
+            )
+            query_ms += stream.server_ms
+            transfer_ms += stream.transfer_ms
+    except TimeoutExceeded:
+        return PlanTiming(
+            partition=partition, n_streams=len(specs), timed_out=True
+        )
+    return PlanTiming(
+        partition=partition,
+        n_streams=len(specs),
+        query_ms=query_ms,
+        transfer_ms=transfer_ms,
+    )
+
+
+def sweep_partitions(tree, schema, connection, style=PlanStyle.OUTER_JOIN,
+                     reduce=False, budget_ms=None, partitions=None,
+                     progress=None):
+    """Execute every plan (or the given ``partitions``); returns a
+    :class:`SweepResult`."""
+    if partitions is None:
+        partitions = list(enumerate_partitions(tree))
+    timings = []
+    for i, partition in enumerate(partitions):
+        timings.append(
+            run_single_partition(
+                tree, schema, connection, partition,
+                style=style, reduce=reduce, budget_ms=budget_ms,
+            )
+        )
+        if progress is not None:
+            progress(i + 1, len(partitions))
+    return SweepResult(timings=timings, style=style, reduced=reduce)

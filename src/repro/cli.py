@@ -1,0 +1,192 @@
+"""Command-line interface: explore the reproduction without writing code.
+
+::
+
+    python -m repro explain --query q1 --strategy unified
+    python -m repro materialize --query q1 --strategy greedy --indent 2
+    python -m repro plan --query q2 --reduce
+    python -m repro sweep --query q1 --reduce        # slow: 512 plans
+
+All commands run against a freshly generated Configuration-A TPC-H
+database (deterministic seed), so output is reproducible.
+"""
+
+import argparse
+import sys
+
+from repro.bench.queries import QUERY_1, QUERY_2, load_view
+from repro.bench.report import format_series
+from repro.bench.sweep import sweep_partitions
+from repro.core.greedy import GreedyPlanner
+from repro.core.silkroute import SilkRoute
+from repro.core.sqlgen import PlanStyle
+from repro.tpch.configs import CONFIG_A, build_configuration
+
+_QUERIES = {"q1": QUERY_1, "q2": QUERY_2}
+_STYLES = {
+    "outer-join": PlanStyle.OUTER_JOIN,
+    "outer-union": PlanStyle.OUTER_UNION,
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SilkRoute reproduction (SIGMOD 2001) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--query", choices=sorted(_QUERIES), default="q1",
+                       help="workload query (default: q1)")
+        p.add_argument("--style", choices=sorted(_STYLES),
+                       default="outer-join", help="SQL generation style")
+        p.add_argument("--reduce", action="store_true",
+                       help="apply view-tree reduction")
+
+    explain = sub.add_parser("explain", help="print the SQL a plan sends")
+    add_common(explain)
+    explain.add_argument("--strategy", default="greedy",
+                         choices=["unified", "fully-partitioned", "greedy"])
+
+    materialize = sub.add_parser("materialize",
+                                 help="materialize the XML view")
+    add_common(materialize)
+    materialize.add_argument("--strategy", default="greedy",
+                             choices=["unified", "fully-partitioned", "greedy"])
+    materialize.add_argument("--indent", type=int, default=None)
+    materialize.add_argument("--out", default=None,
+                             help="write the document to a file")
+
+    plan = sub.add_parser("plan", help="run the greedy plan generator")
+    add_common(plan)
+
+    sweep = sub.add_parser("sweep",
+                           help="time all 512 plans (Fig. 13/14 series)")
+    add_common(sweep)
+    sweep.add_argument("--metric", choices=["query_ms", "total_ms"],
+                       default="query_ms")
+
+    sub.add_parser("experiments",
+                   help="list the paper's tables/figures and their benches")
+
+    tree = sub.add_parser("tree", help="draw the labeled view tree (Fig. 6)")
+    tree.add_argument("--query", choices=sorted(_QUERIES), default="q1")
+    tree.add_argument("--no-args", action="store_true",
+                      help="hide Skolem-term arguments")
+
+    sql = sub.add_parser("sql", help="run SQL against the TPC-H database")
+    sql.add_argument("statement", help="a SELECT in the supported dialect")
+
+    xmlql = sub.add_parser(
+        "xmlql", help="run an XML-QL query against the virtual view"
+    )
+    xmlql.add_argument("--query", choices=sorted(_QUERIES), default="q1")
+    xmlql.add_argument("expression",
+                       help="XML-QL text, e.g. 'where <supplier><name>$s"
+                            "</name></supplier> construct <r>$s</r>'")
+    xmlql.add_argument("--indent", type=int, default=2)
+
+    return parser
+
+
+def main(argv=None, out=sys.stdout):
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        from repro.bench.experiments import format_registry
+
+        print(format_registry(), file=out)
+        return 0
+
+    database, connection, estimator = build_configuration(CONFIG_A)
+    rxl = _QUERIES[getattr(args, "query", "q1")]
+
+    if args.command == "tree":
+        tree = load_view(rxl, database.schema)
+        print(tree.render(show_args=not args.no_args), file=out)
+        return 0
+
+    if args.command == "sql":
+        stream = connection.sql(args.statement)
+        names = tuple(c.name for c in stream.columns)
+        print("  ".join(names), file=out)
+        for row in stream:
+            print("  ".join("NULL" if v is None else str(v) for v in row),
+                  file=out)
+        print(f"-- {len(stream)} row(s), simulated {stream.server_ms:.0f}ms",
+              file=out)
+        return 0
+
+    if args.command == "xmlql":
+        silk = SilkRoute(connection, estimator=estimator)
+        view = silk.define_view(rxl)
+        result = view.query(args.expression, indent=args.indent)
+        print(result.xml, file=out)
+        print(f"-- {result.bindings} binding(s), one SQL query, simulated "
+              f"{result.server_ms:.0f}ms", file=out)
+        return 0
+
+    style = _STYLES[args.style]
+
+    if args.command in ("explain", "materialize"):
+        silk = SilkRoute(connection, estimator=estimator)
+        view = silk.define_view(rxl)
+        strategy = None if args.strategy == "greedy" else args.strategy
+        if args.command == "explain":
+            sqls = view.explain(strategy, style=style, reduce=args.reduce)
+            for i, sql in enumerate(sqls, 1):
+                print(f"-- query {i} " + "-" * 50, file=out)
+                print(sql, file=out)
+            return 0
+        result = view.materialize(
+            strategy, style=style, reduce=args.reduce, indent=args.indent,
+            root_tag="view",
+        )
+        if args.out:
+            with open(args.out, "w") as sink:
+                sink.write(result.xml)
+            print(f"wrote {len(result.xml)} characters to {args.out}", file=out)
+        else:
+            print(result.xml, file=out)
+        print(
+            f"-- {result.report.n_streams} stream(s), simulated "
+            f"{result.report.query_ms:.0f}ms query + "
+            f"{result.report.transfer_ms:.0f}ms transfer",
+            file=out,
+        )
+        return 0
+
+    tree = load_view(rxl, database.schema)
+    if args.command == "plan":
+        planner = GreedyPlanner(
+            tree, database.schema, estimator, style=style, reduce=args.reduce
+        )
+        greedy = planner.plan()
+        described = greedy.describe()
+        print(f"mandatory edges: {described['mandatory']}", file=out)
+        print(f"optional edges:  {described['optional']}", file=out)
+        print(f"plan family:     {described['family_size']} plan(s)", file=out)
+        print(f"oracle requests: {greedy.oracle_requests} "
+              f"(worst case {len(tree.edges) ** 2})", file=out)
+        return 0
+
+    if args.command == "sweep":
+        sweep = sweep_partitions(
+            tree, database.schema, connection, style=style,
+            reduce=args.reduce, budget_ms=CONFIG_A.subquery_budget_ms,
+        )
+        print(
+            format_series(
+                sweep, args.metric,
+                title=f"{args.query} Config A {args.metric} "
+                      f"(reduce={args.reduce})",
+            ),
+            file=out,
+        )
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the SilkRoute reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base type. Subclasses partition the failure domains: schema definition,
+query construction, RXL parsing/scoping, planning, execution, and XML/DTD
+validation.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relational schema is malformed or violated (unknown table/column,
+    duplicate names, key violations, foreign-key targets missing)."""
+
+
+class QueryError(ReproError):
+    """A relational-algebra or SQL query is malformed (unknown column
+    references, union branches with incompatible schemas, bad predicates)."""
+
+
+class RxlSyntaxError(ReproError):
+    """The RXL source text could not be parsed."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class RxlScopeError(ReproError):
+    """An RXL query references an undeclared tuple variable, an unknown
+    table, or an unknown attribute."""
+
+
+class PlanError(ReproError):
+    """A view-tree partition or execution plan is invalid (edges outside the
+    tree, a partition that is not a spanning forest, a plan that needs SQL
+    features the target dialect does not support)."""
+
+
+class ExecutionError(ReproError):
+    """The simulated relational engine failed while executing a query."""
+
+
+class TimeoutExceeded(ExecutionError):
+    """A query's simulated running time exceeded the configured budget.
+
+    Mirrors the paper's 5-minute per-subquery timeout in the Config-A
+    exhaustive sweep: plans whose subqueries exceed the budget report no
+    time at all.
+    """
+
+    def __init__(self, budget_ms, elapsed_ms):
+        self.budget_ms = budget_ms
+        self.elapsed_ms = elapsed_ms
+        super().__init__(
+            f"simulated time {elapsed_ms:.0f}ms exceeded budget {budget_ms:.0f}ms"
+        )
+
+
+class DtdError(ReproError):
+    """A DTD could not be parsed."""
+
+
+class ValidationError(ReproError):
+    """An XML document does not conform to its DTD."""

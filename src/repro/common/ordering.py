@@ -1,0 +1,87 @@
+"""Total ordering over heterogeneous, nullable sort keys.
+
+The integrated relation of the paper (Sec. 3.2) is sorted by the interleaved
+sequence ``L1, V(1,1)..V(1,n1), L2, V(2,1)..`` where any position may be NULL:
+a tuple for a shallow node carries no values for the deeper levels.  SQL sorts
+NULLs consistently at one end; the paper's tagger relies on a parent tuple
+(NULL at the deeper positions) sorting *before* its children's tuples, so we
+adopt NULLS FIRST throughout.
+
+Python 3 refuses to compare ``None`` with other values, and refuses to compare
+``int`` with ``str``.  :class:`NoneFirst` wraps a single value to make it
+totally ordered: ``None`` sorts before everything, and values of different
+types are ordered by type name first (a deterministic, if arbitrary, rule that
+only matters for pathological mixed-type columns).
+"""
+
+from functools import total_ordering
+
+
+@total_ordering
+class NoneFirst:
+    """Wrapper making one nullable value totally ordered, NULLs first."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def _rank(self):
+        value = self.value
+        if value is None:
+            return (0, "", None)
+        return (1, type(value).__name__, value)
+
+    def __eq__(self, other):
+        if not isinstance(other, NoneFirst):
+            return NotImplemented
+        return self._rank()[:2] == other._rank()[:2] and self.value == other.value
+
+    def __lt__(self, other):
+        if not isinstance(other, NoneFirst):
+            return NotImplemented
+        mine, theirs = self._rank(), other._rank()
+        if mine[:2] != theirs[:2]:
+            return mine[:2] < theirs[:2]
+        if self.value is None:  # both None: equal
+            return False
+        return self.value < other.value
+
+    def __hash__(self):
+        return hash((self._rank()[:2], self.value))
+
+    def __repr__(self):
+        return f"NoneFirst({self.value!r})"
+
+
+def NONE_FIRST(value):
+    """Convenience constructor: ``NONE_FIRST(x)`` == ``NoneFirst(x)``."""
+    return NoneFirst(value)
+
+
+def sort_key(values):
+    """Map a sequence of nullable values to a tuple usable as a sort key.
+
+    The result compares element-wise with NULLS FIRST semantics and never
+    raises ``TypeError`` on mixed types.
+    """
+    return tuple(NoneFirst(v) for v in values)
+
+
+def compare(left, right):
+    """Three-way comparison of two nullable-value sequences.
+
+    Returns -1, 0, or 1.  Shorter sequences are padded with ``None`` (which
+    sorts first), so a parent tuple missing the deeper sort positions orders
+    before its children — exactly the property the merge/tagger needs.
+    """
+    width = max(len(left), len(right))
+    padded_left = list(left) + [None] * (width - len(left))
+    padded_right = list(right) + [None] * (width - len(right))
+    key_left = sort_key(padded_left)
+    key_right = sort_key(padded_right)
+    if key_left < key_right:
+        return -1
+    if key_left > key_right:
+        return 1
+    return 0

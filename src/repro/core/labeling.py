@@ -1,0 +1,147 @@
+"""Edge multiplicity labeling (Sec. 3.5).
+
+For an edge between parent ``p`` (rule ``F(x1..xm) :- Qp``) and child ``c``
+(rule ``G(x1..xm,..,xn) :- Qc``), the label is determined by:
+
+* **C1** — there is a functional dependency
+  ``Rc : x1..xm -> xm+1..xn`` (at most one child per parent instance), and
+* **C2** — there is an inclusion dependency
+  ``Rp[x1..xm] ⊆ Rc[x1..xm]`` (at least one child per parent instance),
+
+giving ``1`` (C1∧C2), ``?`` (C1 only), ``+`` (C2 only), ``*`` (neither).
+
+Exactly like SilkRoute, the C1 check ignores inclusion dependencies (the
+combined implication problem is undecidable) and decides FD implication via
+attribute closure over the dependencies derivable from declared keys and
+join equalities — linear time.  The C2 check is a structural foreign-key
+argument: the child body must extend the parent body only by atoms reached
+through enforced, non-null foreign keys (every parent tuple then joins to
+at least one child tuple), with no extra filters.
+"""
+
+from repro.relational.dependencies import FunctionalDependency, attribute_closure
+
+
+def label_view_tree(tree, schema, assume_fk_enforced=True):
+    """Label every non-root node's edge; returns {node_sfi: label}."""
+    labels = {}
+    for parent, child in tree.edges:
+        child.label = edge_label(parent, child, schema, assume_fk_enforced)
+        labels[child.sfi] = child.label
+    return labels
+
+
+def edge_label(parent, child, schema, assume_fk_enforced=True):
+    """Compute the label of one edge."""
+    if len(parent.rules) != 1 or len(child.rules) != 1:
+        # Fused (multi-rule) nodes: be conservative.
+        return "*"
+    rule_p = parent.rules[0]
+    rule_c = child.rules[0]
+    c1 = _check_c1(rule_p, rule_c, schema)
+    c2 = _check_c2(rule_p, rule_c, schema, assume_fk_enforced)
+    if c1 and c2:
+        return "1"
+    if c1:
+        return "?"
+    if c2:
+        return "+"
+    return "*"
+
+
+# ---------------------------------------------------------------------------
+# C1: functional dependency via attribute closure
+# ---------------------------------------------------------------------------
+
+
+def _check_c1(rule_p, rule_c, schema):
+    fds = body_fds(rule_c, schema)
+    parent_refs = [ref for _, ref in rule_p.head]
+    child_refs = [ref for _, ref in rule_c.head]
+    closure = attribute_closure(parent_refs, fds)
+    return all(ref in closure for ref in child_refs)
+
+
+def body_fds(rule, schema):
+    """FDs over ``alias.field`` occurrences derivable from the rule body:
+    per-atom key (and declared unique-set) dependencies, plus the join
+    equalities as two-way dependencies."""
+    fds = []
+    for table_name, alias in rule.atoms:
+        table = schema.table(table_name)
+        all_refs = [f"{alias}.{c.name}" for c in table.columns]
+        key_sets = [table.key]
+        key_sets.extend(getattr(table, "unique_sets", ()) or ())
+        for key_set in key_sets:
+            lhs = [f"{alias}.{k}" for k in key_set]
+            fds.append(FunctionalDependency.of(lhs, all_refs))
+    for left, right in rule.equalities:
+        fds.append(FunctionalDependency.of([left], [right]))
+        fds.append(FunctionalDependency.of([right], [left]))
+    # Filters pin columns to constants: a column compared equal to a literal
+    # is functionally determined by the empty set.
+    for ref, op, _value in rule.filters:
+        if op == "=":
+            fds.append(FunctionalDependency.of([], [ref]))
+    return fds
+
+
+# ---------------------------------------------------------------------------
+# C2: inclusion dependency via foreign-key reachability
+# ---------------------------------------------------------------------------
+
+
+def _check_c2(rule_p, rule_c, schema, assume_fk_enforced):
+    parent_atoms = set(rule_p.atoms)
+    child_atoms = set(rule_c.atoms)
+    if not parent_atoms <= child_atoms:
+        return False
+    # Extra filters in the child can eliminate parent tuples.
+    if set(rule_c.filters) - set(rule_p.filters):
+        return False
+
+    parent_eqs = {frozenset(e) for e in rule_p.equalities}
+    child_eqs = {frozenset(e) for e in rule_c.equalities}
+    allowed_eqs = set(parent_eqs)
+
+    included = set(parent_atoms)
+    extra = set(child_atoms) - included
+    progress = True
+    while extra and progress:
+        progress = False
+        for atom in list(extra):
+            fk_eqs = _fk_join_equalities(
+                atom, included, child_eqs, schema, assume_fk_enforced
+            )
+            if fk_eqs is not None:
+                included.add(atom)
+                extra.discard(atom)
+                allowed_eqs |= fk_eqs
+                progress = True
+    if extra:
+        return False
+    # Any remaining child equality beyond the parent's and the FK joins is a
+    # filter on parent tuples.
+    return child_eqs <= allowed_eqs
+
+
+def _fk_join_equalities(atom, included, child_eqs, schema, assume_fk_enforced):
+    """If ``atom`` is reached from an included atom via an enforced non-null
+    foreign key whose column pairing appears among the child equalities,
+    return those equalities (as frozensets); else None."""
+    atom_table, atom_alias = atom
+    for base_table, base_alias in included:
+        for fk in schema.foreign_keys_from(base_table):
+            if fk.ref_table != atom_table:
+                continue
+            if not fk.not_null or not assume_fk_enforced:
+                continue
+            pairing = {
+                frozenset(
+                    (f"{base_alias}.{col}", f"{atom_alias}.{ref_col}")
+                )
+                for col, ref_col in zip(fk.columns, fk.ref_columns)
+            }
+            if pairing <= child_eqs:
+                return pairing
+    return None

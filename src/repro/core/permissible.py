@@ -1,0 +1,72 @@
+"""Source-capability-driven plan filtering (Sec. 3.4).
+
+    "Some of the plans SilkRoute produces do not require outer union, outer
+    join, or the ``with`` clause.  For example, a fully partitioned plan has
+    no edges and requires none of these constructs.  Plans with no branches
+    (i.e., no sibling nodes) do not require the union operator.  This
+    characteristic is especially useful in a middle-ware system, because
+    all SQL engines do not necessarily support all these constructs.  In
+    those cases, SilkRoute chooses permissible plans based on the source
+    description of the underlying RDBMS."
+
+These predicates decide feature needs *structurally* from the partition —
+without generating SQL — so the planner can restrict its search space up
+front: a subtree needs an outer join iff it has any edge, and a union iff
+some node has two or more kept children (sibling branches).
+"""
+
+from repro.core.partition import enumerate_partitions, partition_subtrees
+
+
+def partition_requirements(tree, partition):
+    """The SQL features a partition's plans need.
+
+    Returns ``(needs_outer_join, needs_union)``.  View-tree reduction can
+    only remove requirements (merged 1-edges disappear), so this is the
+    conservative (non-reduced) answer.
+    """
+    needs_outer_join = len(partition.kept) > 0
+    needs_union = False
+    for subtree in partition_subtrees(tree, partition):
+        for node in subtree.nodes:
+            if len(subtree.kept_children(node)) >= 2:
+                needs_union = True
+    return needs_outer_join, needs_union
+
+
+def is_permissible(tree, partition, source):
+    """Can the target RDBMS run this partition's queries?"""
+    needs_outer_join, needs_union = partition_requirements(tree, partition)
+    if needs_outer_join and not source.supports_left_outer_join:
+        return False
+    if needs_union and not source.supports_union:
+        return False
+    return True
+
+
+def permissible_partitions(tree, source):
+    """All partitions the source description permits.
+
+    With full support this is the whole 2^|E| space; without outer joins
+    only the fully partitioned plan remains; without unions, only the
+    partitions whose subtrees are chains (no sibling branches).
+    """
+    return [
+        partition
+        for partition in enumerate_partitions(tree)
+        if is_permissible(tree, partition, source)
+    ]
+
+
+def restrict_greedy_plan(tree, plan, source):
+    """Clip a greedy plan's family to the permissible members.
+
+    Returns the (possibly empty) list of permissible partitions in the
+    family; the caller falls back to the fully partitioned plan when the
+    source supports nothing else.
+    """
+    return [
+        partition
+        for partition in plan.partitions()
+        if is_permissible(tree, partition, source)
+    ]

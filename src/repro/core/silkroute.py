@@ -1,0 +1,245 @@
+"""The SilkRoute facade: define an RXL view, pick a plan, get XML.
+
+Ties the whole pipeline together (Fig. 7's architecture): RXL text → view
+tree (+labels) → partition → SQL generation → execution over the connection
+→ stream integration → tagging.  This is the public entry point a
+downstream user works with::
+
+    silk = SilkRoute(connection)
+    view = silk.define_view(RXL_TEXT)
+    result = view.materialize()            # greedy-chosen plan
+    print(result.xml)
+    print(result.report.total_ms)
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import PlanError, TimeoutExceeded
+from repro.core.greedy import GreedyParameters, GreedyPlanner
+from repro.core.labeling import label_view_tree
+from repro.core.partition import (
+    Partition,
+    enumerate_partitions,
+    fully_partitioned,
+    partition_subtrees,
+    unified_partition,
+)
+from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.core.viewtree import build_view_tree
+from repro.relational.estimator import CostEstimator
+from repro.rxl.parser import parse_rxl
+from repro.xmlgen.tagger import tag_streams
+
+
+@dataclass
+class StreamReport:
+    """Timing and size of one executed tuple stream."""
+
+    label: str
+    rows: int
+    server_ms: float
+    transfer_ms: float
+    sql: str = field(repr=False, default="")
+
+
+@dataclass
+class PlanReport:
+    """What happened when one plan was executed."""
+
+    partition: Partition
+    n_streams: int
+    query_ms: float
+    transfer_ms: float
+    streams: list
+    timed_out: bool = False
+
+    @property
+    def total_ms(self):
+        return self.query_ms + self.transfer_ms
+
+
+@dataclass
+class MaterializedView:
+    """The result of materializing a view: the document plus its report."""
+
+    xml: str
+    report: PlanReport
+    tagger: object = None
+
+
+class XmlView:
+    """One defined RXL view over a connection."""
+
+    def __init__(self, silkroute, tree, rxl_text):
+        self.silkroute = silkroute
+        self.tree = tree
+        self.rxl_text = rxl_text
+
+    # -- plan space ---------------------------------------------------------------
+
+    def unified_partition(self):
+        return unified_partition(self.tree)
+
+    def fully_partitioned(self):
+        return fully_partitioned(self.tree)
+
+    def enumerate_partitions(self):
+        return enumerate_partitions(self.tree)
+
+    def greedy_plan(self, params=None, style=PlanStyle.OUTER_JOIN, reduce=True):
+        """Run the Sec. 5 algorithm; returns a
+        :class:`repro.core.greedy.GreedyPlan`."""
+        planner = GreedyPlanner(
+            self.tree,
+            self.silkroute.schema,
+            self.silkroute.estimator,
+            style=style,
+            reduce=reduce,
+        )
+        return planner.plan(params)
+
+    # -- execution ------------------------------------------------------------------
+
+    def explain(self, partition=None, style=PlanStyle.OUTER_JOIN,
+                reduce=False, use_with=False):
+        """The SQL queries a plan would send, without executing them.
+
+        ``use_with`` phrases shared node queries as common table
+        expressions (requires a target whose source description supports
+        the ``with`` clause)."""
+        partition = self._resolve_partition(partition, style, reduce)
+        generator = SqlGenerator(
+            self.tree, self.silkroute.schema, style=style, reduce=reduce
+        )
+        specs = generator.streams_for_partition(partition)
+        if use_with:
+            return [spec.sql_with for spec in specs]
+        return [spec.sql for spec in specs]
+
+    def execute_partition(self, partition, style=PlanStyle.OUTER_JOIN,
+                          reduce=False, budget_ms=None):
+        """Execute one plan; returns ``(specs, streams, report)``.
+
+        A subquery exceeding ``budget_ms`` (simulated server time) marks the
+        report as timed out, mirroring the paper's "no time was reported".
+        """
+        generator = SqlGenerator(
+            self.tree, self.silkroute.schema, style=style, reduce=reduce
+        )
+        specs = generator.streams_for_partition(partition)
+        source = self.silkroute.source
+        if source is not None:
+            for spec in specs:
+                source.check_plan_features(
+                    spec.uses_outer_join(), spec.uses_union()
+                )
+        streams = []
+        reports = []
+        try:
+            for spec in specs:
+                stream = self.silkroute.connection.execute(
+                    spec.plan,
+                    compact_rows=spec.compact,
+                    budget_ms=budget_ms,
+                    label=spec.label,
+                )
+                streams.append(stream)
+                reports.append(
+                    StreamReport(
+                        label=spec.label,
+                        rows=len(stream),
+                        server_ms=stream.server_ms,
+                        transfer_ms=stream.transfer_ms,
+                    )
+                )
+        except TimeoutExceeded:
+            report = PlanReport(
+                partition=partition,
+                n_streams=len(specs),
+                query_ms=float("nan"),
+                transfer_ms=float("nan"),
+                streams=reports,
+                timed_out=True,
+            )
+            return specs, None, report
+        report = PlanReport(
+            partition=partition,
+            n_streams=len(specs),
+            query_ms=sum(s.server_ms for s in streams),
+            transfer_ms=sum(s.transfer_ms for s in streams),
+            streams=reports,
+        )
+        return specs, streams, report
+
+    def materialize(self, partition=None, style=PlanStyle.OUTER_JOIN,
+                    reduce=True, root_tag="view", indent=None,
+                    budget_ms=None, greedy_params=None):
+        """Materialize the view as XML.
+
+        Without an explicit ``partition``, the greedy algorithm chooses the
+        plan (its recommended member).  ``partition`` may also be the string
+        ``"unified"`` or ``"fully-partitioned"``.
+        """
+        partition = self._resolve_partition(
+            partition, style, reduce, greedy_params
+        )
+        specs, streams, report = self.execute_partition(
+            partition, style=style, reduce=reduce, budget_ms=budget_ms
+        )
+        if streams is None:
+            raise TimeoutExceeded(budget_ms, float("nan"))
+        xml, tagger = tag_streams(
+            self.tree, specs, streams, root_tag=root_tag, indent=indent
+        )
+        return MaterializedView(xml=xml, report=report, tagger=tagger)
+
+    def query(self, xmlql_text, root_tag="result", indent=None):
+        """Run an XML-QL query against this view *virtually* (Sec. 7):
+        the pattern is composed with the view definition and evaluated as
+        one SQL query — the view is never materialized.  Returns an
+        :class:`repro.xmlql.executor.XmlQlResult`."""
+        from repro.xmlql.executor import execute_xmlql
+
+        return execute_xmlql(
+            xmlql_text, self.tree, self.silkroute.connection,
+            root_tag=root_tag, indent=indent,
+        )
+
+    def _resolve_partition(self, partition, style, reduce, greedy_params=None):
+        if partition is None:
+            return self.greedy_plan(
+                greedy_params, style=style, reduce=reduce
+            ).recommended()
+        if isinstance(partition, str):
+            named = {
+                "unified": unified_partition,
+                "fully-partitioned": fully_partitioned,
+            }
+            if partition not in named:
+                raise PlanError(
+                    f"unknown strategy {partition!r}; use 'unified' or "
+                    "'fully-partitioned'"
+                )
+            return named[partition](self.tree)
+        return partition
+
+
+class SilkRoute:
+    """The middle-ware system: a connection plus view definitions."""
+
+    def __init__(self, connection, source=None, estimator=None):
+        self.connection = connection
+        self.schema = connection.database.schema
+        self.source = source
+        self.estimator = estimator or CostEstimator(
+            connection.database, connection.engine.cost_model
+        )
+
+    def define_view(self, rxl_text, simplify_args=False):
+        """Parse, validate, and label an RXL view definition."""
+        query = parse_rxl(rxl_text)
+        tree = build_view_tree(
+            query, self.schema, validate=True, simplify_args=simplify_args
+        )
+        label_view_tree(tree, self.schema)
+        return XmlView(self, tree, rxl_text)

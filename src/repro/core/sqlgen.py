@@ -1,0 +1,448 @@
+"""SQL generation for partitioned view trees (Sec. 3.4).
+
+For each subtree of a partition, one query is generated whose result is the
+subtree's *partitioned relation*: schema ``L1..Lmax`` (Skolem-function-index
+tags) plus the Skolem-term variables of the subtree, one tuple per path from
+the subtree root to a terminal node instance, sorted by the interleaved key
+``L1, V(1,*), L2, V(2,*), ...`` with NULLS FIRST.
+
+Two generation styles are implemented (the paper's Sec. 3.4 distinction):
+
+* **outer-join** (SilkRoute's): ``R ⟕ (S ∪ T)`` — each node's base query is
+  left-outer-joined with the outer union of its children's recursively
+  generated queries, using the tagged ON disjunction
+  ``(L2=1 AND ...) OR (L2=2 AND ...)``.  Bare parent tuples appear only when
+  a parent instance matches no child at all.
+* **outer-union** ([9]'s): ``(R ⟕ S) ∪ (R ⟕ T)`` — one branch per node,
+  each a chain of joins along the root-to-node path (inner joins for
+  ``1``/``+`` edges, outer joins otherwise), combined by outer union.  This
+  produces more (but effectively narrower) tuples.
+
+Each node's ``L`` tag constant is embedded in that node's own base query, so
+an unmatched outer join leaves it NULL and the deepest non-NULL ``L`` column
+always identifies the tuple's terminal node.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import PlanError
+from repro.relational.algebra import (
+    And,
+    ColumnRef,
+    Comparison,
+    ConstantColumn,
+    Distinct,
+    Filter,
+    InnerJoin,
+    JoinBranch,
+    LeftOuterJoin,
+    Literal,
+    OuterUnion,
+    Project,
+    ProjectItem,
+    Scan,
+    Sort,
+)
+from repro.relational.sqltext import render_sql, render_sql_with
+from repro.relational.types import SqlType
+from repro.core.partition import partition_subtrees
+from repro.core.reduction import reduce_subtree
+
+_JOIN_PREFIX = "jk_"
+_BRANCH_TAG = "Btag"
+
+
+class PlanStyle(enum.Enum):
+    """How combined queries are phrased (Sec. 3.4)."""
+
+    OUTER_JOIN = "outer-join"
+    OUTER_UNION = "outer-union"
+
+
+@dataclass
+class StreamSpec:
+    """Everything needed to execute and decode one subtree's tuple stream."""
+
+    unit_tree: object            # core.reduction.ReducedSubtree
+    plan: object                 # algebra operator, Sort at the top
+    sort_keys: tuple
+    l_levels: tuple              # the levels j for which an Lj column exists
+    stvs: tuple                  # Stv columns, in schema order
+    unit_paths: dict             # terminal rep-index -> [PlanUnit] root..terminal
+    compact: bool                # transfer rows in compact (union) format
+    label: str
+    style: PlanStyle
+
+    _sql: str = field(default=None, repr=False)
+
+    @property
+    def sql(self):
+        """The SQL text actually sent to the RDBMS (rendered lazily)."""
+        if self._sql is None:
+            self._sql = render_sql(self.plan)
+        return self._sql
+
+    @property
+    def sql_with(self):
+        """The same query phrased with the SQL ``WITH`` clause for shared
+        node queries (footnote 1) — for targets whose source description
+        sets ``supports_with``."""
+        return render_sql_with(self.plan)
+
+    @property
+    def column_names(self):
+        return tuple(c.name for c in self.plan.columns())
+
+    def uses_outer_join(self):
+        from repro.relational.algebra import count_operators
+
+        return count_operators(self.plan, LeftOuterJoin) > 0
+
+    def uses_union(self):
+        from repro.relational.algebra import count_operators
+
+        return count_operators(self.plan, OuterUnion) > 0
+
+
+class SqlGenerator:
+    """Generates one :class:`StreamSpec` per subtree of a partition."""
+
+    def __init__(self, tree, schema, style=PlanStyle.OUTER_JOIN,
+                 reduce=False, keep=()):
+        self.tree = tree
+        self.schema = schema
+        self.style = style
+        self.reduce = reduce
+        self.keep = tuple(keep)
+
+    def streams_for_partition(self, partition):
+        """The partitioned relations' queries, in document order."""
+        subtrees = partition_subtrees(self.tree, partition)
+        return [self.stream_for_subtree(s) for s in subtrees]
+
+    def stream_for_subtree(self, subtree):
+        unit_tree = reduce_subtree(subtree, reduce=self.reduce, keep=self.keep)
+        return self._build_stream(unit_tree)
+
+    # -- stream assembly -------------------------------------------------------
+
+    def _build_stream(self, unit_tree):
+        root = unit_tree.root
+        if self.style is PlanStyle.OUTER_JOIN:
+            body = self._outer_join_plan(root)
+        else:
+            body = self._outer_union_plan(root)
+
+        l_levels, stvs = self._subtree_schema(root)
+        body = self._canonicalize(body, root, l_levels, stvs)
+        sort_keys = self._sort_keys(l_levels, stvs)
+        plan = Sort(body, sort_keys)
+
+        unit_paths = {}
+        self._collect_paths(root, [], unit_paths)
+        return StreamSpec(
+            unit_tree=unit_tree,
+            plan=plan,
+            sort_keys=tuple(sort_keys),
+            l_levels=tuple(l_levels),
+            stvs=tuple(stvs),
+            unit_paths=unit_paths,
+            compact=self.style is PlanStyle.OUTER_UNION,
+            label=root.skolem_name(),
+            style=self.style,
+        )
+
+    def _collect_paths(self, unit, prefix, out):
+        path = prefix + [unit]
+        out[unit.index] = path
+        for child in unit.children:
+            self._collect_paths(child, path, out)
+
+    def _subtree_schema(self, root):
+        max_len = root.max_index_length()
+        l_levels = list(range(1, max_len + 1))
+        stvs = []
+        seen = set()
+        for unit in root.walk():
+            for stv in unit.args:
+                if stv not in seen:
+                    seen.add(stv)
+                    stvs.append(stv)
+        stvs.sort(key=lambda v: (v.level, v.ordinal))
+        return l_levels, stvs
+
+    def _sort_keys(self, l_levels, stvs):
+        """Interleaved ``L1, V(1,*), L2, V(2,*), ...`` (Sec. 3.2)."""
+        keys = []
+        max_level = max(l_levels) if l_levels else 0
+        for level in range(1, max_level + 1):
+            if level in l_levels:
+                keys.append(_l_name(level))
+            keys.extend(v.name for v in stvs if v.level == level)
+        return keys
+
+    def _canonicalize(self, body, root, l_levels, stvs):
+        """Project to the canonical column order, adding the constant upper
+        L tags shared by every tuple of the subtree (the subtree root's
+        index prefix) and NULL columns for anything the body lacks."""
+        present = set(c.name for c in body.columns())
+        items = []
+        root_prefix = {
+            level: root.index[level - 1] for level in range(1, root.level + 1)
+        }
+        for level in l_levels:
+            name = _l_name(level)
+            if name in present:
+                items.append(ProjectItem(ColumnRef(name), name))
+            elif level < root.level:
+                items.append(ConstantColumn(name, root_prefix[level], SqlType.INTEGER))
+            else:
+                items.append(ConstantColumn(name, None, SqlType.INTEGER))
+        for stv in stvs:
+            if stv.name in present:
+                items.append(ProjectItem(ColumnRef(stv.name), stv.name))
+            else:
+                items.append(ConstantColumn(stv.name, None, stv.sql_type))
+        return Project(body, items)
+
+    # -- node (unit) base queries ------------------------------------------------
+
+    def _node_query(self, unit):
+        """The unit's datalog rule(s) as algebra.  A fused node (several
+        rules from one user Skolem function) becomes the outer union of its
+        per-rule queries with set semantics."""
+        if len(unit.rules) > 1:
+            branches = [self._rule_query(unit, rule) for rule in unit.rules]
+            return OuterUnion(branches, distinct=True)
+        return self._rule_query(unit, unit.rule)
+
+    def _rule_query(self, unit, rule):
+        """One rule as joins of the body atoms, filters, and a DISTINCT
+        projection onto the Skolem-term arguments."""
+        if not rule.atoms:
+            raise PlanError(f"unit {unit.skolem_name()} has an empty body")
+        return rule_to_algebra(rule, self.schema)
+
+    # -- outer-join style (SilkRoute's generator) -----------------------------------
+
+    def _outer_join_plan(self, unit, parent_level=None):
+        """``base ⟕ (child1 ∪ child2 ∪ ...)`` with a tagged ON disjunction;
+        the unit's L tags are constants on every output row.
+
+        A unit emits the L constants for every level between its parent
+        unit's representative and its own index (``parent_level+1`` ..
+        ``unit.level``): when reduction merges a deeper member into the
+        parent, the child unit hangs off that member and must bridge the
+        intermediate levels itself, or the decoder would see a NULL gap in
+        the L path and stop early."""
+        base = self._node_query(unit)
+        own_tags = self._l_constants(unit, parent_level)
+        own_items = own_tags + [
+            ProjectItem(ColumnRef(stv.name), stv.name) for stv in unit.args
+        ]
+        if not unit.children:
+            return Project(base, own_items)
+
+        child_plans = []
+        for ordinal, child in enumerate(unit.children):
+            plan = self._outer_join_plan(child, unit.level)
+            items = [ProjectItem(ColumnRef(c.name), c.name)
+                     for c in plan.columns()]
+            items.append(ConstantColumn(_BRANCH_TAG, ordinal, SqlType.INTEGER))
+            child_plans.append(Project(plan, items))
+        union = child_plans[0] if len(child_plans) == 1 else OuterUnion(child_plans)
+
+        join_key_names = set()
+        for child in unit.children:
+            join_key_names.update(s.name for s in unit.shared_args(child))
+        join_key_names.add(_BRANCH_TAG)
+        renamed_items = []
+        for col in union.columns():
+            if col.name in join_key_names:
+                renamed_items.append(
+                    ProjectItem(ColumnRef(col.name), _JOIN_PREFIX + col.name)
+                )
+            else:
+                renamed_items.append(ProjectItem(ColumnRef(col.name), col.name))
+        renamed = Project(union, renamed_items)
+
+        # Tag each branch on the child's first bridged level (paper style:
+        # ``ON (L2=1 AND ...) OR (L2=2 AND ...)``).  When reduction makes
+        # children hang off different merged members, those L tags can
+        # collide; fall back to a synthetic branch-ordinal column so no
+        # child's rows can satisfy another child's branch.
+        tags = []
+        for child in unit.children:
+            tag_level = min(child.level, unit.level + 1)
+            tags.append((_l_name(tag_level), child.index[tag_level - 1]))
+        if len(set(tags)) != len(tags):
+            tags = [(_BRANCH_TAG, i) for i in range(len(unit.children))]
+
+        branches = []
+        for child, (tag_column, tag_value) in zip(unit.children, tags):
+            equalities = [
+                (stv.name, _JOIN_PREFIX + stv.name)
+                for stv in unit.shared_args(child)
+            ]
+            branches.append(
+                JoinBranch(
+                    equalities=tuple(equalities),
+                    tag_column=tag_column if tag_column != _BRANCH_TAG
+                    else _JOIN_PREFIX + _BRANCH_TAG,
+                    tag_value=tag_value,
+                )
+            )
+        join = LeftOuterJoin(base, renamed, branches)
+
+        out_items = list(own_tags)
+        out_items.extend(
+            ProjectItem(ColumnRef(stv.name), stv.name) for stv in unit.args
+        )
+        for col in renamed.columns():
+            if not col.name.startswith(_JOIN_PREFIX):
+                out_items.append(ProjectItem(ColumnRef(col.name), col.name))
+        return Project(join, out_items)
+
+    # -- outer-union style ([9]) ------------------------------------------------------
+
+    def _outer_union_plan(self, root):
+        """One branch per unit: the chain of joins along the path from the
+        subtree root, inner for ``1``/``+`` labels, outer otherwise."""
+        branches = []
+        for unit in root.walk():
+            branches.append(self._path_query(root, unit))
+        if len(branches) == 1:
+            return branches[0]
+        return OuterUnion(branches)
+
+    def _path_query(self, root, terminal):
+        path = self._path_to(root, terminal)
+        plan = self._tagged_base(path[0], None)
+        for parent, child in zip(path, path[1:]):
+            child_base = self._tagged_base(child, parent.level)
+            shared = parent.shared_args(child)
+            renamed_items = []
+            for col in child_base.columns():
+                if col.name in {s.name for s in shared}:
+                    renamed_items.append(
+                        ProjectItem(ColumnRef(col.name), _JOIN_PREFIX + col.name)
+                    )
+                else:
+                    renamed_items.append(ProjectItem(ColumnRef(col.name), col.name))
+            renamed = Project(child_base, renamed_items)
+            equalities = [(s.name, _JOIN_PREFIX + s.name) for s in shared]
+            label = child.representative.label
+            if label in ("1", "+"):
+                joined = InnerJoin(plan, renamed, equalities)
+            else:
+                joined = LeftOuterJoin(
+                    plan, renamed, [JoinBranch(tuple(equalities))]
+                )
+            out_items = [
+                ProjectItem(ColumnRef(c.name), c.name)
+                for c in joined.columns()
+                if not c.name.startswith(_JOIN_PREFIX)
+            ]
+            plan = Project(joined, out_items)
+        return plan
+
+    def _tagged_base(self, unit, parent_level):
+        base = self._node_query(unit)
+        items = self._l_constants(unit, parent_level)
+        items.extend(ProjectItem(ColumnRef(s.name), s.name) for s in unit.args)
+        return Project(base, items)
+
+    @staticmethod
+    def _l_constants(unit, parent_level):
+        """The L tag constants this unit contributes: its own level plus
+        any levels bridging the gap to the parent unit's representative."""
+        start = unit.level if parent_level is None else parent_level + 1
+        return [
+            ConstantColumn(_l_name(level), unit.index[level - 1],
+                           SqlType.INTEGER)
+            for level in range(start, unit.level + 1)
+        ]
+
+    @staticmethod
+    def _path_to(root, terminal):
+        def search(unit, acc):
+            acc.append(unit)
+            if unit is terminal:
+                return True
+            for child in unit.children:
+                if search(child, acc):
+                    return True
+            acc.pop()
+            return False
+
+        path = []
+        if not search(root, path):
+            raise PlanError(f"{terminal} not reachable from {root}")
+        return path
+
+
+def rule_to_algebra(rule, schema, extra_filters=(), head=None):
+    """Translate one datalog rule into algebra: joins of the body atoms in
+    rule (scope) order, the rule's filters, and a DISTINCT projection onto
+    the head.
+
+    Folding atoms strictly in scope order matters: a child rule's body
+    extends its parent's, so the parent's join chain is a structural prefix
+    of the child's and the engine's common-subexpression sharing evaluates
+    it only once per combined query.
+
+    ``extra_filters`` appends additional :class:`Comparison` predicates
+    (used by XML-QL composition); ``head`` overrides the projected
+    (Stv, ref) pairs.
+    """
+    if not rule.atoms:
+        raise PlanError("rule has an empty body")
+    scans = {alias: Scan(schema.table(table), alias)
+             for table, alias in rule.atoms}
+    pending_eqs = [tuple(e) for e in rule.equalities]
+    order = [alias for _, alias in rule.atoms]
+    plan = scans[order[0]]
+    joined = {order[0]}
+    for alias in order[1:]:
+        eqs = []
+        for left, right in pending_eqs:
+            left_alias = left.split(".", 1)[0]
+            right_alias = right.split(".", 1)[0]
+            if left_alias in joined and right_alias == alias:
+                eqs.append((left, right))
+            elif right_alias in joined and left_alias == alias:
+                eqs.append((right, left))
+        # An atom with no connecting equality joins as a cartesian product
+        # (legal, rare).
+        plan = InnerJoin(plan, scans[alias], eqs)
+        joined.add(alias)
+        for eq in eqs:
+            _discard_eq(pending_eqs, eq)
+    # Leftover equalities (join cycles) become residual filters.
+    residual = [
+        Comparison("=", ColumnRef(l), ColumnRef(r)) for l, r in pending_eqs
+    ]
+    for ref, op, value in rule.filters:
+        if isinstance(value, tuple) and value and value[0] == "col":
+            residual.append(Comparison(op, ColumnRef(ref), ColumnRef(value[1])))
+        else:
+            literal = value.value if hasattr(value, "value") else value
+            residual.append(Comparison(op, ColumnRef(ref), Literal(literal)))
+    residual.extend(extra_filters)
+    if residual:
+        plan = Filter(plan, And.of(residual))
+    head = rule.head if head is None else head
+    items = [ProjectItem(ColumnRef(ref), stv.name) for stv, ref in head]
+    return Distinct(Project(plan, items))
+
+
+def _l_name(level):
+    return f"L{level}"
+
+
+def _discard_eq(pending, eq):
+    left, right = eq
+    for candidate in list(pending):
+        if set(candidate) == {left, right}:
+            pending.remove(candidate)

@@ -1,0 +1,91 @@
+"""In-memory relational engine substrate.
+
+This package stands in for the unnamed commercial RDBMS the paper reached
+over JDBC.  It provides:
+
+* schema definition with keys and foreign keys (:mod:`repro.relational.schema`),
+* tables, a database catalog, and per-table statistics
+  (:mod:`repro.relational.table`, :mod:`repro.relational.database`),
+* functional/inclusion dependency reasoning used by view-tree labeling
+  (:mod:`repro.relational.dependencies`),
+* a relational-algebra IR (:mod:`repro.relational.algebra`),
+* SQL text rendering and a parser for the generated subset
+  (:mod:`repro.relational.sqltext`, :mod:`repro.relational.sqlparse`),
+* the executing engine with a deterministic analytical cost model
+  (:mod:`repro.relational.engine`),
+* a cardinality/cost estimator, the "RDBMS oracle" of Sec. 5
+  (:mod:`repro.relational.estimator`), and
+* a client/server connection layer with simulated transfer timing
+  (:mod:`repro.relational.connection`).
+"""
+
+from repro.relational.types import SqlType
+from repro.relational.schema import Column, TableSchema, ForeignKey, DatabaseSchema
+from repro.relational.table import Table
+from repro.relational.database import Database, TableStats
+from repro.relational.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    attribute_closure,
+    implies_fd,
+)
+from repro.relational.algebra import (
+    ColumnRef,
+    Literal,
+    Comparison,
+    And,
+    Scan,
+    Filter,
+    Project,
+    Distinct,
+    InnerJoin,
+    LeftOuterJoin,
+    OuterUnion,
+    Sort,
+    ConstantColumn,
+)
+from repro.relational.engine import CostModel, QueryEngine, ExecutionResult
+from repro.relational.estimator import CostEstimator, EstimateCache
+from repro.relational.explain import explain_plan
+from repro.relational.sqlparse import parse_sql
+from repro.relational.sqltext import render_sql
+from repro.relational.connection import Connection, TupleStream, SourceDescription
+
+__all__ = [
+    "SqlType",
+    "Column",
+    "TableSchema",
+    "ForeignKey",
+    "DatabaseSchema",
+    "Table",
+    "Database",
+    "TableStats",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "attribute_closure",
+    "implies_fd",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "And",
+    "Scan",
+    "Filter",
+    "Project",
+    "Distinct",
+    "InnerJoin",
+    "LeftOuterJoin",
+    "OuterUnion",
+    "Sort",
+    "ConstantColumn",
+    "CostModel",
+    "QueryEngine",
+    "ExecutionResult",
+    "CostEstimator",
+    "EstimateCache",
+    "Connection",
+    "TupleStream",
+    "SourceDescription",
+    "explain_plan",
+    "parse_sql",
+    "render_sql",
+]

@@ -1,0 +1,546 @@
+"""Relational-algebra IR for the generated SQL queries.
+
+The planner (Sec. 3.4) builds plans from exactly the constructs the paper's
+SQL generator needs: scans, filters, projections (with constant columns for
+the ``L`` Skolem-function-index tags), DISTINCT, inner joins, *tagged* left
+outer joins (the ``on (L2=1 and ...) or (L2=2 and ...)`` form of the unified
+outer-join query), outer unions (union of union-incompatible schemas padded
+with NULLs), and sorts with NULLS FIRST.
+
+Every operator reports its output columns as :class:`ColumnInfo` records
+that carry a type and, where known, the base-table column they descend from;
+the estimator uses that provenance for distinct-count estimates.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import QueryError
+from repro.relational.types import SqlType, sql_literal
+
+
+# ---------------------------------------------------------------------------
+# Column metadata
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """Metadata for one output column of an operator.
+
+    ``source`` is ``(table_name, column_name)`` when the column descends
+    unchanged from a base table, else ``None``.
+    """
+
+    name: str
+    sql_type: SqlType
+    source: tuple = None
+
+
+def _names(columns):
+    return [c.name for c in columns]
+
+
+def _check_unique(columns, context):
+    names = _names(columns)
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise QueryError(f"{context}: duplicate output columns {dupes}")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """Reference to an input column by name."""
+
+    name: str
+
+    def to_sql(self):
+        return self.name.replace("$", "_")
+
+    def fingerprint(self):
+        return ("col", self.name)
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant.  ``sql_type`` must be given for NULL constants so the
+    output column still has a type."""
+
+    value: object
+    sql_type: SqlType = None
+
+    def inferred_type(self):
+        if self.sql_type is not None:
+            return self.sql_type
+        if self.value is None:
+            raise QueryError("NULL literal requires an explicit sql_type")
+        if isinstance(self.value, int):
+            return SqlType.INTEGER
+        if isinstance(self.value, float):
+            return SqlType.DECIMAL
+        if isinstance(self.value, str):
+            return SqlType.VARCHAR
+        return SqlType.DATE
+
+    def to_sql(self):
+        return sql_literal(self.value)
+
+    def fingerprint(self):
+        return ("lit", self.value)
+
+
+_COMPARISON_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` with SQL three-valued logic: NULL operands make the
+    predicate false (never-match), which is all the generator needs."""
+
+    op: str
+    left: object
+    right: object
+
+    def __post_init__(self):
+        if self.op not in _COMPARISON_OPS:
+            raise QueryError(f"unsupported comparison operator {self.op!r}")
+
+    def evaluate(self, row, positions):
+        left = _eval_expr(self.left, row, positions)
+        right = _eval_expr(self.right, row, positions)
+        if left is None or right is None:
+            return False
+        return _COMPARISON_OPS[self.op](left, right)
+
+    def referenced_columns(self):
+        refs = []
+        for side in (self.left, self.right):
+            if isinstance(side, ColumnRef):
+                refs.append(side.name)
+        return refs
+
+    def to_sql(self):
+        op = "<>" if self.op == "!=" else self.op
+        return f"{self.left.to_sql()} {op} {self.right.to_sql()}"
+
+    def fingerprint(self):
+        return ("cmp", self.op, self.left.fingerprint(), self.right.fingerprint())
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of comparisons."""
+
+    conjuncts: tuple
+
+    @classmethod
+    def of(cls, conjuncts):
+        return cls(tuple(conjuncts))
+
+    def evaluate(self, row, positions):
+        return all(c.evaluate(row, positions) for c in self.conjuncts)
+
+    def referenced_columns(self):
+        refs = []
+        for conjunct in self.conjuncts:
+            refs.extend(conjunct.referenced_columns())
+        return refs
+
+    def to_sql(self):
+        if not self.conjuncts:
+            return "TRUE"
+        return " AND ".join(c.to_sql() for c in self.conjuncts)
+
+    def fingerprint(self):
+        return ("and",) + tuple(c.fingerprint() for c in self.conjuncts)
+
+
+def _eval_expr(expr, row, positions):
+    if isinstance(expr, ColumnRef):
+        try:
+            return row[positions[expr.name]]
+        except KeyError:
+            raise QueryError(f"unknown column {expr.name!r} in predicate") from None
+    if isinstance(expr, Literal):
+        return expr.value
+    raise QueryError(f"unsupported expression {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+
+class Operator:
+    """Base class: every operator exposes ``columns`` (tuple of ColumnInfo),
+    ``children``, and a structural ``fingerprint`` for estimate caching."""
+
+    def columns(self):
+        raise NotImplementedError
+
+    @property
+    def children(self):
+        return ()
+
+    def column_names(self):
+        return tuple(c.name for c in self.columns())
+
+    def positions(self):
+        """Map column name -> index; cached per instance."""
+        cached = getattr(self, "_positions", None)
+        if cached is None:
+            cached = {c.name: i for i, c in enumerate(self.columns())}
+            self._positions = cached
+        return cached
+
+    def fingerprint(self):
+        raise NotImplementedError
+
+
+class Scan(Operator):
+    """Full scan of a base table under an alias.  Output columns are named
+    ``alias.column``."""
+
+    def __init__(self, table_schema, alias):
+        self.table_schema = table_schema
+        self.alias = alias
+        self._cols = tuple(
+            ColumnInfo(
+                name=f"{alias}.{c.name}",
+                sql_type=c.sql_type,
+                source=(table_schema.name, c.name),
+            )
+            for c in table_schema.columns
+        )
+
+    def columns(self):
+        return self._cols
+
+    def fingerprint(self):
+        return ("scan", self.table_schema.name, self.alias)
+
+    def __repr__(self):
+        return f"Scan({self.table_schema.name} {self.alias})"
+
+
+class Filter(Operator):
+    """Row filter with an :class:`And`/:class:`Comparison` predicate."""
+
+    def __init__(self, child, predicate):
+        self.child = child
+        self.predicate = predicate
+        known = set(child.column_names())
+        for name in predicate.referenced_columns():
+            if name not in known:
+                raise QueryError(f"filter references unknown column {name!r}")
+
+    def columns(self):
+        return self.child.columns()
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def fingerprint(self):
+        return ("filter", self.predicate.fingerprint(), self.child.fingerprint())
+
+    def __repr__(self):
+        return f"Filter({self.predicate.to_sql()})"
+
+
+@dataclass(frozen=True)
+class ProjectItem:
+    """One select-list item: an expression and its output name."""
+
+    expr: object
+    name: str
+    sql_type: SqlType = None
+
+
+def ConstantColumn(name, value, sql_type=None):
+    """Sugar: a :class:`ProjectItem` producing a constant column, used for
+    the ``L`` tag columns (``select 1 as L2, ...``)."""
+    return ProjectItem(Literal(value, sql_type), name, sql_type)
+
+
+class Project(Operator):
+    """Projection / renaming / constant introduction."""
+
+    def __init__(self, child, items):
+        self.child = child
+        self.items = tuple(items)
+        child_cols = {c.name: c for c in child.columns()}
+        out = []
+        for item in self.items:
+            expr = item.expr
+            if isinstance(expr, ColumnRef):
+                try:
+                    base = child_cols[expr.name]
+                except KeyError:
+                    raise QueryError(
+                        f"projection references unknown column {expr.name!r}"
+                    ) from None
+                out.append(
+                    ColumnInfo(
+                        name=item.name,
+                        sql_type=item.sql_type or base.sql_type,
+                        source=base.source,
+                    )
+                )
+            elif isinstance(expr, Literal):
+                out.append(
+                    ColumnInfo(
+                        name=item.name,
+                        sql_type=item.sql_type or expr.inferred_type(),
+                        source=None,
+                    )
+                )
+            else:
+                raise QueryError(f"unsupported projection expression {expr!r}")
+        self._cols = tuple(out)
+        _check_unique(self._cols, "Project")
+
+    def columns(self):
+        return self._cols
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def fingerprint(self):
+        return (
+            "project",
+            tuple((i.name, i.expr.fingerprint()) for i in self.items),
+            self.child.fingerprint(),
+        )
+
+    def __repr__(self):
+        return "Project(" + ", ".join(i.name for i in self.items) + ")"
+
+
+class Distinct(Operator):
+    """Duplicate elimination (datalog set semantics for node queries)."""
+
+    def __init__(self, child):
+        self.child = child
+
+    def columns(self):
+        return self.child.columns()
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def fingerprint(self):
+        return ("distinct", self.child.fingerprint())
+
+    def __repr__(self):
+        return "Distinct"
+
+
+class InnerJoin(Operator):
+    """Equi-join.  ``equalities`` is a list of (left_column, right_column)."""
+
+    def __init__(self, left, right, equalities):
+        self.left = left
+        self.right = right
+        self.equalities = tuple((l, r) for l, r in equalities)
+        left_names = set(left.column_names())
+        right_names = set(right.column_names())
+        for l, r in self.equalities:
+            if l not in left_names:
+                raise QueryError(f"join: {l!r} not in left input")
+            if r not in right_names:
+                raise QueryError(f"join: {r!r} not in right input")
+        self._cols = left.columns() + right.columns()
+        _check_unique(self._cols, "InnerJoin")
+
+    def columns(self):
+        return self._cols
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def fingerprint(self):
+        return (
+            "join",
+            self.equalities,
+            self.left.fingerprint(),
+            self.right.fingerprint(),
+        )
+
+    def __repr__(self):
+        conds = ", ".join(f"{l}={r}" for l, r in self.equalities)
+        return f"InnerJoin({conds})"
+
+
+@dataclass(frozen=True)
+class JoinBranch:
+    """One disjunct of a tagged outer join: the right row participates in
+    this branch when its ``tag_column`` equals ``tag_value`` (both ``None``
+    for an untagged join), and matches a left row when all ``equalities``
+    (left_column, right_column) hold."""
+
+    equalities: tuple
+    tag_column: str = None
+    tag_value: object = None
+
+
+class LeftOuterJoin(Operator):
+    """Left outer join, possibly with the paper's tagged-disjunction ON
+    clause ``(L2=1 AND ...) OR (L2=2 AND ...)`` (Sec. 3.4)."""
+
+    def __init__(self, left, right, branches):
+        self.left = left
+        self.right = right
+        self.branches = tuple(branches)
+        if not self.branches:
+            raise QueryError("outer join requires at least one branch")
+        left_names = set(left.column_names())
+        right_names = set(right.column_names())
+        for branch in self.branches:
+            for l, r in branch.equalities:
+                if l not in left_names:
+                    raise QueryError(f"outer join: {l!r} not in left input")
+                if r not in right_names:
+                    raise QueryError(f"outer join: {r!r} not in right input")
+            if branch.tag_column is not None and branch.tag_column not in right_names:
+                raise QueryError(
+                    f"outer join: tag column {branch.tag_column!r} not in right input"
+                )
+        self._cols = left.columns() + right.columns()
+        _check_unique(self._cols, "LeftOuterJoin")
+
+    @classmethod
+    def simple(cls, left, right, equalities):
+        """Plain (single-branch, untagged) left outer join."""
+        return cls(left, right, [JoinBranch(tuple(equalities))])
+
+    def columns(self):
+        return self._cols
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def fingerprint(self):
+        return (
+            "louter",
+            tuple(
+                (b.equalities, b.tag_column, b.tag_value) for b in self.branches
+            ),
+            self.left.fingerprint(),
+            self.right.fingerprint(),
+        )
+
+    def __repr__(self):
+        return f"LeftOuterJoin({len(self.branches)} branch(es))"
+
+
+class OuterUnion(Operator):
+    """Outer union: schema is the union of the children's columns (first
+    appearance order); each child's missing columns are NULL-padded."""
+
+    def __init__(self, inputs, distinct=False):
+        self.inputs = tuple(inputs)
+        self.distinct = distinct
+        if not self.inputs:
+            raise QueryError("outer union requires at least one input")
+        seen = {}
+        order = []
+        for child in self.inputs:
+            for col in child.columns():
+                if col.name not in seen:
+                    seen[col.name] = col
+                    order.append(col)
+                elif seen[col.name].sql_type != col.sql_type:
+                    raise QueryError(
+                        f"outer union: column {col.name!r} has conflicting types"
+                    )
+        self._cols = tuple(
+            ColumnInfo(c.name, c.sql_type, c.source) for c in order
+        )
+
+    def columns(self):
+        return self._cols
+
+    @property
+    def children(self):
+        return self.inputs
+
+    def fingerprint(self):
+        return ("ounion", self.distinct) + tuple(
+            c.fingerprint() for c in self.inputs
+        )
+
+    def __repr__(self):
+        return f"OuterUnion({len(self.inputs)} inputs)"
+
+
+class Sort(Operator):
+    """Sort by the named columns, NULLS FIRST (see :mod:`repro.common.ordering`)."""
+
+    def __init__(self, child, keys):
+        self.child = child
+        self.keys = tuple(keys)
+        known = set(child.column_names())
+        for key in self.keys:
+            if key not in known:
+                raise QueryError(f"sort key {key!r} not in input")
+
+    def columns(self):
+        return self.child.columns()
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def fingerprint(self):
+        return ("sort", self.keys, self.child.fingerprint())
+
+    def __repr__(self):
+        return f"Sort({', '.join(self.keys)})"
+
+
+# ---------------------------------------------------------------------------
+# Plan inspection helpers
+# ---------------------------------------------------------------------------
+
+
+def walk(plan):
+    """Yield every operator in the plan, root first."""
+    yield plan
+    for child in plan.children:
+        yield from walk(child)
+
+
+def count_operators(plan, kind):
+    """How many operators of ``kind`` appear in the plan."""
+    return sum(1 for op in walk(plan) if isinstance(op, kind))
+
+
+def outer_join_nesting(plan):
+    """Maximum number of LeftOuterJoin operators on any root-to-leaf path.
+
+    The cost model uses this as the 'optimizer stress' signal: the paper's
+    Query 1 plans nest outer joins (chained ``*`` edges) while Query 2's are
+    parallel, and only Query 1 plans timed out.
+    """
+
+    def depth(op):
+        below = max((depth(c) for c in op.children), default=0)
+        return below + (1 if isinstance(op, LeftOuterJoin) else 0)
+
+    return depth(plan)

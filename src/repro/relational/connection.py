@@ -1,0 +1,143 @@
+"""Simulated client/server connection: tuple streams and transfer timing.
+
+The paper measures two times per plan (Sec. 4):
+
+* **query-only time** — until the first tuple is read from a stream; since
+  every generated query ends in a blocking ORDER BY, this equals server
+  execution time (the paper confirms: "The time to first tuple is
+  comparable to the time to count all tuples in the result on the server"),
+* **total time** — query time plus binding/transferring every tuple to the
+  client over JDBC.
+
+The transfer model charges per row and per field, with NULL fields costing a
+small marker.  It also implements the paper's observed *"anomalous caching
+behavior in JDBC"* for wide rows: rows whose effective width exceeds a
+threshold pay a super-linear penalty.  For union-shaped results the driver
+can use the compact per-branch row format (most columns are NULL and skipped
+cheaply), so their effective width is the non-null field count; rows
+produced by a wide outer join bind every declared column.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import PlanError
+from repro.relational.engine import QueryEngine
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Client-side binding/transfer coefficients, in simulated ms."""
+
+    row_ms: float = 0.25
+    field_ms: float = 0.02
+    byte_ms: float = 0.004
+    null_field_ms: float = 0.012
+    wide_threshold: int = 10      # columns before the wide-row penalty starts
+    wide_row_factor: float = 0.25  # penalty per column beyond the threshold
+
+
+@dataclass(frozen=True)
+class SourceDescription:
+    """What the target RDBMS supports (Sec. 3.4: "SilkRoute chooses
+    permissible plans based on the source description of the underlying
+    RDBMS") plus which constraints may be assumed for labeling."""
+
+    supports_left_outer_join: bool = True
+    supports_union: bool = True
+    supports_with: bool = False
+    enforces_foreign_keys: bool = True
+
+    def check_plan_features(self, uses_outer_join, uses_union):
+        """Raise :class:`PlanError` if a plan needs unsupported features."""
+        if uses_outer_join and not self.supports_left_outer_join:
+            raise PlanError("target RDBMS does not support LEFT OUTER JOIN")
+        if uses_union and not self.supports_union:
+            raise PlanError("target RDBMS does not support UNION")
+
+
+class TupleStream:
+    """One executed query's sorted result stream with its simulated timings."""
+
+    def __init__(self, columns, rows, server_ms, transfer_ms, sql=None, label=None):
+        self.columns = columns
+        self.rows = rows
+        self.server_ms = server_ms
+        self.transfer_ms = transfer_ms
+        self.sql = sql
+        self.label = label
+
+    @property
+    def total_ms(self):
+        return self.server_ms + self.transfer_ms
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __repr__(self):
+        return (
+            f"TupleStream({self.label or '?'}: {len(self.rows)} rows, "
+            f"query {self.server_ms:.1f}ms + transfer {self.transfer_ms:.1f}ms)"
+        )
+
+
+class Connection:
+    """A client connection to the simulated RDBMS."""
+
+    def __init__(self, database, cost_model, transfer_model=None):
+        self.database = database
+        self.engine = QueryEngine(database, cost_model)
+        self.transfer_model = transfer_model or TransferModel()
+
+    def sql(self, text, budget_ms=None, label=None):
+        """Execute SQL *text* (the generated dialect) and return a
+        :class:`TupleStream` — a small SQL console over the simulated
+        engine, closing the middle-ware loop the other way around."""
+        from repro.relational.sqlparse import parse_sql
+
+        plan = parse_sql(text, self.database.schema)
+        return self.execute(plan, sql=text, label=label, budget_ms=budget_ms)
+
+    def execute(self, plan, compact_rows=False, budget_ms=None, sql=None, label=None):
+        """Execute ``plan`` and return a :class:`TupleStream`.
+
+        ``compact_rows`` marks union-shaped results whose driver-side row
+        format skips NULL columns (see module docstring).  ``budget_ms``
+        bounds *server* time (the paper's per-subquery timeout).
+        """
+        result = self.engine.execute(plan, budget_ms=budget_ms)
+        transfer_ms = self._transfer_cost(result.columns, result.rows, compact_rows)
+        return TupleStream(
+            columns=result.columns,
+            rows=result.rows,
+            server_ms=result.server_ms,
+            transfer_ms=transfer_ms,
+            sql=sql,
+            label=label,
+        )
+
+    def _transfer_cost(self, columns, rows, compact_rows):
+        model = self.transfer_model
+        declared_width = len(columns)
+        total = 0.0
+        for row in rows:
+            cost = model.row_ms
+            non_null = 0
+            for col, value in zip(columns, row):
+                if value is None:
+                    cost += model.null_field_ms
+                else:
+                    non_null += 1
+                    cost += model.field_ms + col.sql_type.value_width(value) * model.byte_ms
+            # The paper's "anomalous caching behavior in JDBC": rows
+            # produced by a wide outer join bind every declared column and
+            # pay a super-linear penalty; union-shaped results use the
+            # compact per-branch row format and do not.
+            if not compact_rows and declared_width > model.wide_threshold:
+                cost *= 1.0 + model.wide_row_factor * (
+                    declared_width - model.wide_threshold
+                )
+            total += cost
+        return total

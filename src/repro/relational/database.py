@@ -1,0 +1,126 @@
+"""The database catalog: tables plus statistics.
+
+Statistics (cardinality, per-column distinct counts, average widths, null
+fractions) feed the :class:`repro.relational.estimator.CostEstimator`, the
+"oracle" the greedy planner consults.  They are computed once per table via
+:meth:`Database.analyze`, mirroring an RDBMS's ``ANALYZE``.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import SchemaError
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one column."""
+
+    n_distinct: int
+    null_fraction: float
+    avg_width: float
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one table."""
+
+    row_count: int
+    avg_row_width: float
+    columns: dict  # column name -> ColumnStats
+
+    def column(self, name):
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SchemaError(f"no statistics for column {name!r}") from None
+
+
+class Database:
+    """A named collection of tables with integrity checking and statistics."""
+
+    def __init__(self, schema):
+        self.schema = schema
+        self.tables = {name: Table(schema.table(name)) for name in schema.table_names}
+        self._stats = {}
+
+    def table(self, name):
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def insert(self, table_name, *values, **named):
+        return self.table(table_name).insert(*values, **named)
+
+    def check_foreign_keys(self):
+        """Verify every foreign key; raise :class:`SchemaError` on the first
+        violation.  Returns the number of references checked."""
+        checked = 0
+        for fk in self.schema.foreign_keys:
+            source = self.table(fk.table)
+            target = self.table(fk.ref_table)
+            positions = [source.schema.column_index(c) for c in fk.columns]
+            for row in source.rows:
+                ref = tuple(row[p] for p in positions)
+                if any(v is None for v in ref):
+                    if fk.not_null:
+                        raise SchemaError(
+                            f"{fk.table}.{fk.columns}: NULL in NOT NULL foreign key"
+                        )
+                    continue
+                if target.lookup_key(ref) is None:
+                    raise SchemaError(
+                        f"{fk.table}{fk.columns} -> {fk.ref_table}: "
+                        f"dangling reference {ref}"
+                    )
+                checked += 1
+        return checked
+
+    def analyze(self):
+        """Compute and cache statistics for every table."""
+        for name, table in self.tables.items():
+            self._stats[name] = _compute_stats(table)
+        return dict(self._stats)
+
+    def stats(self, table_name):
+        """Statistics for one table, computing them on first use."""
+        if table_name not in self._stats:
+            self._stats[table_name] = _compute_stats(self.table(table_name))
+        return self._stats[table_name]
+
+    def total_rows(self):
+        return sum(len(t) for t in self.tables.values())
+
+    def total_bytes(self):
+        """Approximate data volume, used to describe configurations."""
+        return sum(
+            len(table) * table.average_row_width()
+            for table in self.tables.values()
+        )
+
+    def __repr__(self):
+        parts = ", ".join(f"{n}:{len(t)}" for n, t in self.tables.items())
+        return f"Database({parts})"
+
+
+def _compute_stats(table):
+    columns = {}
+    for column in table.schema.columns:
+        values = table.column_values(column.name)
+        non_null = [v for v in values if v is not None]
+        n = len(values)
+        columns[column.name] = ColumnStats(
+            n_distinct=len(set(non_null)),
+            null_fraction=0.0 if n == 0 else (n - len(non_null)) / n,
+            avg_width=(
+                sum(column.sql_type.value_width(v) for v in non_null) / len(non_null)
+                if non_null
+                else 0.0
+            ),
+        )
+    return TableStats(
+        row_count=len(table),
+        avg_row_width=table.average_row_width(),
+        columns=columns,
+    )

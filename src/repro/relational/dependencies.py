@@ -1,0 +1,115 @@
+"""Functional and inclusion dependency reasoning.
+
+The paper labels view-tree edges (Sec. 3.5) by checking a functional
+dependency (condition C1) and an inclusion dependency (condition C2).  The
+general combined implication problem is undecidable, so — exactly like
+SilkRoute — we restrict ourselves to FD implication *without* considering
+inclusion dependencies, which the classic attribute-closure algorithm
+decides in (near) linear time [Beeri & Bernstein 1979].
+
+Dependencies here are over abstract attribute names (the planner uses
+datalog column variables).  Deriving the FD set for a concrete rule body
+happens in :mod:`repro.core.labeling`.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``lhs -> rhs`` over attribute names."""
+
+    lhs: frozenset
+    rhs: frozenset
+
+    @classmethod
+    def of(cls, lhs, rhs):
+        """Build from any iterables of attribute names."""
+        return cls(frozenset(lhs), frozenset(rhs))
+
+    def __repr__(self):
+        left = ",".join(sorted(self.lhs))
+        right = ",".join(sorted(self.rhs))
+        return f"FD({left} -> {right})"
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """``lhs_relation[lhs_attrs] ⊆ rhs_relation[rhs_attrs]``.
+
+    Used as a record of what was assumed/derived; the actual C2 check is a
+    structural foreign-key argument in :mod:`repro.core.labeling`.
+    """
+
+    lhs_relation: str
+    lhs_attrs: tuple
+    rhs_relation: str
+    rhs_attrs: tuple
+
+    def __repr__(self):
+        return (
+            f"IND({self.lhs_relation}[{','.join(self.lhs_attrs)}] ⊆ "
+            f"{self.rhs_relation}[{','.join(self.rhs_attrs)}])"
+        )
+
+
+def attribute_closure(attributes, fds):
+    """Closure of an attribute set under a collection of FDs.
+
+    Standard fixpoint: repeatedly add the right side of any FD whose left
+    side is contained in the current set.  With the indexed worklist below
+    this runs in time proportional to the total size of the FD set.
+    """
+    closure = set(attributes)
+    # Index FDs by each left-hand attribute; count how many lhs attributes
+    # of each FD are still missing from the closure.
+    fds = list(fds)
+    missing = []
+    by_attr = {}
+    ready = []
+    for i, fd in enumerate(fds):
+        outstanding = len(fd.lhs - closure)
+        missing.append(outstanding)
+        if outstanding == 0:
+            ready.append(i)
+        for attr in fd.lhs - closure:
+            by_attr.setdefault(attr, []).append(i)
+    queue = list(closure)
+    while ready or queue:
+        while ready:
+            fd = fds[ready.pop()]
+            for attr in fd.rhs:
+                if attr not in closure:
+                    closure.add(attr)
+                    queue.append(attr)
+        if queue:
+            attr = queue.pop()
+            for i in by_attr.get(attr, ()):
+                missing[i] -= 1
+                if missing[i] == 0:
+                    ready.append(i)
+    return frozenset(closure)
+
+
+def implies_fd(fds, candidate):
+    """Does the FD set imply ``candidate``?  (Armstrong-complete via closure.)"""
+    return candidate.rhs <= attribute_closure(candidate.lhs, fds)
+
+
+def minimal_cover_lhs(attributes, fds):
+    """Remove attributes from ``attributes`` that are implied by the rest.
+
+    Handy for canonicalizing Skolem-term arguments when, as in Sec. 3.1's
+    simplification, one argument functionally determines another.
+    """
+    kept = list(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for attr in list(kept):
+            rest = [a for a in kept if a != attr]
+            if attr in attribute_closure(rest, fds):
+                kept = rest
+                changed = True
+                break
+    return tuple(kept)

@@ -1,0 +1,141 @@
+"""Loading and dumping table data: CSV and TPC-H ``dbgen`` `.tbl` files.
+
+A downstream user's data lives in files, not in generator code.  This
+module fills a :class:`~repro.relational.database.Database` from a
+directory of per-table files (and writes one back out), converting text
+fields to each column's declared SQL type.  The pipe-separated ``.tbl``
+format is what the real TPC-H ``dbgen`` emits, so dumps from an actual
+dbgen run load directly into the simulated engine.
+"""
+
+import csv
+import datetime
+import io
+import pathlib
+
+from repro.common.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.types import SqlType
+
+
+def parse_value(text, sql_type, nullable=True):
+    """Convert one text field to a Python value of ``sql_type``.
+
+    Empty text means NULL (for nullable columns).
+    """
+    if text == "" or text is None:
+        if nullable:
+            return None
+        raise SchemaError("empty value for NOT NULL column")
+    if sql_type is SqlType.INTEGER:
+        return int(text)
+    if sql_type is SqlType.DECIMAL:
+        return float(text)
+    if sql_type is SqlType.DATE:
+        return datetime.date.fromisoformat(text)
+    return text
+
+
+def format_value(value):
+    """Render one value as a text field (NULL becomes empty)."""
+    if value is None:
+        return ""
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def load_table(database, table_name, lines, delimiter=",", header=False):
+    """Load rows into one table from an iterable of text lines.
+
+    Returns the number of rows inserted.  ``dbgen``'s trailing ``|`` on
+    every ``.tbl`` line is tolerated (a trailing empty field beyond the
+    column count is dropped).
+    """
+    table = database.table(table_name)
+    columns = table.schema.columns
+    reader = csv.reader(lines, delimiter=delimiter)
+    inserted = 0
+    for i, fields in enumerate(reader):
+        if header and i == 0:
+            continue
+        if not fields:
+            continue
+        if len(fields) == len(columns) + 1 and fields[-1] == "":
+            fields = fields[:-1]
+        if len(fields) != len(columns):
+            raise SchemaError(
+                f"{table_name} line {i + 1}: expected {len(columns)} "
+                f"fields, got {len(fields)}"
+            )
+        values = [
+            parse_value(field, col.sql_type, col.nullable)
+            for field, col in zip(fields, columns)
+        ]
+        table.insert(*values)
+        inserted += 1
+    return inserted
+
+
+def dump_table(database, table_name, sink, delimiter=",", header=False):
+    """Write one table to a file-like ``sink``; returns the row count."""
+    table = database.table(table_name)
+    writer = csv.writer(sink, delimiter=delimiter, lineterminator="\n")
+    if header:
+        writer.writerow(table.schema.column_names)
+    count = 0
+    for row in table.rows:
+        writer.writerow([format_value(v) for v in row])
+        count += 1
+    return count
+
+
+def load_directory(schema, directory, extension=".csv", delimiter=",",
+                   header=False, check=True):
+    """Build a :class:`Database` from ``<directory>/<Table><extension>``
+    files.  Missing files leave their tables empty.  With ``check``,
+    foreign keys are verified and statistics computed."""
+    directory = pathlib.Path(directory)
+    database = Database(schema)
+    for table_name in schema.table_names:
+        path = directory / f"{table_name}{extension}"
+        if not path.exists():
+            continue
+        with path.open(newline="") as handle:
+            load_table(database, table_name, handle,
+                       delimiter=delimiter, header=header)
+    if check:
+        database.check_foreign_keys()
+        database.analyze()
+    return database
+
+
+def dump_directory(database, directory, extension=".csv", delimiter=",",
+                   header=False):
+    """Write every table of ``database`` into ``directory``; returns
+    {table: rows written}."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = {}
+    for table_name in database.schema.table_names:
+        path = directory / f"{table_name}{extension}"
+        with path.open("w", newline="") as handle:
+            written[table_name] = dump_table(
+                database, table_name, handle,
+                delimiter=delimiter, header=header,
+            )
+    return written
+
+
+def load_tbl_directory(schema, directory, check=True):
+    """Load ``dbgen``-style pipe-separated ``.tbl`` files."""
+    return load_directory(
+        schema, directory, extension=".tbl", delimiter="|", check=check
+    )
+
+
+def dump_tbl_directory(database, directory):
+    """Dump ``dbgen``-style pipe-separated ``.tbl`` files."""
+    return dump_directory(database, directory, extension=".tbl", delimiter="|")

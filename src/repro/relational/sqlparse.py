@@ -1,0 +1,429 @@
+"""A SQL parser for the dialect the generator emits.
+
+SilkRoute is middle-ware, so the SQL *text* is the real interface to the
+RDBMS.  This parser closes the loop: it parses the generated subset —
+``SELECT [DISTINCT] ... FROM ... WHERE ...`` blocks, derived tables,
+``LEFT OUTER JOIN ... ON`` with tagged disjunctions, ``UNION [ALL]`` with
+NULL padding, and ``ORDER BY ... NULLS FIRST`` — back into the relational
+algebra of :mod:`repro.relational.algebra`, so tests can verify that
+``parse(render(plan))`` executes to exactly the same rows as ``plan``.
+
+The parser reconstructs *a* plan, not the original operator tree: a flat
+SELECT-FROM-WHERE becomes scans + joins (folding the FROM list left to
+right on the available equality predicates) + residual filters + a
+projection, which is semantically equivalent.
+"""
+
+import datetime
+import re
+
+from repro.common.errors import QueryError
+from repro.relational.algebra import (
+    And,
+    ColumnRef,
+    Comparison,
+    Distinct,
+    Filter,
+    InnerJoin,
+    JoinBranch,
+    LeftOuterJoin,
+    Literal,
+    OuterUnion,
+    Project,
+    ProjectItem,
+    Scan,
+    Sort,
+)
+from repro.relational.types import SqlType
+
+_KEYWORDS = {
+    "select", "distinct", "from", "where", "and", "or", "as", "left",
+    "outer", "join", "on", "union", "all", "order", "by", "nulls", "first",
+    "null", "true", "date", "with",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<name>[A-Za-z_][\w]*(\.[A-Za-z_][\w]*)*)
+  | (?P<op><=|>=|<>|!=|=|<|>)
+  | (?P<punct>[(),])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QueryError(f"cannot tokenize SQL at: {text[pos:pos + 20]!r}")
+        kind = match.lastgroup
+        value = match.group()
+        if kind != "ws":
+            if kind == "name" and value.lower() in _KEYWORDS:
+                tokens.append(("kw", value.lower()))
+            else:
+                tokens.append((kind, value))
+        pos = match.end()
+    tokens.append(("eof", ""))
+    return tokens
+
+
+def parse_sql(text, schema):
+    """Parse SQL text into an executable algebra plan."""
+    parser = _SqlParser(_tokenize(text), schema)
+    plan = parser.parse_statement()
+    parser.expect_eof()
+    return plan
+
+
+class _SqlParser:
+    def __init__(self, tokens, schema):
+        self.tokens = tokens
+        self.schema = schema
+        self.index = 0
+        self.ctes = {}
+
+    # -- token helpers --------------------------------------------------------
+
+    @property
+    def current(self):
+        return self.tokens[self.index]
+
+    def peek(self, offset=1):
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self):
+        token = self.current
+        if token[0] != "eof":
+            self.index += 1
+        return token
+
+    def accept(self, kind, value=None):
+        token = self.current
+        if token[0] == kind and (value is None or token[1] == value):
+            return self.advance()
+        return None
+
+    def expect(self, kind, value=None):
+        token = self.accept(kind, value)
+        if token is None:
+            raise QueryError(
+                f"expected {value or kind!r}, found {self.current[1]!r}"
+            )
+        return token
+
+    def expect_eof(self):
+        if self.current[0] != "eof":
+            raise QueryError(f"trailing SQL: {self.current[1]!r}")
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_statement(self):
+        """``[WITH name AS (query), ...] query``."""
+        if self.accept("kw", "with"):
+            while True:
+                name = self.expect("name")[1]
+                self.expect("kw", "as")
+                self.expect("punct", "(")
+                self.ctes[name] = self.parse_query()
+                self.expect("punct", ")")
+                if not self.accept("punct", ","):
+                    break
+        return self.parse_query()
+
+    def parse_query(self):
+        plan = self._parse_union()
+        if self.accept("kw", "order"):
+            self.expect("kw", "by")
+            keys = [self._parse_order_key()]
+            while self.accept("punct", ","):
+                keys.append(self._parse_order_key())
+            plan = Sort(plan, keys)
+        return plan
+
+    def _parse_order_key(self):
+        name = self.expect("name")[1]
+        if self.accept("kw", "nulls"):
+            self.expect("kw", "first")
+        return name
+
+    def _parse_union(self):
+        branches = [self._parse_select()]
+        distinct = False
+        while self.accept("kw", "union"):
+            if not self.accept("kw", "all"):
+                distinct = True
+            branches.append(self._parse_select())
+        if len(branches) == 1:
+            return branches[0]
+        return OuterUnion(_harmonize_union(branches), distinct=distinct)
+
+    def _parse_select(self):
+        self.expect("kw", "select")
+        distinct = bool(self.accept("kw", "distinct"))
+        items = [self._parse_select_item()]
+        while self.accept("punct", ","):
+            items.append(self._parse_select_item())
+        self.expect("kw", "from")
+        sources = [self._parse_from_item()]
+        join = None
+        if self.accept("kw", "left"):
+            self.expect("kw", "outer")
+            self.expect("kw", "join")
+            right = self._parse_from_item()
+            self.expect("kw", "on")
+            branches = self._parse_on_clause()
+            join = (right, branches)
+        else:
+            while self.accept("punct", ","):
+                sources.append(self._parse_from_item())
+        predicates = []
+        if self.accept("kw", "where"):
+            predicates.append(self._parse_condition())
+            while self.accept("kw", "and"):
+                predicates.append(self._parse_condition())
+
+        if join is not None:
+            plan = self._build_outer_join(sources[0], join)
+        else:
+            plan = self._build_join_tree(sources, predicates)
+            predicates = self._residual
+        if predicates:
+            plan = Filter(plan, And.of(predicates))
+        plan = self._project(plan, items, distinct)
+        return plan
+
+    # -- FROM items --------------------------------------------------------------
+
+    def _parse_from_item(self):
+        if self.accept("punct", "("):
+            inner = self.parse_query()
+            self.expect("punct", ")")
+            self.expect("kw", "as")
+            alias = self.expect("name")[1]
+            # Re-qualify the derived table's columns under its alias.
+            items = [
+                ProjectItem(ColumnRef(c.name), f"{alias}.{c.name}")
+                for c in inner.columns()
+            ]
+            return Project(inner, items)
+        table_name = self.expect("name")[1]
+        self.accept("kw", "as")
+        alias = self.expect("name")[1]
+        if table_name in self.ctes:
+            inner = self.ctes[table_name]
+            items = [
+                ProjectItem(ColumnRef(c.name), f"{alias}.{c.name}")
+                for c in inner.columns()
+            ]
+            return Project(inner, items)
+        return Scan(self.schema.table(table_name), alias)
+
+    def _build_join_tree(self, sources, predicates):
+        """Fold the FROM list, consuming equality predicates as join
+        conditions where both sides are already available."""
+        plan = sources[0]
+        remaining = list(predicates)
+        for source in sources[1:]:
+            available = set(plan.column_names())
+            incoming = set(source.column_names())
+            eqs = []
+            keep = []
+            for predicate in remaining:
+                pair = _as_column_equality(predicate)
+                if pair:
+                    left, right = pair
+                    if left in available and right in incoming:
+                        eqs.append((left, right))
+                        continue
+                    if right in available and left in incoming:
+                        eqs.append((right, left))
+                        continue
+                keep.append(predicate)
+            plan = InnerJoin(plan, source, eqs)
+            remaining = keep
+        self._residual = remaining
+        return plan
+
+    def _build_outer_join(self, left, join):
+        right, raw_branches = join
+        right_names = set(right.column_names())
+        branches = []
+        for conjuncts in raw_branches:
+            equalities = []
+            tag_column = None
+            tag_value = None
+            for item in conjuncts:
+                kind, payload = item
+                if kind == "tag":
+                    tag_column, tag_value = payload
+                    if tag_column is not None and tag_column not in right_names:
+                        matches = [
+                            name for name in right_names
+                            if _strip_alias(name) == _strip_alias(tag_column)
+                        ]
+                        if len(matches) != 1:
+                            raise QueryError(
+                                f"cannot resolve tag column {tag_column!r}"
+                            )
+                        tag_column = matches[0]
+                else:
+                    a, b = payload
+                    if a in right_names:
+                        a, b = b, a
+                    equalities.append((a, b))
+            branches.append(
+                JoinBranch(tuple(equalities), tag_column, tag_value)
+            )
+        return LeftOuterJoin(left, right, branches)
+
+    def _parse_on_clause(self):
+        disjuncts = [self._parse_on_disjunct()]
+        while self.accept("kw", "or"):
+            disjuncts.append(self._parse_on_disjunct())
+        return disjuncts
+
+    def _parse_on_disjunct(self):
+        parenthesized = bool(self.accept("punct", "("))
+        conjuncts = [self._parse_on_conjunct()]
+        while self.accept("kw", "and"):
+            conjuncts.append(self._parse_on_conjunct())
+        if parenthesized:
+            self.expect("punct", ")")
+        return conjuncts
+
+    def _parse_on_conjunct(self):
+        if self.accept("kw", "true"):
+            return ("tag", (None, None))
+        left = self.expect("name")[1]
+        self.expect("op", "=")
+        token = self.current
+        if token[0] == "name":
+            self.advance()
+            return ("eq", (left, token[1]))
+        value = self._parse_literal()
+        return ("tag", (left, value.value))
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _parse_select_item(self):
+        expr = self._parse_expr()
+        name = None
+        if self.accept("kw", "as"):
+            name = self.expect("name")[1]
+        elif isinstance(expr, ColumnRef):
+            name = _strip_alias(expr.name)
+        else:
+            raise QueryError("literal select items need an AS alias")
+        return ProjectItem(expr, name)
+
+    def _parse_expr(self):
+        token = self.current
+        if token[0] == "name":
+            self.advance()
+            return ColumnRef(token[1])
+        return self._parse_literal()
+
+    def _parse_literal(self):
+        token = self.current
+        if self.accept("kw", "null"):
+            return Literal(None, SqlType.VARCHAR)
+        if token[0] == "number":
+            self.advance()
+            if "." in token[1]:
+                return Literal(float(token[1]))
+            return Literal(int(token[1]))
+        if token[0] == "string":
+            self.advance()
+            return Literal(token[1][1:-1].replace("''", "'"))
+        if self.accept("kw", "date"):
+            raw = self.expect("string")[1][1:-1]
+            return Literal(datetime.date.fromisoformat(raw))
+        raise QueryError(f"expected literal, found {token[1]!r}")
+
+    def _parse_condition(self):
+        left = self._parse_expr()
+        op_token = self.expect("op")
+        op = "!=" if op_token[1] in ("<>", "!=") else op_token[1]
+        right = self._parse_expr()
+        return Comparison(op, left, right)
+
+    def _project(self, plan, items, distinct):
+        available = set(plan.column_names())
+        resolved = []
+        for item in items:
+            expr = item.expr
+            if isinstance(expr, ColumnRef) and expr.name not in available:
+                # Output columns of a derived table may be referenced bare.
+                candidates = [
+                    name for name in available
+                    if _strip_alias(name) == expr.name
+                ]
+                if len(candidates) == 1:
+                    expr = ColumnRef(candidates[0])
+                else:
+                    raise QueryError(
+                        f"cannot resolve column {expr.name!r}"
+                    )
+            resolved.append(ProjectItem(expr, item.name, item.sql_type))
+        plan = Project(plan, resolved)
+        if distinct:
+            plan = Distinct(plan)
+        return plan
+
+
+def _as_column_equality(predicate):
+    if (
+        isinstance(predicate, Comparison)
+        and predicate.op == "="
+        and isinstance(predicate.left, ColumnRef)
+        and isinstance(predicate.right, ColumnRef)
+    ):
+        return predicate.left.name, predicate.right.name
+    return None
+
+
+def _strip_alias(name):
+    return name.split(".", 1)[1] if "." in name else name
+
+
+def _harmonize_union(branches):
+    """Give NULL padding columns the type their siblings use, so the union
+    passes the algebra's type check."""
+    types = {}
+    for branch in branches:
+        for col in branch.columns():
+            if not _is_null_padding(branch, col.name):
+                types.setdefault(col.name, col.sql_type)
+    fixed = []
+    for branch in branches:
+        items = []
+        changed = False
+        for col in branch.columns():
+            if _is_null_padding(branch, col.name) and col.name in types:
+                items.append(
+                    ProjectItem(Literal(None, types[col.name]), col.name)
+                )
+                changed = True
+            else:
+                items.append(ProjectItem(ColumnRef(col.name), col.name))
+        fixed.append(Project(branch, items) if changed else branch)
+    return fixed
+
+
+def _is_null_padding(branch, name):
+    op = branch
+    while isinstance(op, Distinct):
+        op = op.child
+    if not isinstance(op, Project):
+        return False
+    for item in op.items:
+        if item.name == name:
+            return isinstance(item.expr, Literal) and item.expr.value is None
+    return False

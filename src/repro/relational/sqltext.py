@@ -1,0 +1,304 @@
+"""Render algebra plans as SQL text.
+
+SilkRoute is middle-ware: what actually crosses the wire to the RDBMS is
+SQL.  This module turns any plan built by the generator into SQL in the
+paper's style (Sec. 3.4's example query): node queries flatten to a single
+``SELECT ... FROM t1 a1, t2 a2 WHERE ...`` block; combined plans nest
+derived tables under ``LEFT OUTER JOIN ... ON (L2=1 AND ...) OR (...)`` and
+``UNION ALL`` with explicit NULL padding; the final ``ORDER BY`` lists the
+integrated-relation sort key with NULLS FIRST.
+
+The renderer requires that any operator wrapped as a derived table exposes
+only *projected* (unqualified) column names — which the plan generator
+guarantees — because SQL cannot re-qualify ``alias.column`` names through a
+subquery boundary.
+"""
+
+import itertools
+from collections import Counter
+
+from repro.common.errors import QueryError
+from repro.relational.algebra import (
+    walk,
+    Scan,
+    Filter,
+    Project,
+    Distinct,
+    InnerJoin,
+    LeftOuterJoin,
+    OuterUnion,
+    Sort,
+    ColumnRef,
+    Literal,
+)
+
+
+def render_sql(plan, pretty=True):
+    """Render a plan as a SQL string."""
+    renderer = _Renderer()
+    sql = renderer.render(plan)
+    if pretty:
+        return sql
+    return " ".join(sql.split())
+
+
+def render_sql_with(plan, pretty=True):
+    """Render a plan using the SQL ``WITH`` clause for shared subqueries.
+
+    The paper's footnote 1: "We also can use the SQL 'with' clause to
+    construct partitioned relations ... if the RDBMS supports it."  Every
+    projected sub-plan that occurs more than once (by structural
+    fingerprint) — e.g. a parent node query reused as the prefix of its
+    children's — becomes a named common table expression, making the
+    middle-ware's work sharing explicit in the SQL text.
+
+    Falls back to :func:`render_sql` when nothing is shared.
+    """
+    counts = Counter()
+    by_fingerprint = {}
+    for op in walk(plan):
+        if isinstance(op, (Project, Distinct)) and all(
+            "." not in c.name for c in op.columns()
+        ):
+            fingerprint = op.fingerprint()
+            counts[fingerprint] += 1
+            by_fingerprint.setdefault(fingerprint, op)
+    shared = [fp for fp, n in counts.items() if n >= 2]
+    if not shared:
+        return render_sql(plan, pretty)
+
+    def plan_size(fingerprint):
+        return sum(1 for _ in walk(by_fingerprint[fingerprint]))
+
+    shared.sort(key=plan_size)  # dependencies (smaller) first
+    renderer = _Renderer()
+    definitions = []
+    for i, fingerprint in enumerate(shared, 1):
+        name = f"nq_{i}"
+        body = _indent(renderer.render(by_fingerprint[fingerprint]))
+        renderer.cte_of[fingerprint] = name
+        definitions.append(f"{name} AS (\n{body}\n)")
+    main = renderer.render(plan)
+    sql = "WITH " + ",\n".join(definitions) + "\n" + main
+    if pretty:
+        return sql
+    return " ".join(sql.split())
+
+
+class _Renderer:
+    def __init__(self):
+        self._alias_counter = itertools.count(1)
+        self.cte_of = {}
+
+    def _fresh_alias(self):
+        return f"q{next(self._alias_counter)}"
+
+    def render(self, op):
+        if isinstance(op, Sort):
+            inner = self.render(op.child)
+            keys = ", ".join(f"{_ident(k)} NULLS FIRST" for k in op.keys)
+            return f"{inner}\nORDER BY {keys}"
+        if isinstance(op, OuterUnion):
+            return self._render_union(op)
+        if isinstance(op, LeftOuterJoin):
+            return self._render_outer_join(op)
+        return self._render_select(op)
+
+    # -- flat SELECT blocks --------------------------------------------------
+
+    def _render_select(self, op):
+        """Flatten Project/Distinct/Filter/InnerJoin/Scan chains into one
+        SELECT block.  ``items`` are (sql_expression, output_name) pairs."""
+        distinct, items, from_parts, where = self._flatten(op)
+        return self._select_sql(distinct, items, from_parts, where)
+
+    @staticmethod
+    def _select_sql(distinct, items, from_parts, where):
+        rendered = []
+        for expr_sql, name in items:
+            # A bare or alias-qualified reference already carrying the
+            # output name needs no AS clause.
+            is_plain_ref = all(
+                part.isidentifier() for part in expr_sql.split(".")
+            )
+            if is_plain_ref and expr_sql.split(".")[-1] == name:
+                rendered.append(expr_sql)
+            else:
+                rendered.append(f"{expr_sql} AS {_ident(name)}")
+        sql = "SELECT "
+        if distinct:
+            sql += "DISTINCT "
+        sql += ", ".join(rendered) if rendered else "*"
+        sql += "\nFROM " + ", ".join(from_parts)
+        if where:
+            sql += "\nWHERE " + " AND ".join(where)
+        return sql
+
+    def _flatten(self, op):
+        if isinstance(op, Project):
+            distinct, child_items, from_parts, where = self._flatten(op.child)
+            mapping = {name: expr for expr, name in child_items}
+            if distinct:
+                # Flattening through DISTINCT is only sound when every
+                # distinct column survives; otherwise wrap the child as a
+                # derived table and project outside it.
+                kept = {
+                    i.expr.name for i in op.items
+                    if isinstance(i.expr, ColumnRef)
+                }
+                if not set(mapping) <= kept:
+                    _, child_items, from_parts, where = (
+                        self._flatten_derived(op.child)
+                    )
+                    mapping = {name: expr for expr, name in child_items}
+                    distinct = False
+            items = []
+            for i in op.items:
+                if isinstance(i.expr, ColumnRef):
+                    expr_sql = mapping.get(i.expr.name, _ident(i.expr.name))
+                else:
+                    expr_sql = _expr_sql(i.expr)
+                items.append((expr_sql, i.name))
+            return distinct, items, from_parts, where
+        if isinstance(op, Distinct):
+            _, items, from_parts, where = self._flatten(op.child)
+            return True, items, from_parts, where
+        if isinstance(op, Filter):
+            distinct, items, from_parts, where = self._flatten(op.child)
+            return distinct, items, from_parts, where + [op.predicate.to_sql()]
+        if isinstance(op, InnerJoin):
+            d1, items1, from1, where1 = self._flatten_join_side(op.left)
+            d2, items2, from2, where2 = self._flatten_join_side(op.right)
+            mapping = {name: expr for expr, name in items1 + items2}
+            conds = [
+                f"{mapping.get(l, _ident(l))} = {mapping.get(r, _ident(r))}"
+                for l, r in op.equalities
+            ]
+            return (d1 or d2), items1 + items2, from1 + from2, \
+                where1 + where2 + conds
+        if isinstance(op, Scan):
+            items = [(_ident(c.name), c.name) for c in op.columns()]
+            return False, items, [f"{op.table_schema.name} {op.alias}"], []
+        return self._flatten_derived(op)
+
+    def _flatten_join_side(self, op):
+        """Flatten one input of an inner join.  Sides that rename columns
+        or eliminate duplicates cannot be merged into the enclosing
+        SELECT's scope, so they become derived tables."""
+        if isinstance(op, (Scan, Filter, InnerJoin)):
+            return self._flatten(op)
+        return self._flatten_derived(op)
+
+    def _flatten_derived(self, op):
+        """Wrap any operator as a derived table in the FROM clause (or a
+        reference to its common table expression when one is defined)."""
+        alias = self._fresh_alias()
+        _require_projected(op)
+        items = [(f"{alias}.{_ident(c.name)}", c.name) for c in op.columns()]
+        return False, items, [self._from_item(op, alias)], []
+
+    def _from_item(self, op, alias):
+        cte = self.cte_of.get(op.fingerprint())
+        if cte is not None:
+            return f"{cte} AS {alias}"
+        inner = _indent(self.render(op))
+        return f"(\n{inner}\n) AS {alias}"
+
+    # -- combined constructs ---------------------------------------------------
+
+    def _render_outer_join(self, op):
+        left_alias = self._fresh_alias()
+        right_alias = self._fresh_alias()
+        _require_projected(op.left)
+        _require_projected(op.right)
+        left_item = self._from_item(op.left, left_alias)
+        right_item = self._from_item(op.right, right_alias)
+        out_cols = ", ".join(_qualify(c.name, op, left_alias, right_alias)
+                             for c in op.columns())
+        on_sql = self._on_clause(op, left_alias, right_alias)
+        return (
+            f"SELECT {out_cols}\n"
+            f"FROM {left_item}\n"
+            f"LEFT OUTER JOIN {right_item}\n"
+            f"ON {on_sql}"
+        )
+
+    def _on_clause(self, op, left_alias, right_alias):
+        disjuncts = []
+        for branch in op.branches:
+            conjuncts = []
+            if branch.tag_column is not None:
+                conjuncts.append(
+                    f"{right_alias}.{_ident(branch.tag_column)} = "
+                    f"{Literal(branch.tag_value).to_sql()}"
+                )
+            for l, r in branch.equalities:
+                conjuncts.append(
+                    f"{left_alias}.{_ident(l)} = {right_alias}.{_ident(r)}"
+                )
+            disjuncts.append("(" + " AND ".join(conjuncts or ["TRUE"]) + ")")
+        return " OR ".join(disjuncts)
+
+    def _render_union(self, op):
+        out_cols = op.columns()
+        branch_sqls = []
+        for child in op.inputs:
+            child_names = set(child.column_names())
+            if isinstance(child, (Scan, Filter, Project, Distinct, InnerJoin)):
+                distinct, items, from_parts, where = self._flatten(child)
+                expr_of = {name: expr for expr, name in items}
+                padded = []
+                for col in out_cols:
+                    if col.name in child_names:
+                        padded.append((expr_of[col.name], col.name))
+                    else:
+                        padded.append(("NULL", col.name))
+                branch_sqls.append(
+                    self._select_sql(distinct, padded, from_parts, where)
+                )
+            else:
+                _require_projected(child)
+                alias = self._fresh_alias()
+                qualified = []
+                for col in out_cols:
+                    if col.name in child_names:
+                        qualified.append((f"{alias}.{_ident(col.name)}", col.name))
+                    else:
+                        qualified.append(("NULL", col.name))
+                branch_sqls.append(
+                    self._select_sql(False, qualified,
+                                     [self._from_item(child, alias)], [])
+                )
+        keyword = "UNION" if op.distinct else "UNION ALL"
+        return f"\n{keyword}\n".join(branch_sqls)
+
+
+def _expr_sql(expr):
+    if isinstance(expr, (ColumnRef, Literal)):
+        return expr.to_sql() if isinstance(expr, Literal) else _ident(expr.name)
+    raise QueryError(f"cannot render expression {expr!r}")
+
+
+def _ident(name):
+    """Column identifiers: base columns stay alias-qualified; generated
+    names (Skolem-term variables, L tags) are plain identifiers."""
+    return name
+
+
+def _qualify(name, op, left_alias, right_alias):
+    left_names = set(op.left.column_names())
+    alias = left_alias if name in left_names else right_alias
+    return f"{alias}.{_ident(name)}"
+
+
+def _require_projected(op):
+    for col in op.columns():
+        if "." in col.name:
+            raise QueryError(
+                f"cannot wrap unprojected column {col.name!r} in a derived "
+                "table; project it to a plain name first"
+            )
+
+
+def _indent(text, prefix="  "):
+    return "\n".join(prefix + line for line in text.splitlines())

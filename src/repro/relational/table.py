@@ -1,0 +1,116 @@
+"""In-memory table storage with key enforcement and hash indexes."""
+
+from repro.common.errors import SchemaError
+from repro.relational.types import SqlType
+
+
+class Table:
+    """A bag of rows conforming to a :class:`TableSchema`.
+
+    Rows are plain tuples in schema column order.  The primary key is
+    enforced on insert.  Hash indexes over arbitrary column subsets are
+    built lazily and cached; the engine uses them for join builds against
+    base tables.
+    """
+
+    def __init__(self, schema):
+        self.schema = schema
+        self.rows = []
+        self._key_index = {}
+        self._indexes = {}
+        self._unique_indexes = {}
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def insert(self, *values, **named):
+        """Insert one row, given positionally or by column name."""
+        if values and named:
+            raise SchemaError("pass values positionally or by name, not both")
+        if named:
+            missing = [c.name for c in self.schema.columns if c.name not in named]
+            if missing:
+                raise SchemaError(
+                    f"{self.schema.name}: missing values for {missing}"
+                )
+            extra = [n for n in named if not self.schema.has_column(n)]
+            if extra:
+                raise SchemaError(f"{self.schema.name}: unknown columns {extra}")
+            values = tuple(named[c.name] for c in self.schema.columns)
+        if len(values) != len(self.schema.columns):
+            raise SchemaError(
+                f"{self.schema.name}: expected {len(self.schema.columns)} "
+                f"values, got {len(values)}"
+            )
+        row = tuple(values)
+        self._check_types(row)
+        key = tuple(row[self.schema.column_index(k)] for k in self.schema.key)
+        if key in self._key_index:
+            raise SchemaError(f"{self.schema.name}: duplicate key {key}")
+        for unique_set in self.schema.unique_sets:
+            candidate = tuple(
+                row[self.schema.column_index(c)] for c in unique_set
+            )
+            index = self._unique_indexes.setdefault(unique_set, set())
+            if candidate in index:
+                raise SchemaError(
+                    f"{self.schema.name}: duplicate value {candidate} for "
+                    f"unique columns {unique_set}"
+                )
+            index.add(candidate)
+        self._key_index[key] = row
+        self.rows.append(row)
+        self._indexes.clear()
+        return row
+
+    def _check_types(self, row):
+        for column, value in zip(self.schema.columns, row):
+            if value is None:
+                if not column.nullable:
+                    raise SchemaError(
+                        f"{self.schema.name}.{column.name} is NOT NULL"
+                    )
+                continue
+            if not column.sql_type.accepts(value):
+                raise SchemaError(
+                    f"{self.schema.name}.{column.name}: {value!r} is not a "
+                    f"valid {column.sql_type.value}"
+                )
+
+    def lookup_key(self, key_values):
+        """Return the row with the given primary-key values, or None."""
+        return self._key_index.get(tuple(key_values))
+
+    def index_on(self, column_names):
+        """Return (building if needed) a hash index mapping value-tuples of
+        ``column_names`` to the list of matching rows."""
+        key = tuple(column_names)
+        index = self._indexes.get(key)
+        if index is None:
+            positions = [self.schema.column_index(name) for name in key]
+            index = {}
+            for row in self.rows:
+                index.setdefault(tuple(row[p] for p in positions), []).append(row)
+            self._indexes[key] = index
+        return index
+
+    def column_values(self, name):
+        """All values of one column, in row order."""
+        position = self.schema.column_index(name)
+        return [row[position] for row in self.rows]
+
+    def average_row_width(self):
+        """Observed average row width in bytes (0 for an empty table)."""
+        if not self.rows:
+            return 0.0
+        total = 0
+        for row in self.rows:
+            for column, value in zip(self.schema.columns, row):
+                total += column.sql_type.value_width(value)
+        return total / len(self.rows)
+
+    def __repr__(self):
+        return f"Table({self.schema.name}, {len(self.rows)} rows)"

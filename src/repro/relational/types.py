@@ -1,0 +1,87 @@
+"""SQL value types.
+
+Each type knows how to validate a Python value and reports a *width* in
+bytes, which the cost model uses to charge sort, spill, and transfer costs.
+Widths follow typical RDBMS storage sizes; VARCHAR widths are declared
+maxima, while per-table statistics track observed average widths.
+"""
+
+import enum
+import datetime
+
+
+class SqlType(enum.Enum):
+    """The SQL types used by the TPC-H fragment and the generated queries."""
+
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    VARCHAR = "varchar"
+    CHAR = "char"
+    DATE = "date"
+
+    @property
+    def storage_width(self):
+        """Nominal storage width in bytes, used by the cost model."""
+        return _STORAGE_WIDTHS[self]
+
+    def accepts(self, value):
+        """Return True if ``value`` is a legal non-NULL value of this type."""
+        if self is SqlType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is SqlType.DECIMAL:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self in (SqlType.VARCHAR, SqlType.CHAR):
+            return isinstance(value, str)
+        if self is SqlType.DATE:
+            return isinstance(value, datetime.date)
+        raise AssertionError(f"unhandled type {self}")
+
+    def value_width(self, value):
+        """Width in bytes of one concrete value (NULL costs nothing here;
+        the transfer model charges its own small null-marker cost)."""
+        if value is None:
+            return 0
+        if self in (SqlType.VARCHAR, SqlType.CHAR):
+            return len(value)
+        return self.storage_width
+
+    def to_sql_literal(self, value):
+        """Render a Python value as a SQL literal in this type."""
+        if value is None:
+            return "NULL"
+        if self is SqlType.INTEGER:
+            return str(value)
+        if self is SqlType.DECIMAL:
+            return repr(float(value))
+        if self in (SqlType.VARCHAR, SqlType.CHAR):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        if self is SqlType.DATE:
+            return f"DATE '{value.isoformat()}'"
+        raise AssertionError(f"unhandled type {self}")
+
+
+_STORAGE_WIDTHS = {
+    SqlType.INTEGER: 4,
+    SqlType.DECIMAL: 8,
+    SqlType.VARCHAR: 24,
+    SqlType.CHAR: 8,
+    SqlType.DATE: 4,
+}
+
+
+def sql_literal(value):
+    """Render a Python value as a SQL literal, inferring the type."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        raise TypeError("boolean literals are not part of the supported dialect")
+    if isinstance(value, int):
+        return SqlType.INTEGER.to_sql_literal(value)
+    if isinstance(value, float):
+        return SqlType.DECIMAL.to_sql_literal(value)
+    if isinstance(value, str):
+        return SqlType.VARCHAR.to_sql_literal(value)
+    if isinstance(value, datetime.date):
+        return SqlType.DATE.to_sql_literal(value)
+    raise TypeError(f"cannot render {type(value).__name__} as a SQL literal")

@@ -1,0 +1,44 @@
+"""RXL — the Relational to XML transformation Language (Sec. 2).
+
+RXL combines the extraction part of SQL (``from`` and ``where`` clauses)
+with the construction part of XML-QL (the ``construct`` clause): nested
+queries build sets of subelements, parallel ``{ ... }`` blocks express
+union, and Skolem functions (explicit via ``ID=F($v.attr, ...)`` or
+introduced automatically) control element fusion.
+
+The package provides a lexer, a recursive-descent parser producing the AST
+in :mod:`repro.rxl.ast`, and a scope/schema validator.
+"""
+
+from repro.rxl.ast import (
+    VarField,
+    LiteralValue,
+    RxlCondition,
+    TupleVarDecl,
+    TextExpr,
+    TextLiteral,
+    SkolemSpec,
+    RxlElement,
+    RxlBlock,
+    RxlQuery,
+)
+from repro.rxl.lexer import tokenize, Token
+from repro.rxl.parser import parse_rxl
+from repro.rxl.validate import validate_rxl
+
+__all__ = [
+    "VarField",
+    "LiteralValue",
+    "RxlCondition",
+    "TupleVarDecl",
+    "TextExpr",
+    "TextLiteral",
+    "SkolemSpec",
+    "RxlElement",
+    "RxlBlock",
+    "RxlQuery",
+    "tokenize",
+    "Token",
+    "parse_rxl",
+    "validate_rxl",
+]

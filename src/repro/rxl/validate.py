@@ -1,0 +1,95 @@
+"""Scope and schema validation of a parsed RXL query.
+
+Checks, against a :class:`repro.relational.schema.DatabaseSchema`:
+
+* every ``from`` clause names an existing table,
+* tuple-variable names are unique along any scope chain (a nested block may
+  not shadow an enclosing variable — RXL semantics correlate the nested
+  query with the enclosing scope, so shadowing would be ambiguous),
+* every ``$var.field`` reference resolves to a declared variable (the block
+  where it appears or any enclosing block) and an existing column,
+* explicit Skolem terms use only in-scope variables, and distinct elements
+  using the same Skolem function name agree on argument count.
+"""
+
+from repro.common.errors import RxlScopeError
+from repro.rxl.ast import (
+    VarField,
+    LiteralValue,
+    TextExpr,
+    RxlElement,
+    RxlBlock,
+)
+
+
+def validate_rxl(query, schema):
+    """Validate ``query`` against ``schema``; raises
+    :class:`~repro.common.errors.RxlScopeError` on the first problem.
+    Returns the total number of (sub)queries validated."""
+    validator = _Validator(schema)
+    validator.check_query(query, scope={})
+    return validator.queries_checked
+
+
+class _Validator:
+    def __init__(self, schema):
+        self.schema = schema
+        self.queries_checked = 0
+        self.skolem_arity = {}
+
+    def check_query(self, query, scope):
+        self.queries_checked += 1
+        local_scope = dict(scope)
+        for decl in query.froms:
+            if not self.schema.has_table(decl.table):
+                raise RxlScopeError(f"unknown table {decl.table!r}")
+            if decl.var in local_scope:
+                raise RxlScopeError(
+                    f"tuple variable ${decl.var} is already declared in an "
+                    "enclosing scope"
+                )
+            local_scope[decl.var] = self.schema.table(decl.table)
+        for condition in query.conditions:
+            self._check_operand(condition.left, local_scope)
+            self._check_operand(condition.right, local_scope)
+            if isinstance(condition.left, LiteralValue) and isinstance(
+                condition.right, LiteralValue
+            ):
+                raise RxlScopeError(
+                    f"condition {condition} compares two literals"
+                )
+        for element in query.construct:
+            self._check_element(element, local_scope)
+
+    def _check_operand(self, operand, scope):
+        if isinstance(operand, VarField):
+            self._check_var_field(operand, scope)
+
+    def _check_var_field(self, ref, scope):
+        table = scope.get(ref.var)
+        if table is None:
+            raise RxlScopeError(f"undeclared tuple variable ${ref.var}")
+        if not table.has_column(ref.field):
+            raise RxlScopeError(
+                f"table {table.name} (variable ${ref.var}) has no column "
+                f"{ref.field!r}"
+            )
+
+    def _check_element(self, element, scope):
+        if element.skolem is not None:
+            arity = len(element.skolem.args)
+            known = self.skolem_arity.setdefault(element.skolem.name, arity)
+            if known != arity:
+                raise RxlScopeError(
+                    f"Skolem function {element.skolem.name} used with "
+                    f"{arity} argument(s) but previously with {known}"
+                )
+            for arg in element.skolem.args:
+                self._check_var_field(arg, scope)
+        for content in element.contents:
+            if isinstance(content, TextExpr):
+                self._check_var_field(content.ref, scope)
+            elif isinstance(content, RxlElement):
+                self._check_element(content, scope)
+            elif isinstance(content, RxlBlock):
+                self.check_query(content.query, scope)

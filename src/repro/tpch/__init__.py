@@ -1,0 +1,32 @@
+"""TPC-H substrate: the Fig. 1 schema fragment and a deterministic data
+generator standing in for ``dbgen``.
+
+The paper ran on TPC Benchmark H databases of 1 MB (Configuration A) and
+100 MB (Configuration B).  Absolute volume is irrelevant to the simulated
+cost model, so the presets here keep the paper's *relative* cardinalities
+(orders per customer, parts per supplier, line items per order) at a scale
+that executes quickly, and pair each preset with the matching server cost
+model.
+"""
+
+from repro.tpch.schema import tpch_schema, TPCH_TABLE_NAMES
+from repro.tpch.generator import TpchGenerator, TpchScale
+from repro.tpch.configs import (
+    Configuration,
+    CONFIG_A,
+    CONFIG_B,
+    build_database,
+    build_configuration,
+)
+
+__all__ = [
+    "tpch_schema",
+    "TPCH_TABLE_NAMES",
+    "TpchGenerator",
+    "TpchScale",
+    "Configuration",
+    "CONFIG_A",
+    "CONFIG_B",
+    "build_database",
+    "build_configuration",
+]

@@ -1,0 +1,186 @@
+"""Deterministic TPC-H-style data generator (a small ``dbgen``).
+
+Seeded, so every run of a benchmark sees identical data.  The generator
+honours the paper's Fig. 1 keys (``PartSupp`` keyed by ``partkey``:
+each part is stocked by exactly one supplier; ``LineItem`` keyed by
+``orderkey``: each order has one line) and preserves the structural
+properties the paper's experiments depend on:
+
+* a fraction of suppliers stock no parts (the outer join in Sec. 2's example
+  exists *because* "there could be suppliers without parts, and they need to
+  appear in the XML document"),
+* a fraction of stocked parts have no pending line items,
+* every nation belongs to a region, every supplier/customer to a nation,
+  every order to a customer, every line item to an order and to a stocked
+  part — so all C2 inclusion dependencies used by the labeler really hold.
+"""
+
+import datetime
+import random
+from dataclasses import dataclass
+
+from repro.relational.database import Database
+from repro.tpch.schema import tpch_schema
+
+_REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+_PART_FINISHES = [
+    "anodized", "burnished", "plated", "polished", "brushed", "lacquered",
+]
+_PART_MATERIALS = [
+    "brass", "copper", "nickel", "steel", "tin", "zinc", "bronze", "chrome",
+]
+_MFGRS = ["Mfgr#1", "Mfgr#2", "Mfgr#3", "Mfgr#4", "Mfgr#5"]
+_BRANDS = ["Brand#1", "Brand#2", "Brand#3", "Brand#4", "Brand#5"]
+_SIZES = ["S", "M", "L", "XL"]
+_STATUSES = ["O", "F", "P"]
+
+
+@dataclass(frozen=True)
+class TpchScale:
+    """Table cardinalities for one generated database.
+
+    ``scaled`` multiplies everything except the fixed Region/Nation tables,
+    which TPC-H keeps constant across scale factors.  ``PartSupp`` always
+    has one row per part and ``LineItem`` one row per order (Fig. 1 keys).
+    """
+
+    suppliers: int = 20
+    parts: int = 80
+    customers: int = 50
+    orders: int = 400
+    regions: int = 5
+    nations: int = 25
+    supplier_no_part_fraction: float = 0.15
+    part_no_order_fraction: float = 0.30
+
+    def scaled(self, factor):
+        return TpchScale(
+            suppliers=max(2, round(self.suppliers * factor)),
+            parts=max(2, round(self.parts * factor)),
+            customers=max(2, round(self.customers * factor)),
+            orders=max(2, round(self.orders * factor)),
+            regions=self.regions,
+            nations=self.nations,
+            supplier_no_part_fraction=self.supplier_no_part_fraction,
+            part_no_order_fraction=self.part_no_order_fraction,
+        )
+
+
+class TpchGenerator:
+    """Generates a populated, FK-consistent TPC-H fragment database."""
+
+    def __init__(self, scale=None, seed=20010521):
+        self.scale = scale or TpchScale()
+        self.seed = seed
+
+    def generate(self, check=True):
+        """Build and populate a :class:`Database`; optionally verify FKs."""
+        rng = random.Random(self.seed)
+        scale = self.scale
+        db = Database(tpch_schema())
+
+        regions = min(scale.regions, len(_REGION_NAMES))
+        for regionkey in range(1, regions + 1):
+            db.insert("Region", regionkey, _REGION_NAMES[regionkey - 1])
+
+        nations = min(scale.nations, len(_NATION_NAMES))
+        for nationkey in range(1, nations + 1):
+            db.insert(
+                "Nation",
+                nationkey,
+                _NATION_NAMES[nationkey - 1],
+                rng.randint(1, regions),
+            )
+
+        for suppkey in range(1, scale.suppliers + 1):
+            db.insert(
+                "Supplier",
+                suppkey,
+                f"Supplier#{suppkey:06d}",
+                f"{rng.randint(1, 999)} {rng.choice(_PART_MATERIALS)} street",
+                rng.randint(1, nations),
+            )
+
+        for partkey in range(1, scale.parts + 1):
+            db.insert(
+                "Part",
+                partkey,
+                f"{rng.choice(_PART_FINISHES)} {rng.choice(_PART_MATERIALS)} "
+                f"#{partkey:04d}",
+                rng.choice(_MFGRS),
+                rng.choice(_BRANDS),
+                rng.choice(_SIZES),
+                round(rng.uniform(900.0, 2100.0), 2),
+            )
+
+        supplier_of_part = self._assign_suppliers(rng)
+        for partkey, suppkey in supplier_of_part.items():
+            db.insert("PartSupp", partkey, suppkey, rng.randint(1, 9999))
+
+        for custkey in range(1, scale.customers + 1):
+            db.insert(
+                "Customer",
+                custkey,
+                f"Customer#{custkey:06d}",
+                f"{rng.randint(1, 999)} {rng.choice(_PART_FINISHES)} avenue",
+                rng.randint(1, nations),
+                f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+            )
+
+        orderable = self._orderable_parts(rng, supplier_of_part)
+        base_date = datetime.date(1998, 1, 1)
+        for orderkey in range(1, scale.orders + 1):
+            db.insert(
+                "Orders",
+                orderkey,
+                rng.randint(1, scale.customers),
+                rng.choice(_STATUSES),
+                round(rng.uniform(1000.0, 400000.0), 2),
+                base_date + datetime.timedelta(days=rng.randint(0, 700)),
+            )
+            partkey = rng.choice(orderable)
+            db.insert(
+                "LineItem",
+                orderkey,
+                partkey,
+                supplier_of_part[partkey],
+                1,
+                rng.randint(1, 50),
+                round(rng.uniform(900.0, 2100.0), 2),
+            )
+
+        if check:
+            db.check_foreign_keys()
+        db.analyze()
+        return db
+
+    def _assign_suppliers(self, rng):
+        """One supplier per part, holding out a fraction of suppliers that
+        stock nothing (they must still appear in the XML view)."""
+        scale = self.scale
+        n_without = round(scale.suppliers * scale.supplier_no_part_fraction)
+        stockless = set(rng.sample(range(1, scale.suppliers + 1), n_without))
+        stocking = [s for s in range(1, scale.suppliers + 1) if s not in stockless]
+        if not stocking:
+            stocking = [1]
+        return {
+            partkey: rng.choice(stocking)
+            for partkey in range(1, scale.parts + 1)
+        }
+
+    def _orderable_parts(self, rng, supplier_of_part):
+        """Parts eligible to appear in orders; the rest yield <part>
+        elements without <order> children."""
+        scale = self.scale
+        parts = sorted(supplier_of_part)
+        n_held_out = round(len(parts) * scale.part_no_order_fraction)
+        held_out = set(rng.sample(parts, n_held_out))
+        orderable = [p for p in parts if p not in held_out]
+        return orderable or parts

@@ -1,0 +1,150 @@
+"""The TPC-H schema fragment of the paper's Fig. 1.
+
+::
+
+    Supplier(*suppkey, name, addr, nationkey)
+    PartSupp(*partkey, suppkey, availqty)
+    Part(*partkey, name, mfgr, brand, size, retail)
+    Customer(*custkey, name, addr, nationkey, ph)
+    LineItem(*orderkey, partkey, suppkey, lno, qty, prc)
+    Orders(*orderkey, custkey, status, price, date)
+    Nation(*nationkey, name, regionkey)
+    Region(*regionkey, name)
+
+The keys follow the paper's Fig. 1 *literally* — ``PartSupp`` is keyed by
+``partkey`` alone (each part has one supplier) and ``LineItem`` by
+``orderkey`` alone (each order has one line) — not real TPC-H's composite
+keys.  The paper's Skolem-term argument sets (``S1.4(suppkey, partkey)``,
+``S1.4.2(suppkey, partkey, orderkey)``) depend on exactly these key
+declarations.
+
+``name`` columns of Region/Nation/Supplier/Part/Customer are declared as
+additional candidate keys, matching the paper's Sec. 3.1 assumption that
+"name functionally determines nationkey, and pname functionally determines
+partkey".
+"""
+
+from repro.relational.schema import Column, TableSchema, ForeignKey, DatabaseSchema
+from repro.relational.types import SqlType
+
+TPCH_TABLE_NAMES = (
+    "Region",
+    "Nation",
+    "Supplier",
+    "Part",
+    "PartSupp",
+    "Customer",
+    "Orders",
+    "LineItem",
+)
+
+
+def tpch_schema():
+    """Build a fresh :class:`DatabaseSchema` for the TPC-H fragment."""
+    integer = SqlType.INTEGER
+    varchar = SqlType.VARCHAR
+    char = SqlType.CHAR
+    decimal = SqlType.DECIMAL
+    date = SqlType.DATE
+
+    tables = [
+        TableSchema(
+            "Region",
+            [Column("regionkey", integer), Column("name", varchar)],
+            key=["regionkey"],
+            unique_sets=[("name",)],
+        ),
+        TableSchema(
+            "Nation",
+            [
+                Column("nationkey", integer),
+                Column("name", varchar),
+                Column("regionkey", integer),
+            ],
+            key=["nationkey"],
+            unique_sets=[("name",)],
+        ),
+        TableSchema(
+            "Supplier",
+            [
+                Column("suppkey", integer),
+                Column("name", varchar),
+                Column("addr", varchar),
+                Column("nationkey", integer),
+            ],
+            key=["suppkey"],
+            unique_sets=[("name",)],
+        ),
+        TableSchema(
+            "Part",
+            [
+                Column("partkey", integer),
+                Column("name", varchar),
+                Column("mfgr", varchar),
+                Column("brand", varchar),
+                Column("size", char),
+                Column("retail", decimal),
+            ],
+            key=["partkey"],
+            unique_sets=[("name",)],
+        ),
+        TableSchema(
+            "PartSupp",
+            [
+                Column("partkey", integer),
+                Column("suppkey", integer),
+                Column("availqty", integer),
+            ],
+            key=["partkey"],
+        ),
+        TableSchema(
+            "Customer",
+            [
+                Column("custkey", integer),
+                Column("name", varchar),
+                Column("addr", varchar),
+                Column("nationkey", integer),
+                Column("ph", varchar),
+            ],
+            key=["custkey"],
+            unique_sets=[("name",)],
+        ),
+        TableSchema(
+            "Orders",
+            [
+                Column("orderkey", integer),
+                Column("custkey", integer),
+                Column("status", char),
+                Column("price", decimal),
+                Column("date", date),
+            ],
+            key=["orderkey"],
+        ),
+        TableSchema(
+            "LineItem",
+            [
+                Column("orderkey", integer),
+                Column("partkey", integer),
+                Column("suppkey", integer),
+                Column("lno", integer),
+                Column("qty", integer),
+                Column("prc", decimal),
+            ],
+            key=["orderkey"],
+        ),
+    ]
+
+    foreign_keys = [
+        ForeignKey("Nation", ("regionkey",), "Region", ("regionkey",)),
+        ForeignKey("Supplier", ("nationkey",), "Nation", ("nationkey",)),
+        ForeignKey("Customer", ("nationkey",), "Nation", ("nationkey",)),
+        ForeignKey("PartSupp", ("partkey",), "Part", ("partkey",)),
+        ForeignKey("PartSupp", ("suppkey",), "Supplier", ("suppkey",)),
+        ForeignKey("Orders", ("custkey",), "Customer", ("custkey",)),
+        ForeignKey("LineItem", ("orderkey",), "Orders", ("orderkey",)),
+        ForeignKey("LineItem", ("partkey",), "Part", ("partkey",)),
+        ForeignKey("LineItem", ("suppkey",), "Supplier", ("suppkey",)),
+        ForeignKey("LineItem", ("partkey",), "PartSupp", ("partkey",)),
+    ]
+
+    return DatabaseSchema(tables, foreign_keys)

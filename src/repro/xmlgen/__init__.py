@@ -1,0 +1,35 @@
+"""XML integration and tagging (Sec. 3.3).
+
+Turns the sorted partitioned tuple streams back into the XML document: each
+stream is decoded into *node instances*, the per-stream instance sequences
+are k-way merged in global document order, and the constant-space tagger
+nests and tags them.  The required memory depends only on the view-tree
+size, never on the database size.
+
+Also provides an incremental XML serializer and a small DTD parser/validator
+used to check produced documents against Fig. 2-style DTDs.
+"""
+
+from repro.xmlgen.streams import (
+    Instance,
+    ComparatorLayout,
+    decode_stream,
+    merge_streams,
+)
+from repro.xmlgen.serializer import XmlWriter, escape_text
+from repro.xmlgen.tagger import XmlTagger, tag_streams
+from repro.xmlgen.dtd import Dtd, parse_dtd, validate_document
+
+__all__ = [
+    "Instance",
+    "ComparatorLayout",
+    "decode_stream",
+    "merge_streams",
+    "XmlWriter",
+    "escape_text",
+    "XmlTagger",
+    "tag_streams",
+    "Dtd",
+    "parse_dtd",
+    "validate_document",
+]

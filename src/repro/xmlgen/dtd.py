@@ -1,0 +1,191 @@
+"""A small DTD parser and validator.
+
+Supports the subset needed for Fig. 2-style DTDs: element declarations with
+sequence content models whose particles carry ``?``/``+``/``*`` multiplicity,
+``#PCDATA``-only elements, and ``EMPTY``.  Used by tests and examples to
+check that materialized views conform to the agreed exchange schema.
+"""
+
+import re
+from dataclasses import dataclass
+
+from repro.common.errors import DtdError, ValidationError
+
+
+@dataclass(frozen=True)
+class Particle:
+    """One child slot in a sequence content model."""
+
+    name: str
+    multiplicity: str  # '1' | '?' | '+' | '*'
+
+    def accepts_count(self, count):
+        if self.multiplicity == "1":
+            return count == 1
+        if self.multiplicity == "?":
+            return count <= 1
+        if self.multiplicity == "+":
+            return count >= 1
+        return True
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    name: str
+    kind: str            # 'sequence' | 'pcdata' | 'empty' | 'mixed'
+    particles: tuple     # of Particle (sequence only)
+
+
+class Dtd:
+    """A parsed DTD: element name -> declaration."""
+
+    def __init__(self, elements):
+        self.elements = dict(elements)
+
+    def declaration(self, name):
+        try:
+            return self.elements[name]
+        except KeyError:
+            raise ValidationError(f"element <{name}> is not declared") from None
+
+
+_ELEMENT_RE = re.compile(
+    r"<!ELEMENT\s+([A-Za-z_][\w.-]*)\s+(EMPTY|\(.*?\)\*?)\s*>", re.DOTALL
+)
+
+
+def parse_dtd(text):
+    """Parse DTD text into a :class:`Dtd`."""
+    elements = {}
+    for match in _ELEMENT_RE.finditer(text):
+        name, model = match.group(1), match.group(2).strip()
+        elements[name] = _parse_model(name, model)
+    if not elements:
+        raise DtdError("no element declarations found")
+    return Dtd(elements)
+
+
+def _parse_model(name, model):
+    if model == "EMPTY":
+        return ElementDecl(name, "empty", ())
+    repeated = model.endswith(")*")
+    if repeated:
+        model = model[:-1]
+    inner = model[1:-1].strip()
+    if inner == "#PCDATA":
+        return ElementDecl(name, "pcdata", ())
+    if "#PCDATA" in inner:
+        # Mixed content (#PCDATA | a | b)* — accept any declared mixture.
+        parts = tuple(
+            Particle(p.strip().rstrip("*"), "*")
+            for p in inner.split("|")
+            if "#PCDATA" not in p
+        )
+        return ElementDecl(name, "mixed", parts)
+    particles = []
+    for piece in _split_sequence(inner):
+        piece = piece.strip()
+        if not piece:
+            continue
+        multiplicity = "1"
+        if piece[-1] in "?+*":
+            multiplicity = piece[-1]
+            piece = piece[:-1].strip()
+        if not re.fullmatch(r"[A-Za-z_][\w.-]*", piece):
+            raise DtdError(f"unsupported content particle {piece!r} in <{name}>")
+        particles.append(Particle(piece, multiplicity))
+    return ElementDecl(name, "sequence", tuple(particles))
+
+
+def _split_sequence(inner):
+    depth = 0
+    current = []
+    for char in inner:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            yield "".join(current)
+            current = []
+        else:
+            current.append(char)
+    yield "".join(current)
+
+
+# ---------------------------------------------------------------------------
+# Validation of serialized documents
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"<(/?)([A-Za-z_][\w.-]*)\s*>|([^<]+)")
+
+
+def validate_document(xml_text, dtd, root=None):
+    """Validate an XML string against ``dtd``.
+
+    ``root`` optionally names a wrapper element that is allowed to contain
+    any sequence of declared top elements (the facade's document root).
+    Returns the number of elements validated; raises
+    :class:`~repro.common.errors.ValidationError` on the first violation.
+    """
+    stack = []  # (name, child names, has_text)
+    validated = 0
+    for match in _TOKEN_RE.finditer(xml_text):
+        closing, name, text = match.group(1), match.group(2), match.group(3)
+        if text is not None:
+            if text.strip() and stack:
+                stack[-1][2] = True
+            continue
+        if not closing:
+            if stack:
+                stack[-1][1].append(name)
+            stack.append([name, [], False])
+        else:
+            open_name, children, has_text = stack.pop()
+            if open_name != name:
+                raise ValidationError(
+                    f"mismatched tags: <{open_name}> closed by </{name}>"
+                )
+            if root is not None and name == root and not stack:
+                validated += 1
+                continue
+            _check_element(name, children, has_text, dtd)
+            validated += 1
+    if stack:
+        raise ValidationError(f"unclosed element <{stack[-1][0]}>")
+    return validated
+
+
+def _check_element(name, children, has_text, dtd):
+    decl = dtd.declaration(name)
+    if decl.kind == "empty":
+        if children or has_text:
+            raise ValidationError(f"<{name}> must be EMPTY")
+        return
+    if decl.kind == "pcdata":
+        if children:
+            raise ValidationError(f"<{name}> may contain only character data")
+        return
+    if decl.kind == "mixed":
+        allowed = {p.name for p in decl.particles}
+        for child in children:
+            if child not in allowed:
+                raise ValidationError(f"<{name}> may not contain <{child}>")
+        return
+    if has_text:
+        raise ValidationError(f"<{name}> has element-only content")
+    position = 0
+    for particle in decl.particles:
+        count = 0
+        while position < len(children) and children[position] == particle.name:
+            count += 1
+            position += 1
+        if not particle.accepts_count(count):
+            raise ValidationError(
+                f"<{name}>: child <{particle.name}> occurs {count} time(s), "
+                f"multiplicity is '{particle.multiplicity}'"
+            )
+    if position != len(children):
+        raise ValidationError(
+            f"<{name}>: unexpected child <{children[position]}>"
+        )

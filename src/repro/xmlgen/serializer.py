@@ -1,0 +1,76 @@
+"""Incremental XML serialization with escaping."""
+
+import datetime
+import io
+
+_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+}
+
+
+def escape_text(value):
+    """Escape character data; non-string values use their natural form."""
+    text = format_value(value)
+    for char, entity in _ESCAPES.items():
+        text = text.replace(char, entity) if char in text else text
+    return text
+
+
+def format_value(value):
+    """Render a SQL value as XML character data."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return str(value)
+
+
+class XmlWriter:
+    """Streaming XML writer.
+
+    Writes to an internal buffer (or any file-like ``sink``), one event at a
+    time, so the tagger never holds the document in memory.  ``indent`` of
+    ``None`` produces compact output.
+    """
+
+    def __init__(self, sink=None, indent=None):
+        self.sink = sink if sink is not None else io.StringIO()
+        self.indent = indent
+        self.depth = 0
+        self._open_tag_has_children = []
+        self._started = False
+
+    def start_element(self, tag):
+        self._newline()
+        self._started = True
+        self.sink.write(f"<{tag}>")
+        if self._open_tag_has_children:
+            self._open_tag_has_children[-1] = True
+        self._open_tag_has_children.append(False)
+        self.depth += 1
+
+    def text(self, value):
+        self.sink.write(escape_text(value))
+
+    def end_element(self, tag):
+        self.depth -= 1
+        had_children = self._open_tag_has_children.pop()
+        if had_children:
+            self._newline(closing=True)
+        self.sink.write(f"</{tag}>")
+
+    def _newline(self, closing=False):
+        if self.indent is None:
+            return
+        if not self._started and not closing:
+            return
+        self.sink.write("\n" + " " * self.indent * self.depth)
+
+    def getvalue(self):
+        if isinstance(self.sink, io.StringIO):
+            return self.sink.getvalue()
+        raise TypeError("writer is backed by an external sink")

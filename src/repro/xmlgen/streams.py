@@ -1,0 +1,147 @@
+"""Decoding tuple streams into node instances and merging them.
+
+A partitioned relation's tuple encodes a path from its subtree's root to a
+terminal node instance (Sec. 3.2): the ``L`` columns spell the terminal
+node's Skolem-function index, and the Skolem-term variable columns carry the
+argument values of every node on the path.  :func:`decode_stream` expands
+each tuple into one :class:`Instance` per path node (and, for reduced
+units, per original member node), deduplicating consecutive repeats so the
+per-stream instance sequence is nondecreasing in global document order.
+
+The global order (:class:`ComparatorLayout`) interleaves ``L`` tags and
+Skolem-term variables level by level — using only variables that are *key*
+arguments of some node, because display values of an internal node are
+absent from its descendants' tuples and must not influence relative order.
+NULLs sort first, which places every parent instance before its children.
+"""
+
+import heapq
+from dataclasses import dataclass
+
+from repro.common.errors import PlanError
+from repro.common.ordering import sort_key
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One occurrence of a view-tree node in the output document."""
+
+    key: tuple     # global comparator key (NoneFirst-wrapped)
+    node: object   # ViewTreeNode
+    values: dict   # stv name -> value (the node's Skolem-term arguments)
+
+    def identity(self):
+        """The full Skolem-term identity (all arguments) — what fuses or
+        distinguishes element instances."""
+        return tuple(self.values.get(s.name) for s in self.node.args)
+
+    def key_identity(self):
+        """Identity restricted to the key arguments — the part of the term
+        a descendant tuple can always reconstruct."""
+        return tuple(self.values.get(s.name) for s in self.node.key_args)
+
+
+class ComparatorLayout:
+    """The interleaved global sort layout for a view tree."""
+
+    def __init__(self, tree):
+        self.tree = tree
+        key_stvs = set()
+        for node in tree.nodes:
+            key_stvs.update(node.key_args)
+        self.entries = []
+        for level in range(1, tree.max_depth() + 1):
+            self.entries.append(("L", level))
+            for stv in tree.stvs_at_level(level):
+                if stv in key_stvs:
+                    self.entries.append(("stv", stv))
+
+    def instance_key(self, node, values):
+        raw = []
+        for kind, what in self.entries:
+            if kind == "L":
+                level = what
+                raw.append(node.index[level - 1] if level <= node.level else None)
+            else:
+                raw.append(values.get(what.name))
+        return sort_key(raw)
+
+
+def decode_stream(spec, rows, layout):
+    """Yield the :class:`Instance` sequence of one stream, in order.
+
+    ``spec`` is a :class:`repro.core.sqlgen.StreamSpec`; ``rows`` its
+    executed, sorted tuples.  Memory is bounded by the view-tree size (one
+    last-identity memo per member node plus at most one deferred instance
+    per member).
+
+    A reduced unit can carry a member *deeper* than some of the unit's
+    children (e.g. a ``1``-labeled sibling merged in next to a ``*``
+    branch).  That member's instance, reconstructed from a pass-through
+    tuple, sorts *after* the tuple's terminal instance — and after child
+    instances still to come — so it is deferred until the stream reaches
+    its position (its group closes), keeping the emitted sequence
+    nondecreasing.
+    """
+    positions = {name: i for i, name in enumerate(spec.column_names)}
+    l_positions = [(level, positions[f"L{level}"]) for level in spec.l_levels]
+    memo = {}
+    pending = []  # deferred instances, kept sorted by key
+    for row in rows:
+        l_values = [(level, row[pos]) for level, pos in l_positions]
+        depth = 0
+        for level, value in l_values:
+            if value is None:
+                break
+            depth = level
+        if depth == 0:
+            raise PlanError("tuple with no L tag cannot be decoded")
+        terminal_index = tuple(value for _, value in l_values[:depth])
+        path = spec.unit_paths.get(terminal_index)
+        if path is None:
+            raise PlanError(
+                f"no unit with index {terminal_index} in stream {spec.label}"
+            )
+        decoded = []
+        for unit in path:
+            for member in unit.members:
+                values = {
+                    stv.name: row[positions[stv.name]]
+                    for stv in member.args
+                    if stv.name in positions
+                }
+                identity = tuple(values.get(s.name) for s in member.args)
+                if memo.get(member.index) == identity:
+                    continue
+                memo[member.index] = identity
+                decoded.append(
+                    Instance(
+                        key=layout.instance_key(member, values),
+                        node=member,
+                        values=values,
+                    )
+                )
+        # The row pins everything up to the terminal unit's deepest member;
+        # instances beyond that position wait for their group to close.
+        terminal_member = path[-1].members[-1]
+        terminal_values = {
+            stv.name: row[positions[stv.name]]
+            for stv in terminal_member.args
+            if stv.name in positions
+        }
+        threshold = layout.instance_key(terminal_member, terminal_values)
+
+        ready = [i for i in decoded if i.key <= threshold]
+        pending.extend(i for i in decoded if i.key > threshold)
+        pending.sort(key=lambda inst: inst.key)
+        while pending and pending[0].key <= threshold:
+            ready.append(pending.pop(0))
+        ready.sort(key=lambda inst: inst.key)
+        yield from ready
+    pending.sort(key=lambda inst: inst.key)
+    yield from pending
+
+
+def merge_streams(instance_iterables):
+    """K-way merge of per-stream instance sequences into document order."""
+    return heapq.merge(*instance_iterables, key=lambda inst: inst.key)

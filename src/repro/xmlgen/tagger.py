@@ -1,0 +1,127 @@
+"""The constant-space tagging algorithm (Sec. 3.3).
+
+The tagger consumes the merged instance stream, maintaining a stack of open
+elements identified by (view-tree node, Skolem-term key values).  For each
+incoming instance it closes elements down to the deepest still-matching
+ancestor, then opens the instance's missing ancestors and the instance
+itself, emitting the element's text content as it opens.
+
+Memory is the stack (bounded by view-tree depth) plus the per-stream decode
+memos (bounded by node count) — independent of database size, which is the
+paper's scaling argument.  ``max_stack_depth`` and ``implicit_opens`` are
+exposed so tests can verify both the bound and that every element was
+opened from its own instance (an implicit open would indicate a plan whose
+streams do not cover some node).
+"""
+
+from repro.core.viewtree import Stv
+from repro.xmlgen.serializer import XmlWriter
+from repro.xmlgen.streams import ComparatorLayout, decode_stream, merge_streams
+
+
+class XmlTagger:
+    """Nests and tags a merged instance stream."""
+
+    def __init__(self, tree, writer, root_tag=None):
+        self.tree = tree
+        self.writer = writer
+        self.root_tag = root_tag
+        self.max_stack_depth = 0
+        self.implicit_opens = 0
+        self.elements_written = 0
+
+    def run(self, instances):
+        """Consume the merged instance stream and emit the document.
+
+        Stack frames carry two identities: the *key* identity (the key
+        arguments — reconstructible from any descendant tuple, used to
+        match ancestors) and the *full* Skolem-term identity (all
+        arguments — available on the element's own instance, used to
+        distinguish siblings that share key values, e.g. the simplified
+        leaf terms of Sec. 3.1)."""
+        if self.root_tag is not None:
+            self.writer.start_element(self.root_tag)
+        stack = []  # (node, key_identity, full_identity_or_None, tag)
+        for instance in instances:
+            chain = self._chain(instance)
+            common = 0
+            for entry, frame in zip(chain, stack):
+                node, key_identity, full_identity = entry
+                if frame[0] is not node or frame[1] != key_identity:
+                    break
+                if (
+                    full_identity is not None
+                    and frame[2] is not None
+                    and frame[2] != full_identity
+                ):
+                    break
+                common += 1
+            if common == len(chain):
+                continue  # duplicate instance; element already open
+            while len(stack) > common:
+                node, _, _, tag = stack.pop()
+                self.writer.end_element(tag)
+            for node, key_identity, full_identity in chain[common:]:
+                if node is not instance.node:
+                    self.implicit_opens += 1
+                self._open(node, instance.values)
+                stack.append((node, key_identity, full_identity, node.tag))
+                self.max_stack_depth = max(self.max_stack_depth, len(stack))
+        while stack:
+            _, _, _, tag = stack.pop()
+            self.writer.end_element(tag)
+        if self.root_tag is not None:
+            self.writer.end_element(self.root_tag)
+        return self.writer
+
+    def _chain(self, instance):
+        """(node, key_identity, full_identity) for every ancestor-or-self
+        of the instance.  Key identities come from the instance's values
+        (ancestors' key arguments are always among a descendant's Skolem
+        arguments); the full identity is only known for the instance's own
+        node."""
+        nodes = []
+        node = instance.node
+        while node is not None:
+            nodes.append(node)
+            node = node.parent
+        nodes.reverse()
+        chain = []
+        for node in nodes:
+            key_identity = tuple(
+                instance.values.get(stv.name) for stv in node.key_args
+            )
+            full_identity = instance.identity() if node is instance.node else None
+            chain.append((node, key_identity, full_identity))
+        return chain
+
+    def _open(self, node, values):
+        self.writer.start_element(node.tag)
+        self.elements_written += 1
+        for content in node.contents:
+            if isinstance(content, Stv):
+                value = values.get(content.name)
+                if value is not None:
+                    self.writer.text(value)
+            else:
+                self.writer.text(content)
+
+
+def tag_streams(tree, specs, streams, root_tag="view", indent=None, writer=None):
+    """Decode, merge, and tag a set of executed streams.
+
+    ``specs`` are the :class:`~repro.core.sqlgen.StreamSpec` objects and
+    ``streams`` the matching executed row sources (any iterables of tuples).
+    Returns ``(xml_text_or_writer, tagger)``.
+    """
+    layout = ComparatorLayout(tree)
+    decoded = [
+        decode_stream(spec, rows, layout) for spec, rows in zip(specs, streams)
+    ]
+    writer = writer or XmlWriter(indent=indent)
+    tagger = XmlTagger(tree, writer, root_tag=root_tag)
+    tagger.run(merge_streams(decoded))
+    try:
+        return writer.getvalue(), tagger
+    except TypeError:
+        return writer, tagger

@@ -1,0 +1,145 @@
+"""Composition of an XML-QL query with a virtual RXL view.
+
+The pattern tree is aligned with the view tree by tag (each pattern element
+must match exactly one view-tree node among its parent match's children);
+text variables bind to the matched nodes' displayed columns.  The composed
+relational query is the *conjunction of the matched nodes' datalog rules* —
+their shared body atoms provide the correlation, exactly as in view-tree
+reduction — with the user's conditions pushed down as filters and the head
+projected onto the bound variables.
+
+The result is one (usually small) SQL query per user query, instead of
+materializing the whole view: the paper's Sec. 7 virtual-view scenario.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import PlanError
+from repro.core.reduction import _combine_rules
+from repro.core.sqlgen import rule_to_algebra
+from repro.core.viewtree import Stv
+from repro.relational.algebra import ColumnRef, Comparison, Literal, Sort
+
+
+@dataclass
+class ComposedQuery:
+    """The relational query one XML-QL query composes to."""
+
+    plan: object            # algebra, sorted by the bound variables
+    var_columns: dict       # variable name -> output column name
+    matched_nodes: tuple    # the view-tree nodes the pattern touched
+
+    @property
+    def column_names(self):
+        return tuple(c.name for c in self.plan.columns())
+
+
+def compose(query, tree, schema):
+    """Compose ``query`` (an :class:`~repro.xmlql.ast.XmlQlQuery`) with the
+    view ``tree``; returns a :class:`ComposedQuery`."""
+    matches = []
+    bindings = {}     # var -> Stv
+    literal_filters = []  # (Stv, value)
+
+    root_node = _match_root(query.pattern, tree)
+    _align(query.pattern, root_node, matches, bindings, literal_filters)
+
+    matched_nodes = tuple(
+        sorted({node for _, node in matches}, key=lambda n: n.index)
+    )
+    combined = _combine_rules(matched_nodes)
+    ref_of = {stv: ref for stv, ref in combined.head}
+
+    extra_filters = []
+    for stv, value in literal_filters:
+        extra_filters.append(
+            Comparison("=", ColumnRef(ref_of[stv]), Literal(value))
+        )
+    for condition in query.conditions:
+        stv = bindings.get(condition.var)
+        if stv is None:
+            raise PlanError(
+                f"condition on unbound variable ${condition.var}"
+            )
+        extra_filters.append(
+            Comparison(
+                condition.op, ColumnRef(ref_of[stv]), Literal(condition.value)
+            )
+        )
+
+    for var in query.construct.variables():
+        if var not in bindings:
+            raise PlanError(f"construct uses unbound variable ${var}")
+
+    head = []
+    seen = set()
+    for var in query.pattern.variables():
+        stv = bindings[var]
+        if stv not in seen:
+            seen.add(stv)
+            head.append((stv, ref_of[stv]))
+    if not head:
+        raise PlanError("the pattern binds no variables")
+
+    body = rule_to_algebra(
+        combined, schema, extra_filters=extra_filters, head=head
+    )
+    plan = Sort(body, [stv.name for stv, _ in head])
+    var_columns = {var: bindings[var].name for var in bindings}
+    return ComposedQuery(
+        plan=plan, var_columns=var_columns, matched_nodes=matched_nodes
+    )
+
+
+def _match_root(pattern, tree):
+    """The pattern root may match any view-tree node with its tag (so a
+    user can query for <part> fragments directly)."""
+    candidates = [node for node in tree.nodes if node.tag == pattern.tag]
+    if not candidates:
+        raise PlanError(f"the view has no <{pattern.tag}> element")
+    if len(candidates) > 1:
+        raise PlanError(
+            f"ambiguous pattern root <{pattern.tag}>: matches "
+            + ", ".join(n.sfi for n in candidates)
+        )
+    return candidates[0]
+
+
+def _align(pattern, node, matches, bindings, literal_filters):
+    matches.append((pattern, node))
+    if pattern.text_var is not None or pattern.text_literal is not None:
+        stv = _content_stv(node)
+        if pattern.text_var is not None:
+            existing = bindings.get(pattern.text_var)
+            if existing is not None and existing is not stv:
+                raise PlanError(
+                    f"variable ${pattern.text_var} bound at two different "
+                    "elements"
+                )
+            bindings[pattern.text_var] = stv
+        else:
+            literal_filters.append((stv, pattern.text_literal))
+    for child_pattern in pattern.children:
+        child_nodes = [
+            c for c in node.children if c.tag == child_pattern.tag
+        ]
+        if not child_nodes:
+            raise PlanError(
+                f"<{node.tag}> has no <{child_pattern.tag}> child in the view"
+            )
+        if len(child_nodes) > 1:
+            raise PlanError(
+                f"ambiguous child <{child_pattern.tag}> under <{node.tag}>"
+            )
+        _align(child_pattern, child_nodes[0], matches, bindings,
+               literal_filters)
+
+
+def _content_stv(node):
+    content_stvs = [c for c in node.contents if isinstance(c, Stv)]
+    if len(content_stvs) != 1:
+        raise PlanError(
+            f"<{node.tag}> does not carry exactly one text value; cannot "
+            "bind a variable to it"
+        )
+    return content_stvs[0]

@@ -1,0 +1,76 @@
+"""Executing composed XML-QL queries and building the result document."""
+
+from dataclasses import dataclass
+
+from repro.xmlql.ast import ConstructNode, XmlQlQuery
+from repro.xmlql.compose import compose
+from repro.xmlql.parser import parse_xmlql
+from repro.xmlgen.serializer import XmlWriter
+
+
+@dataclass
+class XmlQlResult:
+    """An executed XML-QL query: the fragment document plus its cost."""
+
+    xml: str
+    bindings: int
+    server_ms: float
+    transfer_ms: float
+    sql: str
+
+    @property
+    def total_ms(self):
+        return self.server_ms + self.transfer_ms
+
+
+def execute_xmlql(query, tree, connection, root_tag="result", indent=None):
+    """Run an XML-QL query against a *virtual* view.
+
+    ``query`` is XML-QL source text or a parsed
+    :class:`~repro.xmlql.ast.XmlQlQuery`; ``tree`` the view's labeled view
+    tree.  One SQL query is sent; the construct template is instantiated
+    once per binding tuple.
+    """
+    if isinstance(query, str):
+        query = parse_xmlql(query)
+    schema = connection.database.schema
+    composed = compose(query, tree, schema)
+
+    from repro.relational.sqltext import render_sql
+
+    stream = connection.execute(composed.plan, label="xmlql")
+    positions = {
+        name: i for i, name in enumerate(composed.column_names)
+    }
+    writer = XmlWriter(indent=indent)
+    if root_tag is not None:
+        writer.start_element(root_tag)
+    for row in stream:
+        values = {
+            var: row[positions[column]]
+            for var, column in composed.var_columns.items()
+        }
+        _instantiate(query.construct, values, writer)
+    if root_tag is not None:
+        writer.end_element(root_tag)
+    return XmlQlResult(
+        xml=writer.getvalue(),
+        bindings=len(stream),
+        server_ms=stream.server_ms,
+        transfer_ms=stream.transfer_ms,
+        sql=render_sql(composed.plan),
+    )
+
+
+def _instantiate(node, values, writer):
+    writer.start_element(node.tag)
+    for content in node.contents:
+        if isinstance(content, ConstructNode):
+            _instantiate(content, values, writer)
+        elif isinstance(content, tuple) and content[0] == "var":
+            value = values.get(content[1])
+            if value is not None:
+                writer.text(value)
+        else:
+            writer.text(content)
+    writer.end_element(node.tag)

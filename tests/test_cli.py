@@ -1,0 +1,140 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_query(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "--query", "q9"])
+
+
+class TestExplain:
+    def test_unified(self):
+        code, output = run_cli("explain", "--strategy", "unified")
+        assert code == 0
+        assert "LEFT OUTER JOIN" in output
+        assert output.count("-- query") == 1
+
+    def test_fully_partitioned(self):
+        code, output = run_cli("explain", "--strategy", "fully-partitioned")
+        assert output.count("-- query") == 10
+
+    def test_greedy_reduced(self):
+        code, output = run_cli("explain", "--reduce")
+        assert code == 0
+        assert "ORDER BY" in output
+
+
+class TestMaterialize:
+    def test_stdout(self):
+        code, output = run_cli("materialize", "--strategy", "fully-partitioned")
+        assert code == 0
+        assert output.startswith("<view>")
+        assert "stream(s), simulated" in output
+
+    def test_to_file(self, tmp_path):
+        target = tmp_path / "doc.xml"
+        code, output = run_cli(
+            "materialize", "--strategy", "unified", "--out", str(target)
+        )
+        assert code == 0
+        assert target.read_text().startswith("<view>")
+        assert "wrote" in output
+
+    def test_indent(self):
+        _, output = run_cli("materialize", "--strategy", "fully-partitioned",
+                            "--indent", "2")
+        assert "\n  <supplier>" in output
+
+    def test_query2(self):
+        _, output = run_cli("materialize", "--query", "q2",
+                            "--strategy", "fully-partitioned")
+        assert "<order>" in output
+
+
+class TestPlan:
+    def test_plan_output(self):
+        code, output = run_cli("plan", "--reduce")
+        assert code == 0
+        assert "mandatory edges" in output
+        assert "oracle requests" in output
+
+    def test_plan_outer_union_style(self):
+        code, output = run_cli("plan", "--style", "outer-union")
+        assert code == 0
+
+
+class TestXmlQl:
+    def test_xmlql_command(self):
+        code, output = run_cli(
+            "xmlql",
+            'where <supplier><name>$s</name></supplier>, '
+            '$s = "Supplier#000001" construct <r>$s</r>',
+        )
+        assert code == 0
+        assert "<r>Supplier#000001</r>" in output
+        assert "1 binding(s)" in output
+
+
+class TestTreeAndSql:
+    def test_tree_command(self):
+        code, output = run_cli("tree")
+        assert code == 0
+        assert "S1 <supplier>" in output
+        assert "(*) S1.4 <part>" in output
+
+    def test_tree_no_args(self):
+        _, output = run_cli("tree", "--no-args")
+        assert "suppkey(1,1)" not in output
+
+    def test_sql_command(self):
+        code, output = run_cli(
+            "sql",
+            "SELECT r.name AS name FROM Region r ORDER BY name NULLS FIRST",
+        )
+        assert code == 0
+        assert "AFRICA" in output
+        assert "row(s)" in output
+
+
+class TestExperiments:
+    def test_registry_listing(self):
+        code, output = run_cli("experiments")
+        assert code == 0
+        for eid in ("E1", "E5", "E10"):
+            assert eid + ":" in output
+        assert "benchmarks/test_sec2_table.py" in output
+
+    def test_registry_lookup(self):
+        from repro.bench.experiments import EXPERIMENTS, experiment
+
+        assert len(EXPERIMENTS) == 10
+        assert experiment("E7").artifact.startswith("Fig. 18")
+        import pytest as _pytest
+        with _pytest.raises(KeyError):
+            experiment("E99")
+
+    def test_benches_exist(self):
+        import pathlib
+
+        from repro.bench.experiments import EXPERIMENTS
+
+        root = pathlib.Path(__file__).parent.parent
+        for entry in EXPERIMENTS:
+            path = entry.bench.split("::")[0]
+            assert (root / path).exists(), path

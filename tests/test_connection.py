@@ -1,0 +1,91 @@
+"""Tests for the client/server layer (repro.relational.connection)."""
+
+import pytest
+
+from repro.common.errors import PlanError, TimeoutExceeded
+from repro.relational.algebra import (
+    ColumnRef,
+    Project,
+    ProjectItem,
+    Scan,
+    Sort,
+)
+from repro.relational.connection import Connection, SourceDescription, TransferModel
+from repro.relational.engine import CostModel
+
+
+@pytest.fixture
+def conn(tiny_db):
+    return Connection(tiny_db, CostModel())
+
+
+def supplier_scan(db):
+    return Scan(db.schema.table("Supplier"), "s")
+
+
+class TestTupleStream:
+    def test_execute_returns_stream(self, conn, tiny_db):
+        stream = conn.execute(supplier_scan(tiny_db), label="suppliers")
+        assert len(stream) == len(tiny_db.table("Supplier"))
+        assert stream.server_ms > 0
+        assert stream.transfer_ms > 0
+        assert stream.total_ms == stream.server_ms + stream.transfer_ms
+        assert "suppliers" in repr(stream)
+
+    def test_stream_iterable(self, conn, tiny_db):
+        stream = conn.execute(supplier_scan(tiny_db))
+        assert len(list(stream)) == len(stream)
+
+    def test_budget_propagates(self, conn, tiny_db):
+        with pytest.raises(TimeoutExceeded):
+            conn.execute(supplier_scan(tiny_db), budget_ms=0.0001)
+
+
+class TestTransferModel:
+    def test_more_rows_cost_more(self, conn, tiny_db):
+        small = conn.execute(Scan(tiny_db.schema.table("Region"), "r"))
+        large = conn.execute(Scan(tiny_db.schema.table("Orders"), "o"))
+        assert large.transfer_ms > small.transfer_ms
+
+    def test_nulls_cheaper_than_values(self, tiny_db):
+        model = TransferModel()
+        conn = Connection(tiny_db, CostModel(), model)
+        scan = Scan(tiny_db.schema.table("Supplier"), "s")
+        full = conn._transfer_cost(scan.columns(), [(1, "abc", "xyz", 5)], True)
+        nulls = conn._transfer_cost(scan.columns(), [(1, None, None, None)], True)
+        assert nulls < full
+
+    def test_wide_row_penalty_only_without_compact(self, tiny_db):
+        model = TransferModel(wide_threshold=2, wide_row_factor=1.0)
+        conn = Connection(tiny_db, CostModel(), model)
+        scan = Scan(tiny_db.schema.table("Supplier"), "s")  # 4 columns
+        row = [(1, "a", "b", 2)]
+        wide = conn._transfer_cost(scan.columns(), row, compact_rows=False)
+        compact = conn._transfer_cost(scan.columns(), row, compact_rows=True)
+        assert wide > compact
+
+    def test_no_penalty_below_threshold(self, tiny_db):
+        model = TransferModel(wide_threshold=99)
+        conn = Connection(tiny_db, CostModel(), model)
+        scan = Scan(tiny_db.schema.table("Supplier"), "s")
+        row = [(1, "a", "b", 2)]
+        assert conn._transfer_cost(scan.columns(), row, False) == pytest.approx(
+            conn._transfer_cost(scan.columns(), row, True)
+        )
+
+
+class TestSourceDescription:
+    def test_defaults_permit_everything(self):
+        SourceDescription().check_plan_features(True, True)
+
+    def test_outer_join_gate(self):
+        source = SourceDescription(supports_left_outer_join=False)
+        with pytest.raises(PlanError, match="OUTER JOIN"):
+            source.check_plan_features(True, False)
+        source.check_plan_features(False, True)
+
+    def test_union_gate(self):
+        source = SourceDescription(supports_union=False)
+        with pytest.raises(PlanError, match="UNION"):
+            source.check_plan_features(False, True)
+        source.check_plan_features(True, False)

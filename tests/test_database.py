@@ -1,0 +1,129 @@
+"""Tests for the database catalog and statistics (repro.relational.database)."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+from repro.relational.types import SqlType
+
+
+@pytest.fixture
+def db():
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "Dept",
+                [Column("deptno", SqlType.INTEGER), Column("name", SqlType.VARCHAR)],
+                key=["deptno"],
+            ),
+            TableSchema(
+                "Emp",
+                [
+                    Column("empno", SqlType.INTEGER),
+                    Column("name", SqlType.VARCHAR),
+                    Column("deptno", SqlType.INTEGER, nullable=True),
+                ],
+                key=["empno"],
+            ),
+        ],
+        [ForeignKey("Emp", ("deptno",), "Dept", ("deptno",), not_null=False)],
+    )
+    return Database(schema)
+
+
+class TestBasics:
+    def test_insert_and_lookup(self, db):
+        db.insert("Dept", 1, "eng")
+        assert len(db.table("Dept")) == 1
+        assert db.total_rows() == 1
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SchemaError):
+            db.table("Nope")
+
+    def test_total_bytes_positive(self, db):
+        db.insert("Dept", 1, "eng")
+        assert db.total_bytes() > 0
+
+
+class TestForeignKeys:
+    def test_valid_references(self, db):
+        db.insert("Dept", 1, "eng")
+        db.insert("Emp", 10, "ada", 1)
+        assert db.check_foreign_keys() == 1
+
+    def test_dangling_reference(self, db):
+        db.insert("Emp", 10, "ada", 99)
+        with pytest.raises(SchemaError, match="dangling"):
+            db.check_foreign_keys()
+
+    def test_nullable_fk_allows_null(self, db):
+        db.insert("Emp", 10, "ada", None)
+        assert db.check_foreign_keys() == 0
+
+    def test_not_null_fk_rejects_null(self):
+        schema = DatabaseSchema(
+            [
+                TableSchema(
+                    "Dept",
+                    [Column("deptno", SqlType.INTEGER)],
+                    key=["deptno"],
+                ),
+                TableSchema(
+                    "Emp",
+                    [
+                        Column("empno", SqlType.INTEGER),
+                        Column("deptno", SqlType.INTEGER, nullable=True),
+                    ],
+                    key=["empno"],
+                ),
+            ],
+            [ForeignKey("Emp", ("deptno",), "Dept", ("deptno",), not_null=True)],
+        )
+        db = Database(schema)
+        db.insert("Emp", 1, None)
+        with pytest.raises(SchemaError, match="NOT NULL"):
+            db.check_foreign_keys()
+
+
+class TestStatistics:
+    def test_stats_computed_lazily(self, db):
+        db.insert("Dept", 1, "eng")
+        db.insert("Dept", 2, "eng")
+        stats = db.stats("Dept")
+        assert stats.row_count == 2
+        assert stats.column("deptno").n_distinct == 2
+        assert stats.column("name").n_distinct == 1
+
+    def test_null_fraction(self, db):
+        db.insert("Emp", 1, "a", None)
+        db.insert("Emp", 2, "b", None)
+        db.insert("Dept", 5, "x")
+        db.insert("Emp", 3, "c", 5)
+        stats = db.stats("Emp")
+        assert stats.column("deptno").null_fraction == pytest.approx(2 / 3)
+
+    def test_avg_width(self, db):
+        db.insert("Dept", 1, "ab")
+        db.insert("Dept", 2, "abcd")
+        assert db.stats("Dept").column("name").avg_width == pytest.approx(3.0)
+
+    def test_analyze_covers_all_tables(self, db):
+        stats = db.analyze()
+        assert set(stats) == {"Dept", "Emp"}
+        assert stats["Dept"].row_count == 0
+
+    def test_unknown_column_stats(self, db):
+        with pytest.raises(SchemaError):
+            db.stats("Dept").column("zz")
+
+    def test_empty_table_stats(self, db):
+        stats = db.stats("Dept")
+        assert stats.row_count == 0
+        assert stats.column("name").avg_width == 0.0

@@ -1,0 +1,113 @@
+"""Tests for FD reasoning (repro.relational.dependencies)."""
+
+from hypothesis import given, strategies as st
+
+from repro.relational.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    attribute_closure,
+    implies_fd,
+    minimal_cover_lhs,
+)
+
+FD = FunctionalDependency.of
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert attribute_closure(["a"], []) == {"a"}
+
+    def test_single_step(self):
+        assert attribute_closure(["a"], [FD(["a"], ["b"])]) == {"a", "b"}
+
+    def test_transitive(self):
+        fds = [FD(["a"], ["b"]), FD(["b"], ["c"])]
+        assert attribute_closure(["a"], fds) == {"a", "b", "c"}
+
+    def test_composite_lhs(self):
+        fds = [FD(["a", "b"], ["c"])]
+        assert "c" not in attribute_closure(["a"], fds)
+        assert "c" in attribute_closure(["a", "b"], fds)
+
+    def test_empty_lhs_fd(self):
+        # Constants: {} -> x means x is always derivable.
+        assert attribute_closure([], [FD([], ["x"])]) == {"x"}
+
+    def test_chain_through_composite(self):
+        fds = [FD(["a"], ["b"]), FD(["b", "a"], ["c"]), FD(["c"], ["d"])]
+        assert attribute_closure(["a"], fds) == {"a", "b", "c", "d"}
+
+    def test_no_spurious_attributes(self):
+        fds = [FD(["x"], ["y"])]
+        assert attribute_closure(["a"], fds) == {"a"}
+
+
+class TestImplies:
+    def test_implied(self):
+        fds = [FD(["a"], ["b"]), FD(["b"], ["c"])]
+        assert implies_fd(fds, FD(["a"], ["c"]))
+
+    def test_not_implied(self):
+        fds = [FD(["a"], ["b"])]
+        assert not implies_fd(fds, FD(["b"], ["a"]))
+
+    def test_augmentation(self):
+        fds = [FD(["a"], ["b"])]
+        assert implies_fd(fds, FD(["a", "x"], ["b", "x"]))
+
+
+class TestMinimalCover:
+    def test_drops_implied(self):
+        fds = [FD(["name"], ["key"])]
+        assert minimal_cover_lhs(["key", "name"], fds) == ("name",)
+
+    def test_keeps_independent(self):
+        assert minimal_cover_lhs(["a", "b"], []) == ("a", "b")
+
+
+class TestReprs:
+    def test_fd_repr(self):
+        assert "a" in repr(FD(["a"], ["b"]))
+
+    def test_ind_repr(self):
+        ind = InclusionDependency("R", ("x",), "S", ("y",))
+        assert "R[x]" in repr(ind)
+
+
+# -- property-based ----------------------------------------------------------
+
+attrs = st.sampled_from("abcdef")
+fd_strategy = st.builds(
+    lambda l, r: FD(l, r),
+    st.sets(attrs, min_size=0, max_size=3),
+    st.sets(attrs, min_size=1, max_size=3),
+)
+fds_strategy = st.lists(fd_strategy, max_size=8)
+attrset = st.sets(attrs, max_size=4)
+
+
+@given(attrset, fds_strategy)
+def test_closure_contains_input(start, fds):
+    assert set(start) <= attribute_closure(start, fds)
+
+
+@given(attrset, fds_strategy)
+def test_closure_idempotent(start, fds):
+    once = attribute_closure(start, fds)
+    assert attribute_closure(once, fds) == once
+
+
+@given(attrset, attrset, fds_strategy)
+def test_closure_monotone(a, b, fds):
+    closure_a = attribute_closure(a, fds)
+    closure_ab = attribute_closure(a | b, fds)
+    assert closure_a <= closure_ab
+
+
+@given(attrset, fds_strategy)
+def test_closure_sound(start, fds):
+    """Every FD whose lhs is inside the closure has rhs inside too."""
+    closure = attribute_closure(start, fds)
+    for fd in fds:
+        if fd.lhs <= closure:
+            assert fd.rhs <= closure

@@ -1,0 +1,125 @@
+"""Tests for the DTD parser/validator (repro.xmlgen.dtd)."""
+
+import pytest
+
+from repro.common.errors import DtdError, ValidationError
+from repro.xmlgen.dtd import Dtd, parse_dtd, validate_document
+from repro.bench.queries import SUPPLIER_DTD
+
+
+class TestParsing:
+    def test_parse_supplier_dtd(self):
+        dtd = parse_dtd(SUPPLIER_DTD)
+        supplier = dtd.declaration("supplier")
+        assert supplier.kind == "sequence"
+        assert [(p.name, p.multiplicity) for p in supplier.particles] == [
+            ("name", "1"), ("nation", "1"), ("region", "1"), ("part", "*"),
+        ]
+        assert dtd.declaration("name").kind == "pcdata"
+
+    def test_empty_model(self):
+        dtd = parse_dtd("<!ELEMENT hr EMPTY>")
+        assert dtd.declaration("hr").kind == "empty"
+
+    def test_mixed_model(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | b | i)*>")
+        decl = dtd.declaration("p")
+        assert decl.kind == "mixed"
+        assert {particle.name for particle in decl.particles} == {"b", "i"}
+
+    def test_multiplicities(self):
+        dtd = parse_dtd("<!ELEMENT t (a?, b+, c*, d)>")
+        mults = [p.multiplicity for p in dtd.declaration("t").particles]
+        assert mults == ["?", "+", "*", "1"]
+
+    def test_no_declarations(self):
+        with pytest.raises(DtdError):
+            parse_dtd("just text")
+
+    def test_unsupported_particle(self):
+        with pytest.raises(DtdError):
+            parse_dtd("<!ELEMENT t ((a | b), c)>")
+
+    def test_undeclared_element(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        with pytest.raises(ValidationError, match="not declared"):
+            dtd.declaration("b")
+
+
+SIMPLE_DTD = parse_dtd(
+    """
+    <!ELEMENT order (okey, customer?, item*)>
+    <!ELEMENT okey (#PCDATA)>
+    <!ELEMENT customer (#PCDATA)>
+    <!ELEMENT item (#PCDATA)>
+    <!ELEMENT hr EMPTY>
+    """
+)
+
+
+class TestValidation:
+    def test_valid_document(self):
+        xml = "<order><okey>1</okey><customer>c</customer><item>x</item></order>"
+        assert validate_document(xml, SIMPLE_DTD) == 4
+
+    def test_optional_child_missing_ok(self):
+        xml = "<order><okey>1</okey></order>"
+        validate_document(xml, SIMPLE_DTD)
+
+    def test_required_child_missing(self):
+        with pytest.raises(ValidationError, match="okey"):
+            validate_document("<order><customer>c</customer></order>", SIMPLE_DTD)
+
+    def test_repeated_single_child(self):
+        xml = "<order><okey>1</okey><okey>2</okey></order>"
+        with pytest.raises(ValidationError):
+            validate_document(xml, SIMPLE_DTD)
+
+    def test_unexpected_child(self):
+        xml = "<order><okey>1</okey><hr></hr></order>"
+        with pytest.raises(ValidationError, match="unexpected"):
+            validate_document(xml, SIMPLE_DTD)
+
+    def test_wrong_order(self):
+        xml = "<order><customer>c</customer><okey>1</okey></order>"
+        with pytest.raises(ValidationError):
+            validate_document(xml, SIMPLE_DTD)
+
+    def test_text_in_element_only_content(self):
+        xml = "<order>text<okey>1</okey></order>"
+        with pytest.raises(ValidationError, match="element-only"):
+            validate_document(xml, SIMPLE_DTD)
+
+    def test_pcdata_with_children(self):
+        xml = "<order><okey><hr></hr></okey></order>"
+        with pytest.raises(ValidationError, match="character data"):
+            validate_document(xml, SIMPLE_DTD)
+
+    def test_empty_must_be_empty(self):
+        dtd = parse_dtd("<!ELEMENT hr EMPTY><!ELEMENT d (hr)>")
+        with pytest.raises(ValidationError, match="EMPTY"):
+            validate_document("<d><hr>x</hr></d>", dtd)
+
+    def test_mismatched_tags(self):
+        with pytest.raises(ValidationError, match="mismatched"):
+            validate_document("<order></okey>", SIMPLE_DTD)
+
+    def test_unclosed_element(self):
+        with pytest.raises(ValidationError, match="unclosed"):
+            validate_document("<order><okey>1</okey>", SIMPLE_DTD)
+
+    def test_wrapper_root_skipped(self):
+        xml = "<view><order><okey>1</okey></order></view>"
+        assert validate_document(xml, SIMPLE_DTD, root="view") == 3
+
+    def test_plus_multiplicity(self):
+        dtd = parse_dtd("<!ELEMENT t (a+)><!ELEMENT a (#PCDATA)>")
+        validate_document("<t><a>1</a><a>2</a></t>", dtd)
+        with pytest.raises(ValidationError):
+            validate_document("<t></t>", dtd)
+
+    def test_mixed_content_validates(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | b)*><!ELEMENT b (#PCDATA)>")
+        validate_document("<p>text<b>bold</b>more</p>", dtd)
+        with pytest.raises(ValidationError):
+            validate_document("<p><i>x</i></p>", dtd)

@@ -1,0 +1,294 @@
+"""Tests for the executing engine and cost model (repro.relational.engine)."""
+
+import pytest
+
+from repro.common.errors import TimeoutExceeded
+from repro.relational.algebra import (
+    And,
+    ColumnRef,
+    Comparison,
+    ConstantColumn,
+    Distinct,
+    Filter,
+    InnerJoin,
+    JoinBranch,
+    LeftOuterJoin,
+    Literal,
+    OuterUnion,
+    Project,
+    ProjectItem,
+    Scan,
+    Sort,
+)
+from repro.relational.database import Database
+from repro.relational.engine import CostModel, QueryEngine
+from repro.relational.schema import Column, DatabaseSchema, TableSchema
+from repro.relational.types import SqlType
+
+
+@pytest.fixture
+def db():
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "Dept",
+                [Column("deptno", SqlType.INTEGER), Column("dname", SqlType.VARCHAR)],
+                key=["deptno"],
+            ),
+            TableSchema(
+                "Emp",
+                [
+                    Column("empno", SqlType.INTEGER),
+                    Column("ename", SqlType.VARCHAR),
+                    Column("deptno", SqlType.INTEGER, nullable=True),
+                ],
+                key=["empno"],
+            ),
+        ]
+    )
+    database = Database(schema)
+    database.insert("Dept", 1, "eng")
+    database.insert("Dept", 2, "ops")
+    database.insert("Dept", 3, "empty")
+    database.insert("Emp", 10, "ada", 1)
+    database.insert("Emp", 11, "bob", 1)
+    database.insert("Emp", 12, "cyd", 2)
+    database.insert("Emp", 13, "dan", None)
+    return database
+
+
+@pytest.fixture
+def engine(db):
+    return QueryEngine(db, CostModel())
+
+
+def dept(db):
+    return Scan(db.schema.table("Dept"), "d")
+
+
+def emp(db):
+    return Scan(db.schema.table("Emp"), "e")
+
+
+class TestScanFilterProject:
+    def test_scan(self, engine, db):
+        result = engine.execute(dept(db))
+        assert result.row_count == 3
+        assert result.rows[0] == (1, "eng")
+
+    def test_filter(self, engine, db):
+        plan = Filter(emp(db), Comparison("=", ColumnRef("e.deptno"), Literal(1)))
+        result = engine.execute(plan)
+        assert {r[1] for r in result.rows} == {"ada", "bob"}
+
+    def test_filter_null_excluded(self, engine, db):
+        plan = Filter(emp(db), Comparison("!=", ColumnRef("e.deptno"), Literal(1)))
+        # dan has NULL deptno: excluded by three-valued logic.
+        assert {r[1] for r in engine.execute(plan).rows} == {"cyd"}
+
+    def test_project_constants_and_rename(self, engine, db):
+        plan = Project(
+            dept(db),
+            [ConstantColumn("L1", 1), ProjectItem(ColumnRef("d.dname"), "name")],
+        )
+        assert engine.execute(plan).rows[0] == (1, "eng")
+
+    def test_distinct(self, engine, db):
+        plan = Distinct(Project(emp(db), [ProjectItem(ColumnRef("e.deptno"), "d")]))
+        rows = engine.execute(plan).rows
+        assert sorted(rows, key=lambda r: (r[0] is None, r[0])) == [(1,), (2,), (None,)]
+
+
+class TestJoins:
+    def test_inner_join(self, engine, db):
+        plan = InnerJoin(emp(db), dept(db), [("e.deptno", "d.deptno")])
+        rows = engine.execute(plan).rows
+        assert len(rows) == 3  # dan (NULL) drops out
+        names = {(r[1], r[4]) for r in rows}
+        assert names == {("ada", "eng"), ("bob", "eng"), ("cyd", "ops")}
+
+    def test_inner_join_null_keys_never_match(self, engine, db):
+        plan = InnerJoin(emp(db), emp_alias(db), [("e.deptno", "e2.deptno")])
+        rows = engine.execute(plan).rows
+        assert all(r[2] is not None for r in rows)
+
+    def test_cartesian_join(self, engine, db):
+        plan = InnerJoin(dept(db), emp_alias(db), [])
+        assert engine.execute(plan).row_count == 12
+
+    def test_left_outer_join_pads_nulls(self, engine, db):
+        plan = LeftOuterJoin.simple(dept(db), emp(db), [("d.deptno", "e.deptno")])
+        rows = engine.execute(plan).rows
+        assert len(rows) == 4  # 3 matches + bare 'empty' dept
+        bare = [r for r in rows if r[2] is None]
+        assert len(bare) == 1 and bare[0][1] == "empty"
+
+    def test_tagged_branches(self, engine, db):
+        # Tag on dname: branch 1 matches 'eng' rows only.
+        right = dept(db)
+        plan = LeftOuterJoin(
+            emp(db),
+            right,
+            [JoinBranch((("e.deptno", "d.deptno"),), "d.dname", "eng")],
+        )
+        rows = engine.execute(plan).rows
+        matched = [r for r in rows if r[3] is not None]
+        assert {r[1] for r in matched} == {"ada", "bob"}
+        # cyd and dan fall through to the null branch
+        assert len(rows) == 4
+
+    def test_multi_branch_disjunction(self, engine, db):
+        plan = LeftOuterJoin(
+            emp(db),
+            dept(db),
+            [
+                JoinBranch((("e.deptno", "d.deptno"),), "d.dname", "eng"),
+                JoinBranch((("e.deptno", "d.deptno"),), "d.dname", "ops"),
+            ],
+        )
+        rows = engine.execute(plan).rows
+        matched = [r for r in rows if r[3] is not None]
+        assert {r[1] for r in matched} == {"ada", "bob", "cyd"}
+
+
+class TestUnionSort:
+    def test_outer_union_pads(self, engine, db):
+        a = Project(dept(db), [ProjectItem(ColumnRef("d.dname"), "x")])
+        b = Project(emp(db), [ProjectItem(ColumnRef("e.ename"), "y")])
+        plan = OuterUnion([a, b])
+        rows = engine.execute(plan).rows
+        assert len(rows) == 7
+        assert rows[0] == ("eng", None)
+        assert rows[3] == (None, "ada")
+
+    def test_union_distinct(self, engine, db):
+        a = Project(emp(db), [ProjectItem(ColumnRef("e.deptno"), "d")])
+        plan = OuterUnion([a, a], distinct=True)
+        assert engine.execute(plan).row_count == 3
+
+    def test_sort_nulls_first(self, engine, db):
+        plan = Sort(
+            Project(emp(db), [ProjectItem(ColumnRef("e.deptno"), "d")]), ["d"]
+        )
+        values = [r[0] for r in engine.execute(plan).rows]
+        assert values == [None, 1, 1, 2]
+
+
+class TestCostAccounting:
+    def test_startup_charged_once(self, engine, db):
+        with_startup = engine.execute(dept(db)).server_ms
+        without = engine.execute(dept(db), include_startup=False).server_ms
+        assert with_startup - without == pytest.approx(
+            engine.cost_model.scaled(engine.cost_model.startup_ms)
+        )
+
+    def test_speed_scales_costs(self, db):
+        slow = QueryEngine(db, CostModel(speed=4.0))
+        fast = QueryEngine(db, CostModel(speed=1.0))
+        plan = dept(db)
+        assert slow.execute(plan).server_ms == pytest.approx(
+            4.0 * fast.execute(plan).server_ms
+        )
+
+    def test_breakdown_labels(self, engine, db):
+        plan = Sort(
+            Distinct(InnerJoin(emp(db), dept(db), [("e.deptno", "d.deptno")])),
+            ["e.empno"],
+        )
+        breakdown = engine.execute(plan).breakdown
+        assert {"startup", "scan", "join", "distinct", "sort"} <= set(breakdown)
+
+    def test_deterministic(self, engine, db):
+        plan = InnerJoin(emp(db), dept(db), [("e.deptno", "d.deptno")])
+        assert (
+            engine.execute(plan).server_ms == engine.execute(plan).server_ms
+        )
+
+    def test_timeout(self, db):
+        engine = QueryEngine(db, CostModel())
+        with pytest.raises(TimeoutExceeded):
+            engine.execute(dept(db), budget_ms=0.001)
+
+    def test_timeout_carries_budget(self, db):
+        engine = QueryEngine(db, CostModel())
+        with pytest.raises(TimeoutExceeded) as excinfo:
+            engine.execute(dept(db), budget_ms=0.001)
+        assert excinfo.value.budget_ms == 0.001
+        assert excinfo.value.elapsed_ms > 0
+
+
+class TestSharing:
+    def test_common_subexpression_shared(self, engine, db):
+        """The same sub-plan used twice is evaluated once (rescan charge)."""
+        shared = InnerJoin(emp(db), dept(db), [("e.deptno", "d.deptno")])
+        a = Project(shared, [ProjectItem(ColumnRef("e.ename"), "x")])
+        b = Project(shared, [ProjectItem(ColumnRef("d.dname"), "x")])
+        plan = OuterUnion([a, b])
+        breakdown = engine.execute(plan).breakdown
+        assert "rescan" in breakdown
+        # Only two scans + one join were charged, not four + two.
+        single = engine.execute(a).breakdown
+        combined = engine.execute(plan).breakdown
+        assert combined["join"] == pytest.approx(single["join"])
+
+    def test_no_sharing_across_executions(self, engine, db):
+        plan = dept(db)
+        first = engine.execute(plan).breakdown
+        second = engine.execute(plan).breakdown
+        assert first.get("rescan") is None and second.get("rescan") is None
+
+
+class TestReevaluationPenalty:
+    def _nested(self, db):
+        inner = LeftOuterJoin.simple(
+            Project(emp(db), [ProjectItem(ColumnRef("e.deptno"), "dep"),
+                              ProjectItem(ColumnRef("e.ename"), "en")]),
+            Project(dept(db), [ProjectItem(ColumnRef("d.deptno"), "dd")]),
+            [("dep", "dd")],
+        )
+        return LeftOuterJoin.simple(
+            Project(dept(db), [ProjectItem(ColumnRef("d.deptno"), "k")]),
+            inner,
+            [("k", "dep")],
+        )
+
+    def test_depth_two_triggers_reevaluation(self, db):
+        # right side of the OUTER join has nesting 1 -> below threshold.
+        model = CostModel(reevaluation_threshold=1)
+        stressed = QueryEngine(db, model).execute(self._nested(db))
+        relaxed = QueryEngine(db, model.without("reevaluation_factor")).execute(
+            self._nested(db)
+        )
+        assert stressed.server_ms > relaxed.server_ms
+        assert "outer_join_reevaluation" in stressed.breakdown
+
+    def test_default_threshold_spares_single_nesting(self, db):
+        result = QueryEngine(db, CostModel()).execute(self._nested(db))
+        assert "outer_join_reevaluation" not in result.breakdown
+
+    def test_results_unaffected_by_penalty(self, db):
+        model = CostModel(reevaluation_threshold=1)
+        a = QueryEngine(db, model).execute(self._nested(db))
+        b = QueryEngine(db, model.without("reevaluation_factor")).execute(
+            self._nested(db)
+        )
+        assert a.rows == b.rows
+
+
+class TestSpill:
+    def test_spill_inflates_sort(self, db):
+        small_memory = CostModel(sort_memory_bytes=10.0)
+        big_memory = CostModel(sort_memory_bytes=10_000_000.0)
+        plan = Sort(emp(db), ["e.empno"])
+        spilled = QueryEngine(db, small_memory).execute(plan)
+        fit = QueryEngine(db, big_memory).execute(plan)
+        assert spilled.breakdown["sort"] > fit.breakdown["sort"]
+        assert spilled.rows == fit.rows
+
+    def test_without_unknown_knob(self):
+        with pytest.raises(ValueError):
+            CostModel().without("nonsense")
+
+
+def emp_alias(db):
+    return Scan(db.schema.table("Emp"), "e2")

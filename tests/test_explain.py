@@ -1,0 +1,80 @@
+"""Tests for the textual EXPLAIN (repro.relational.explain)."""
+
+import pytest
+
+from repro.core.partition import unified_partition
+from repro.core.sqlgen import SqlGenerator
+from repro.relational.engine import CostModel, QueryEngine
+from repro.relational.estimator import CostEstimator
+from repro.relational.explain import explain_plan
+
+
+@pytest.fixture
+def unified_plan(q1_tree, tiny_db):
+    generator = SqlGenerator(q1_tree, tiny_db.schema, reduce=True)
+    [spec] = generator.streams_for_partition(unified_partition(q1_tree))
+    return spec.plan
+
+
+class TestExplain:
+    def test_plain(self, unified_plan):
+        text = explain_plan(unified_plan)
+        lines = text.splitlines()
+        assert lines[0].startswith("Sort [")
+        assert any("LeftOuterJoin [" in line for line in lines)
+        assert any("Scan Supplier AS s" in line for line in lines)
+        # Children indented deeper than parents.
+        assert lines[1].startswith("  ")
+
+    def test_with_estimates(self, unified_plan, tiny_db):
+        estimator = CostEstimator(tiny_db, CostModel())
+        text = explain_plan(unified_plan, estimator=estimator)
+        assert "est_rows=" in text
+        assert "est_ms=" in text
+
+    def test_with_actuals(self, unified_plan, tiny_db):
+        engine = QueryEngine(tiny_db, CostModel())
+        text = explain_plan(unified_plan, engine=engine)
+        assert "rows=" in text
+
+    def test_describes_every_operator(self, tiny_db):
+        from repro.relational.algebra import (
+            ColumnRef, Comparison, Distinct, Filter, InnerJoin, Literal,
+            OuterUnion, Project, ProjectItem, Scan, Sort,
+        )
+        supplier = Scan(tiny_db.schema.table("Supplier"), "s")
+        nation = Scan(tiny_db.schema.table("Nation"), "n")
+        plan = Sort(
+            Distinct(
+                Project(
+                    Filter(
+                        InnerJoin(supplier, nation,
+                                  [("s.nationkey", "n.nationkey")]),
+                        Comparison("=", ColumnRef("s.suppkey"), Literal(1)),
+                    ),
+                    [ProjectItem(ColumnRef("s.name"), "x")],
+                )
+            ),
+            ["x"],
+        )
+        text = explain_plan(plan)
+        for expected in ("Sort [x]", "Distinct", "Project [x]",
+                         "Filter [s.suppkey = 1]",
+                         "InnerJoin [s.nationkey = n.nationkey]",
+                         "Scan Supplier AS s", "Scan Nation AS n"):
+            assert expected in text
+
+    def test_union_description(self, tiny_db):
+        from repro.relational.algebra import (
+            ColumnRef, OuterUnion, Project, ProjectItem, Scan,
+        )
+        a = Project(Scan(tiny_db.schema.table("Region"), "r"),
+                    [ProjectItem(ColumnRef("r.name"), "x")])
+        b = Project(Scan(tiny_db.schema.table("Nation"), "n"),
+                    [ProjectItem(ColumnRef("n.name"), "y")])
+        text = explain_plan(OuterUnion([a, b], distinct=True))
+        assert "OuterUnion DISTINCT [2 branches]" in text
+
+    def test_long_lists_truncated(self, unified_plan):
+        text = explain_plan(unified_plan)
+        assert any("..." in line for line in text.splitlines())

@@ -1,0 +1,74 @@
+"""Tests for ASCII figure rendering (repro.bench.figures)."""
+
+import pytest
+
+from repro.bench.figures import scatter_plot
+from repro.bench.sweep import PlanTiming, SweepResult
+from repro.core.partition import Partition
+from repro.core.sqlgen import PlanStyle
+
+
+def _sweep(timings):
+    return SweepResult(timings=timings, style=PlanStyle.OUTER_JOIN,
+                       reduced=False)
+
+
+class TestScatterPlot:
+    def test_empty_sweep(self):
+        text = scatter_plot(_sweep([]), title="t")
+        assert "no completed plans" in text
+
+    def test_basic_plot(self):
+        timings = [
+            PlanTiming(Partition([(1, 1)]), 2, 10.0, 1.0),
+            PlanTiming(Partition([(1, 2)]), 5, 100.0, 1.0),
+            PlanTiming(Partition([]), 10, 1000.0, 1.0),
+        ]
+        text = scatter_plot(_sweep(timings), title="demo")
+        assert "demo" in text
+        assert "1000ms" in text and "10ms" in text
+        assert "streams" in text
+        assert "." in text
+
+    def test_marks_and_legend(self):
+        full = Partition([])
+        timings = [
+            PlanTiming(Partition([(1, 1)]), 2, 10.0, 1.0),
+            PlanTiming(full, 10, 1000.0, 1.0),
+        ]
+        text = scatter_plot(
+            _sweep(timings), marks=[("fully partitioned", full)]
+        )
+        assert "A = fully partitioned: 1000ms @ 10 streams" in text
+        assert "A" in text.splitlines()[0] or any(
+            "A" in line for line in text.splitlines()
+        )
+
+    def test_timed_out_note(self):
+        timings = [
+            PlanTiming(Partition([]), 10, 50.0, 1.0),
+            PlanTiming(Partition([(1, 1)]), 9, timed_out=True),
+        ]
+        text = scatter_plot(_sweep(timings))
+        assert "1 plan(s) timed out" in text
+
+    def test_marked_timeout_in_legend(self):
+        bad = Partition([(1, 1)])
+        timings = [
+            PlanTiming(Partition([]), 10, 50.0, 1.0),
+            PlanTiming(bad, 9, timed_out=True),
+        ]
+        text = scatter_plot(_sweep(timings), marks=[("unified", bad)])
+        assert "A = unified: timed out" in text
+
+    def test_single_value_degenerate_scale(self):
+        timings = [PlanTiming(Partition([]), 1, 42.0, 1.0)]
+        text = scatter_plot(_sweep(timings))
+        assert "42ms" in text
+
+    def test_unknown_mark_skipped(self):
+        timings = [PlanTiming(Partition([]), 1, 42.0, 1.0)]
+        text = scatter_plot(
+            _sweep(timings), marks=[("ghost", Partition([(9, 9)]))]
+        )
+        assert "ghost" not in text

@@ -1,0 +1,95 @@
+"""Tests for the greedy plan-generation algorithm (repro.core.greedy)."""
+
+import pytest
+
+from repro.core.greedy import GreedyParameters, GreedyPlan, GreedyPlanner
+from repro.core.partition import Partition
+from repro.core.sqlgen import PlanStyle
+
+
+@pytest.fixture
+def planner(q1_tree, tiny_db, tiny_estimator):
+    return GreedyPlanner(q1_tree, tiny_db.schema, tiny_estimator, reduce=True)
+
+
+class TestGreedyPlan:
+    def test_partitions_family(self):
+        plan = GreedyPlan(
+            mandatory=frozenset({(1, 1)}),
+            optional=frozenset({(1, 2), (1, 3)}),
+        )
+        family = plan.partitions()
+        assert len(family) == 4
+        assert Partition([(1, 1)]) in family
+        assert Partition([(1, 1), (1, 2), (1, 3)]) in family
+        # every member includes the mandatory edge
+        assert all((1, 1) in p.kept for p in family)
+
+    def test_recommended_keeps_everything(self):
+        plan = GreedyPlan(
+            mandatory=frozenset({(1, 1)}), optional=frozenset({(1, 2)})
+        )
+        assert plan.recommended() == Partition([(1, 1), (1, 2)])
+
+    def test_describe(self):
+        plan = GreedyPlan(
+            mandatory=frozenset({(1, 4, 2)}), optional=frozenset({(1, 1)})
+        )
+        described = plan.describe()
+        assert described["mandatory"] == ["S1.4.2"]
+        assert described["optional"] == ["S1.1"]
+        assert described["family_size"] == 2
+
+
+class TestPlanner:
+    def test_produces_valid_edges(self, planner, q1_tree):
+        plan = planner.plan()
+        edge_ids = {child.index for _, child in q1_tree.edges}
+        assert plan.mandatory <= edge_ids
+        assert plan.optional <= edge_ids
+        assert not (plan.mandatory & plan.optional)
+
+    def test_oracle_requests_far_below_worst_case(self, planner):
+        """Sec. 5.1: component-query memoization keeps oracle requests far
+        below |Edges|^2 = 81."""
+        plan = planner.plan()
+        assert 0 < plan.oracle_requests < 81
+        assert plan.oracle_cache_hits > 0
+
+    def test_thresholds_control_family(self, q1_tree, tiny_db, tiny_estimator):
+        planner = GreedyPlanner(q1_tree, tiny_db.schema, tiny_estimator, reduce=True)
+        everything_mandatory = planner.plan(
+            GreedyParameters(t1=float("inf"), t2=float("inf"))
+        )
+        assert len(everything_mandatory.mandatory) == 9
+        nothing = GreedyPlanner(
+            q1_tree, tiny_db.schema, tiny_estimator, reduce=True
+        ).plan(GreedyParameters(t1=float("-inf"), t2=float("-inf")))
+        assert not nothing.mandatory and not nothing.optional
+
+    def test_deterministic(self, q1_tree, tiny_db, tiny_estimator):
+        a = GreedyPlanner(q1_tree, tiny_db.schema, tiny_estimator, reduce=True).plan()
+        b = GreedyPlanner(q1_tree, tiny_db.schema, tiny_estimator, reduce=True).plan()
+        assert a.mandatory == b.mandatory
+        assert a.optional == b.optional
+
+    def test_styles_supported(self, q1_tree, tiny_db, tiny_estimator):
+        plan = GreedyPlanner(
+            q1_tree, tiny_db.schema, tiny_estimator,
+            style=PlanStyle.OUTER_UNION, reduce=False,
+        ).plan()
+        assert plan.oracle_requests > 0
+
+    def test_chain_edge_priced_out(self, q1_tree, tiny_db, tiny_estimator):
+        """Without reduction, keeping the whole part-order chain triggers
+        the re-evaluation penalty; the greedy must not select a family that
+        contains it."""
+        plan = GreedyPlanner(
+            q1_tree, tiny_db.schema, tiny_estimator, reduce=False
+        ).plan()
+        kept = plan.mandatory | plan.optional
+        has_chain = (
+            {(1, 4), (1, 4, 2)} <= kept
+            and kept & {(1, 4, 2, 1), (1, 4, 2, 2), (1, 4, 2, 3)}
+        )
+        assert not has_chain

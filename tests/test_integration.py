@@ -1,0 +1,153 @@
+"""Cross-module integration tests and property-based plan invariance.
+
+The central invariant of the whole system (Sec. 3.3): *every* partition of
+the view tree, in either SQL-generation style, reduced or not, materializes
+exactly the same XML document.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.partition import (
+    Partition,
+    enumerate_partitions,
+    fully_partitioned,
+    unified_partition,
+)
+from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.tpch.generator import TpchGenerator, TpchScale
+from repro.relational.connection import Connection
+from repro.relational.engine import CostModel
+from repro.xmlgen.dtd import parse_dtd, validate_document
+from repro.xmlgen.tagger import tag_streams
+from repro.bench.queries import (
+    QUERY_1,
+    QUERY_2,
+    SUPPLIER_DTD,
+    SUPPLIER_DTD_QUERY_2,
+    load_view,
+)
+
+Q1_EDGES = [
+    (1, 1), (1, 2), (1, 3), (1, 4), (1, 4, 1), (1, 4, 2),
+    (1, 4, 2, 1), (1, 4, 2, 2), (1, 4, 2, 3),
+]
+
+
+def materialize(tree, db, conn, partition, style, reduce):
+    generator = SqlGenerator(tree, db.schema, style=style, reduce=reduce)
+    specs = generator.streams_for_partition(partition)
+    streams = [conn.execute(s.plan, compact_rows=s.compact) for s in specs]
+    xml, tagger = tag_streams(tree, specs, streams, root_tag="view")
+    return xml, tagger
+
+
+@pytest.fixture(scope="module")
+def reference_xml(q1_tree, tiny_db, tiny_conn):
+    xml, _ = materialize(
+        q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree),
+        PlanStyle.OUTER_JOIN, False,
+    )
+    return xml
+
+
+class TestPlanInvariance:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        kept=st.sets(st.sampled_from(Q1_EDGES)),
+        style=st.sampled_from([PlanStyle.OUTER_JOIN, PlanStyle.OUTER_UNION]),
+        reduce=st.booleans(),
+    )
+    def test_any_partition_same_document(
+        self, q1_tree, tiny_db, tiny_conn, reference_xml, kept, style, reduce
+    ):
+        xml, tagger = materialize(
+            q1_tree, tiny_db, tiny_conn, Partition(kept), style, reduce
+        )
+        assert xml == reference_xml
+        assert tagger.implicit_opens == 0
+
+    def test_extremes_and_dtd(self, q1_tree, tiny_db, tiny_conn, reference_xml):
+        dtd = parse_dtd(SUPPLIER_DTD)
+        for style in PlanStyle:
+            for reduce in (False, True):
+                for partition in (
+                    unified_partition(q1_tree),
+                    fully_partitioned(q1_tree),
+                ):
+                    xml, _ = materialize(
+                        q1_tree, tiny_db, tiny_conn, partition, style, reduce
+                    )
+                    assert xml == reference_xml
+                    validate_document(xml, dtd, root="view")
+
+    def test_query2_invariance_and_dtd(self, q2_tree, tiny_db, tiny_conn):
+        dtd = parse_dtd(SUPPLIER_DTD_QUERY_2)
+        reference, _ = materialize(
+            q2_tree, tiny_db, tiny_conn, unified_partition(q2_tree),
+            PlanStyle.OUTER_JOIN, False,
+        )
+        validate_document(reference, dtd, root="view")
+        rng = random.Random(11)
+        edges = [c.index for _, c in q2_tree.edges]
+        for _ in range(12):
+            kept = [e for e in edges if rng.random() < 0.5]
+            for style in PlanStyle:
+                xml, tagger = materialize(
+                    q2_tree, tiny_db, tiny_conn, Partition(kept), style, True
+                )
+                assert xml == reference
+                assert tagger.implicit_opens == 0
+
+
+class TestScalability:
+    def test_tagger_memory_independent_of_database_size(self):
+        """Sec. 3.3: the tagger's memory depends only on the view tree."""
+        depths = []
+        for factor in (1.0, 4.0):
+            scale = TpchScale(suppliers=4, parts=8, customers=5, orders=10).scaled(factor)
+            db = TpchGenerator(scale=scale, seed=5).generate()
+            conn = Connection(db, CostModel())
+            tree = load_view(QUERY_1, db.schema)
+            _, tagger = materialize(
+                tree, db, conn, unified_partition(tree),
+                PlanStyle.OUTER_JOIN, False,
+            )
+            depths.append(tagger.max_stack_depth)
+        assert depths[0] == depths[1] <= 4
+
+    def test_document_grows_with_database(self):
+        sizes = []
+        for factor in (1.0, 3.0):
+            scale = TpchScale(suppliers=4, parts=8, customers=5, orders=10).scaled(factor)
+            db = TpchGenerator(scale=scale, seed=5).generate()
+            conn = Connection(db, CostModel())
+            tree = load_view(QUERY_1, db.schema)
+            xml, _ = materialize(
+                tree, db, conn, unified_partition(tree),
+                PlanStyle.OUTER_JOIN, True,
+            )
+            sizes.append(len(xml))
+        assert sizes[1] > sizes[0]
+
+
+class TestEmptyDatabase:
+    def test_empty_database_empty_document(self):
+        from repro.relational.database import Database
+        from repro.tpch.schema import tpch_schema
+
+        db = Database(tpch_schema())
+        db.analyze()
+        conn = Connection(db, CostModel())
+        tree = load_view(QUERY_1, db.schema)
+        xml, tagger = materialize(
+            tree, db, conn, unified_partition(tree), PlanStyle.OUTER_JOIN, False
+        )
+        assert xml == "<view></view>"
+        assert tagger.elements_written == 0

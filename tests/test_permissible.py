@@ -1,0 +1,100 @@
+"""Tests for source-capability plan filtering (repro.core.permissible)."""
+
+import pytest
+
+from repro.core.partition import (
+    Partition,
+    fully_partitioned,
+    unified_partition,
+)
+from repro.core.permissible import (
+    is_permissible,
+    partition_requirements,
+    permissible_partitions,
+    restrict_greedy_plan,
+)
+from repro.core.greedy import GreedyPlan
+from repro.core.sqlgen import SqlGenerator
+from repro.relational.connection import SourceDescription
+
+FULL = SourceDescription()
+NO_OUTER = SourceDescription(supports_left_outer_join=False)
+NO_UNION = SourceDescription(supports_union=False)
+
+
+class TestRequirements:
+    def test_fully_partitioned_needs_nothing(self, q1_tree):
+        oj, union = partition_requirements(q1_tree, fully_partitioned(q1_tree))
+        assert not oj and not union
+
+    def test_unified_needs_both(self, q1_tree):
+        oj, union = partition_requirements(q1_tree, unified_partition(q1_tree))
+        assert oj and union
+
+    def test_chain_needs_no_union(self, q1_tree):
+        # Keep only the chain S1.4 -> S1.4.2: one child per node.
+        chain = Partition([(1, 4, 2)])
+        oj, union = partition_requirements(q1_tree, chain)
+        assert oj and not union
+
+    def test_siblings_need_union(self, q1_tree):
+        siblings = Partition([(1, 1), (1, 2)])
+        oj, union = partition_requirements(q1_tree, siblings)
+        assert oj and union
+
+    def test_requirements_match_generated_plans(self, q1_tree, tiny_db):
+        """Structural prediction agrees with the actual generated SQL."""
+        generator = SqlGenerator(q1_tree, tiny_db.schema)
+        for partition in [
+            fully_partitioned(q1_tree),
+            unified_partition(q1_tree),
+            Partition([(1, 4, 2)]),
+            Partition([(1, 1), (1, 2)]),
+            Partition([(1, 4), (1, 4, 1), (1, 4, 2)]),
+        ]:
+            oj, union = partition_requirements(q1_tree, partition)
+            specs = generator.streams_for_partition(partition)
+            assert any(s.uses_outer_join() for s in specs) == oj
+            assert any(s.uses_union() for s in specs) == union
+
+
+class TestPermissibility:
+    def test_full_support_permits_everything(self, q1_tree):
+        assert len(permissible_partitions(q1_tree, FULL)) == 512
+
+    def test_no_outer_join_leaves_only_fully_partitioned(self, q1_tree):
+        permitted = permissible_partitions(q1_tree, NO_OUTER)
+        assert permitted == [fully_partitioned(q1_tree)]
+
+    def test_no_union_permits_chains(self, q1_tree):
+        permitted = permissible_partitions(q1_tree, NO_UNION)
+        assert fully_partitioned(q1_tree) in permitted
+        assert unified_partition(q1_tree) not in permitted
+        assert Partition([(1, 4, 2)]) in permitted
+        assert 1 < len(permitted) < 512
+
+    def test_is_permissible(self, q1_tree):
+        assert is_permissible(q1_tree, unified_partition(q1_tree), FULL)
+        assert not is_permissible(q1_tree, unified_partition(q1_tree), NO_UNION)
+
+
+class TestGreedyRestriction:
+    def test_restrict_family(self, q1_tree):
+        plan = GreedyPlan(
+            mandatory=frozenset(),
+            optional=frozenset({(1, 1), (1, 4, 2)}),
+        )
+        full = restrict_greedy_plan(q1_tree, plan, FULL)
+        assert len(full) == 4
+        no_outer = restrict_greedy_plan(q1_tree, plan, NO_OUTER)
+        assert no_outer == [Partition([])]
+        no_union = restrict_greedy_plan(q1_tree, plan, NO_UNION)
+        # every member here is a chain or empty: all permitted
+        assert len(no_union) == 4
+
+    def test_mandatory_conflict_can_empty_family(self, q1_tree):
+        plan = GreedyPlan(
+            mandatory=frozenset({(1, 1), (1, 2)}),  # siblings: needs union
+            optional=frozenset(),
+        )
+        assert restrict_greedy_plan(q1_tree, plan, NO_UNION) == []

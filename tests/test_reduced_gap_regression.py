@@ -1,0 +1,127 @@
+"""Regression tests for reduced units whose children hang off merged
+(non-representative) members — found by the random-RXL property tests.
+
+Two distinct failure modes are pinned down:
+
+1. **L-path gaps**: a child unit under a merged member must emit the L
+   constants bridging the levels between the unit representative and its
+   own index, or the decoder stops at the NULL gap and drops instances.
+2. **Branch-tag collisions**: two children hanging off the same merged
+   member share their first bridged L value, so the ON disjunction needs
+   the synthetic branch-ordinal tag to keep their rows apart.
+"""
+
+import pytest
+
+from repro.core.labeling import label_view_tree
+from repro.core.partition import Partition, unified_partition
+from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.core.viewtree import build_view_tree
+from repro.rxl.parser import parse_rxl
+from repro.xmlgen.tagger import tag_streams
+
+#: nation -> region ('1', merged by reduction) -> two sibling '*' blocks
+#: hanging off the merged region member.
+GAP_QUERY = """
+from Nation $v1
+construct
+  <a>
+    { from Region $v2
+      where $v1.regionkey = $v2.regionkey
+      construct
+        <b>
+          { from Nation $v3 where $v2.regionkey = $v3.regionkey
+            construct <c>$v3.name</c> }
+          { from Nation $v4 where $v2.regionkey = $v4.regionkey
+            construct <d>$v4.name</d> }
+        </b> }
+  </a>
+"""
+
+
+@pytest.fixture(scope="module")
+def gap_tree(tiny_db):
+    tree = build_view_tree(parse_rxl(GAP_QUERY), tiny_db.schema)
+    label_view_tree(tree, tiny_db.schema)
+    return tree
+
+
+def materialize(tree, db, conn, partition, style, reduce):
+    generator = SqlGenerator(tree, db.schema, style=style, reduce=reduce)
+    specs = generator.streams_for_partition(partition)
+    streams = [conn.execute(s.plan, compact_rows=s.compact) for s in specs]
+    return tag_streams(tree, specs, streams, root_tag="doc")
+
+
+class TestGapBridging:
+    def test_labels(self, gap_tree):
+        assert gap_tree.node((1, 1)).label == "1"   # region
+        assert gap_tree.node((1, 1, 1)).label == "*"
+        assert gap_tree.node((1, 1, 2)).label == "*"
+
+    def test_reduced_unified_matches_reference(self, gap_tree, tiny_db,
+                                               tiny_conn):
+        reference, _ = materialize(
+            gap_tree, tiny_db, tiny_conn, unified_partition(gap_tree),
+            PlanStyle.OUTER_JOIN, False,
+        )
+        xml, tagger = materialize(
+            gap_tree, tiny_db, tiny_conn, unified_partition(gap_tree),
+            PlanStyle.OUTER_JOIN, True,
+        )
+        assert xml == reference
+        assert tagger.implicit_opens == 0
+
+    def test_no_l_gap_in_reduced_rows(self, gap_tree, tiny_db, tiny_conn):
+        """Rows reaching level 3 must carry a non-NULL L2."""
+        generator = SqlGenerator(gap_tree, tiny_db.schema, reduce=True)
+        [spec] = generator.streams_for_partition(unified_partition(gap_tree))
+        names = spec.column_names
+        l2, l3 = names.index("L2"), names.index("L3")
+        rows = tiny_conn.execute(spec.plan).rows
+        deep = [r for r in rows if r[l3] is not None]
+        assert deep
+        assert all(r[l2] is not None for r in deep)
+
+    def test_branch_tags_do_not_cross_match(self, gap_tree, tiny_db,
+                                            tiny_conn):
+        """<c> and <d> have identical join keys and identical bridged L
+        values; without the ordinal tag every row would match both
+        branches and duplicate."""
+        reference, _ = materialize(
+            gap_tree, tiny_db, tiny_conn, unified_partition(gap_tree),
+            PlanStyle.OUTER_JOIN, False,
+        )
+        n_regions_used = len(
+            {r[2] for r in tiny_db.table("Nation")}
+        )
+        n_nations = len(tiny_db.table("Nation"))
+        # every nation appears under <c> and <d> once per nation sharing
+        # its region; just check c/d counts are equal and no duplication
+        # relative to the unreduced reference.
+        assert reference.count("<c>") == reference.count("<d>")
+        xml, _ = materialize(
+            gap_tree, tiny_db, tiny_conn, unified_partition(gap_tree),
+            PlanStyle.OUTER_JOIN, True,
+        )
+        assert xml.count("<c>") == reference.count("<c>")
+
+    @pytest.mark.parametrize("style", list(PlanStyle))
+    def test_all_partitions_of_gap_tree(self, gap_tree, tiny_db, tiny_conn,
+                                        style):
+        import itertools
+
+        reference, _ = materialize(
+            gap_tree, tiny_db, tiny_conn, unified_partition(gap_tree),
+            PlanStyle.OUTER_JOIN, False,
+        )
+        edges = [child.index for _, child in gap_tree.edges]
+        for r in range(len(edges) + 1):
+            for kept in itertools.combinations(edges, r):
+                for reduce in (False, True):
+                    xml, tagger = materialize(
+                        gap_tree, tiny_db, tiny_conn, Partition(kept),
+                        style, reduce,
+                    )
+                    assert xml == reference, (kept, style, reduce)
+                    assert tagger.implicit_opens == 0, (kept, style, reduce)

@@ -1,0 +1,95 @@
+"""Tests for WITH-clause SQL generation (the paper's footnote 1)."""
+
+import pytest
+
+from repro.common.ordering import sort_key
+from repro.core.partition import (
+    Partition,
+    fully_partitioned,
+    unified_partition,
+)
+from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.relational.engine import CostModel, QueryEngine
+from repro.relational.sqlparse import parse_sql
+from repro.relational.sqltext import render_sql, render_sql_with
+
+
+@pytest.fixture
+def engine(tiny_db):
+    return QueryEngine(tiny_db, CostModel())
+
+
+class TestRenderWith:
+    def test_shared_subqueries_become_ctes(self, q1_tree, tiny_db):
+        generator = SqlGenerator(q1_tree, tiny_db.schema,
+                                 style=PlanStyle.OUTER_UNION)
+        [spec] = generator.streams_for_partition(unified_partition(q1_tree))
+        sql = render_sql_with(spec.plan)
+        assert sql.startswith("WITH nq_1 AS (")
+        # The paths through the part chain all share the supplier-partsupp
+        # prefix, so several CTEs appear and are referenced.
+        assert sql.count("nq_") > sql.count("AS (")  # definitions + uses
+
+    def test_no_sharing_falls_back(self, q1_tree, tiny_db):
+        generator = SqlGenerator(q1_tree, tiny_db.schema)
+        specs = generator.streams_for_partition(fully_partitioned(q1_tree))
+        sql = render_sql_with(specs[0].plan)
+        assert not sql.startswith("WITH")
+        assert sql == render_sql(specs[0].plan)
+
+    def test_compact_mode(self, q1_tree, tiny_db):
+        generator = SqlGenerator(q1_tree, tiny_db.schema,
+                                 style=PlanStyle.OUTER_UNION)
+        [spec] = generator.streams_for_partition(unified_partition(q1_tree))
+        compact = render_sql_with(spec.plan, pretty=False)
+        assert "\n" not in compact
+
+
+class TestWithRoundTrip:
+    @pytest.mark.parametrize("style", list(PlanStyle))
+    @pytest.mark.parametrize("reduce", [False, True])
+    def test_unified(self, q1_tree, tiny_db, engine, style, reduce):
+        generator = SqlGenerator(q1_tree, tiny_db.schema, style=style,
+                                 reduce=reduce)
+        [spec] = generator.streams_for_partition(unified_partition(q1_tree))
+        self._check(spec, tiny_db, engine)
+
+    def test_mid_partition(self, q1_tree, tiny_db, engine):
+        generator = SqlGenerator(q1_tree, tiny_db.schema)
+        partition = Partition([(1, 4), (1, 4, 1), (1, 4, 2)])
+        for spec in generator.streams_for_partition(partition):
+            self._check(spec, tiny_db, engine)
+
+    def test_query2(self, q2_tree, tiny_db, engine):
+        generator = SqlGenerator(q2_tree, tiny_db.schema,
+                                 style=PlanStyle.OUTER_UNION)
+        [spec] = generator.streams_for_partition(unified_partition(q2_tree))
+        self._check(spec, tiny_db, engine)
+
+    def _check(self, spec, db, engine):
+        sql = render_sql_with(spec.plan)
+        reparsed = parse_sql(sql, db.schema)
+        original = engine.execute(spec.plan).rows
+        again = engine.execute(reparsed).rows
+        assert sorted(original, key=sort_key) == sorted(again, key=sort_key)
+
+
+class TestParserWith:
+    def test_simple_cte(self, tiny_db, engine):
+        plan = parse_sql(
+            "WITH big AS (SELECT s.suppkey AS k FROM Supplier s) "
+            "SELECT b.k AS k FROM big AS b WHERE b.k > 4",
+            tiny_db.schema,
+        )
+        rows = engine.execute(plan).rows
+        assert all(r[0] > 4 for r in rows)
+
+    def test_cte_referencing_cte(self, tiny_db, engine):
+        plan = parse_sql(
+            "WITH a AS (SELECT s.suppkey AS k FROM Supplier s), "
+            "b AS (SELECT a1.k AS k FROM a AS a1 WHERE a1.k > 4) "
+            "SELECT b1.k AS k FROM b AS b1",
+            tiny_db.schema,
+        )
+        rows = engine.execute(plan).rows
+        assert rows and all(r[0] > 4 for r in rows)

@@ -1,0 +1,175 @@
+"""Tests for the SQL parser (repro.relational.sqlparse) — including the
+round-trip property: parse(render(plan)) executes to the same rows."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.ordering import sort_key
+from repro.core.partition import (
+    Partition,
+    fully_partitioned,
+    unified_partition,
+)
+from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.relational.engine import CostModel, QueryEngine
+from repro.relational.sqlparse import parse_sql
+from repro.relational.sqltext import render_sql
+
+
+@pytest.fixture
+def engine(tiny_db):
+    return QueryEngine(tiny_db, CostModel())
+
+
+class TestBasicParsing:
+    def test_simple_select(self, tiny_db, engine):
+        plan = parse_sql(
+            "SELECT s.suppkey AS k, s.name AS n FROM Supplier s",
+            tiny_db.schema,
+        )
+        rows = engine.execute(plan).rows
+        assert len(rows) == len(tiny_db.table("Supplier"))
+        assert plan.column_names() == ("k", "n")
+
+    def test_where_filter(self, tiny_db, engine):
+        plan = parse_sql(
+            "SELECT s.suppkey AS k FROM Supplier s WHERE s.suppkey = 3",
+            tiny_db.schema,
+        )
+        assert engine.execute(plan).rows == [(3,)]
+
+    def test_implicit_join(self, tiny_db, engine):
+        plan = parse_sql(
+            "SELECT s.suppkey AS k, n.name AS nation "
+            "FROM Supplier s, Nation n WHERE s.nationkey = n.nationkey",
+            tiny_db.schema,
+        )
+        rows = engine.execute(plan).rows
+        assert len(rows) == len(tiny_db.table("Supplier"))
+
+    def test_distinct(self, tiny_db, engine):
+        plan = parse_sql(
+            "SELECT DISTINCT s.nationkey AS nk FROM Supplier s",
+            tiny_db.schema,
+        )
+        rows = engine.execute(plan).rows
+        assert len(rows) == len({r[0] for r in rows})
+
+    def test_string_and_comparison_ops(self, tiny_db, engine):
+        plan = parse_sql(
+            "SELECT p.partkey AS k FROM Part p WHERE p.size <> 'M' "
+            "AND p.partkey <= 5",
+            tiny_db.schema,
+        )
+        rows = engine.execute(plan).rows
+        sizes = {r[0] for r in tiny_db.table("Part") if r[4] != "M"}
+        assert {r[0] for r in rows} == {k for k in sizes if k <= 5}
+
+    def test_order_by_nulls_first(self, tiny_db, engine):
+        plan = parse_sql(
+            "SELECT s.nationkey AS nk FROM Supplier s "
+            "ORDER BY nk NULLS FIRST",
+            tiny_db.schema,
+        )
+        values = [r[0] for r in engine.execute(plan).rows]
+        assert values == sorted(values)
+
+    def test_union_all_with_null_padding(self, tiny_db, engine):
+        plan = parse_sql(
+            "SELECT s.suppkey AS a, NULL AS b FROM Supplier s "
+            "UNION ALL "
+            "SELECT NULL AS a, n.name AS b FROM Nation n",
+            tiny_db.schema,
+        )
+        rows = engine.execute(plan).rows
+        assert len(rows) == len(tiny_db.table("Supplier")) + len(
+            tiny_db.table("Nation")
+        )
+
+    def test_derived_table(self, tiny_db, engine):
+        plan = parse_sql(
+            "SELECT q.k AS k FROM ("
+            "SELECT s.suppkey AS k FROM Supplier s"
+            ") AS q WHERE q.k > 4",
+            tiny_db.schema,
+        )
+        rows = engine.execute(plan).rows
+        assert all(r[0] > 4 for r in rows)
+
+    def test_left_outer_join_with_tags(self, tiny_db, engine):
+        sql = (
+            "SELECT q1.k AS k, q2.t AS t, q2.nk AS nk FROM ("
+            "SELECT s.suppkey AS k, s.nationkey AS snk FROM Supplier s"
+            ") AS q1 LEFT OUTER JOIN ("
+            "SELECT 1 AS t, n.nationkey AS nk FROM Nation n"
+            ") AS q2 ON (q2.t = 1 AND q1.snk = q2.nk)"
+        )
+        plan = parse_sql(sql, tiny_db.schema)
+        rows = engine.execute(plan).rows
+        assert len(rows) == len(tiny_db.table("Supplier"))
+        assert all(r[2] is not None for r in rows)
+
+
+class TestErrors:
+    def test_unknown_table(self, tiny_db):
+        with pytest.raises(Exception):
+            parse_sql("SELECT x.a AS a FROM Nope x", tiny_db.schema)
+
+    def test_garbage(self, tiny_db):
+        with pytest.raises(QueryError):
+            parse_sql("SELECT ; FROM", tiny_db.schema)
+
+    def test_trailing_tokens(self, tiny_db):
+        with pytest.raises(QueryError, match="trailing"):
+            parse_sql(
+                "SELECT s.suppkey AS k FROM Supplier s extra",
+                tiny_db.schema,
+            )
+
+    def test_literal_needs_alias(self, tiny_db):
+        with pytest.raises(QueryError, match="AS alias"):
+            parse_sql("SELECT 1 FROM Supplier s", tiny_db.schema)
+
+
+class TestRoundTrip:
+    """parse(render(plan)) executes to exactly the same sorted rows."""
+
+    @pytest.mark.parametrize("style", [PlanStyle.OUTER_JOIN,
+                                       PlanStyle.OUTER_UNION])
+    @pytest.mark.parametrize("reduce", [False, True])
+    def test_unified_round_trip(self, q1_tree, tiny_db, engine, style, reduce):
+        generator = SqlGenerator(q1_tree, tiny_db.schema, style=style,
+                                 reduce=reduce)
+        [spec] = generator.streams_for_partition(unified_partition(q1_tree))
+        self._assert_round_trip(spec, tiny_db, engine)
+
+    def test_fully_partitioned_round_trip(self, q1_tree, tiny_db, engine):
+        generator = SqlGenerator(q1_tree, tiny_db.schema)
+        for spec in generator.streams_for_partition(
+            fully_partitioned(q1_tree)
+        ):
+            self._assert_round_trip(spec, tiny_db, engine)
+
+    def test_mid_partition_round_trip(self, q1_tree, tiny_db, engine):
+        generator = SqlGenerator(q1_tree, tiny_db.schema, reduce=True)
+        partition = Partition([(1, 1), (1, 2), (1, 4), (1, 4, 2),
+                               (1, 4, 2, 2)])
+        for spec in generator.streams_for_partition(partition):
+            self._assert_round_trip(spec, tiny_db, engine)
+
+    def test_query2_round_trip(self, q2_tree, tiny_db, engine):
+        generator = SqlGenerator(q2_tree, tiny_db.schema)
+        [spec] = generator.streams_for_partition(unified_partition(q2_tree))
+        self._assert_round_trip(spec, tiny_db, engine)
+
+    def _assert_round_trip(self, spec, db, engine):
+        sql = spec.sql
+        reparsed = parse_sql(sql, db.schema)
+        original_rows = engine.execute(spec.plan).rows
+        reparsed_rows = engine.execute(reparsed).rows
+        assert sorted(original_rows, key=sort_key) == sorted(
+            reparsed_rows, key=sort_key
+        )
+        assert [c.name for c in reparsed.columns()] == list(
+            spec.column_names
+        )

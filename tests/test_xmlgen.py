@@ -1,0 +1,232 @@
+"""Tests for stream decoding, merging, tagging, and serialization."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.core.partition import (
+    Partition,
+    fully_partitioned,
+    partition_subtrees,
+    unified_partition,
+)
+from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.xmlgen.serializer import XmlWriter, escape_text, format_value
+from repro.xmlgen.streams import ComparatorLayout, decode_stream, merge_streams
+from repro.xmlgen.tagger import XmlTagger, tag_streams
+
+
+@pytest.fixture
+def layout(q1_tree):
+    return ComparatorLayout(q1_tree)
+
+
+def executed(tree, db, conn, partition, style=PlanStyle.OUTER_JOIN, reduce=False):
+    generator = SqlGenerator(tree, db.schema, style=style, reduce=reduce)
+    specs = generator.streams_for_partition(partition)
+    streams = [conn.execute(s.plan, compact_rows=s.compact) for s in specs]
+    return specs, streams
+
+
+class TestComparatorLayout:
+    def test_display_only_variables_excluded(self, q1_tree, layout):
+        """Only key arguments participate in the global comparator."""
+        stv_entries = [what for kind, what in layout.entries if kind == "stv"]
+        key_stvs = set()
+        for node in q1_tree.nodes:
+            key_stvs.update(node.key_args)
+        assert set(stv_entries) <= key_stvs
+
+    def test_parent_key_is_prefix_of_child_key(self, q1_tree, layout):
+        parent = q1_tree.node((1, 4))
+        child = q1_tree.node((1, 4, 1))
+        values = {"v1_1_suppkey": 3, "v2_6_partkey": 9, "v3_1_name": "x"}
+        parent_key = layout.instance_key(parent, values)
+        child_key = layout.instance_key(child, values)
+        assert parent_key < child_key
+
+    def test_sibling_order_by_index(self, q1_tree, layout):
+        values = {"v1_1_suppkey": 3}
+        name_key = layout.instance_key(q1_tree.node((1, 1)), values)
+        nation_key = layout.instance_key(q1_tree.node((1, 2)), values)
+        assert name_key < nation_key
+
+    def test_supplier_order_dominates(self, q1_tree, layout):
+        early = layout.instance_key(q1_tree.node((1, 4)),
+                                    {"v1_1_suppkey": 1, "v2_6_partkey": 99})
+        late = layout.instance_key(q1_tree.node((1, 1)), {"v1_1_suppkey": 2})
+        assert early < late
+
+
+class TestDecodeStream:
+    def test_unified_stream_decodes_every_node(self, q1_tree, tiny_db,
+                                               tiny_conn, layout):
+        [spec], [stream] = executed(
+            q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree)
+        )
+        instances = list(decode_stream(spec, stream.rows, layout))
+        nodes_seen = {i.node.sfi for i in instances}
+        assert "S1" in nodes_seen and "S1.4.2.3" in nodes_seen
+
+    def test_instances_nondecreasing(self, q1_tree, tiny_db, tiny_conn, layout):
+        [spec], [stream] = executed(
+            q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree)
+        )
+        keys = [i.key for i in decode_stream(spec, stream.rows, layout)]
+        assert keys == sorted(keys)
+
+    def test_duplicates_suppressed(self, q1_tree, tiny_db, tiny_conn, layout):
+        [spec], [stream] = executed(
+            q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree)
+        )
+        instances = list(decode_stream(spec, stream.rows, layout))
+        seen = set()
+        for inst in instances:
+            key = (inst.node.index, inst.identity())
+            assert key not in seen
+            seen.add(key)
+
+    def test_supplier_count(self, q1_tree, tiny_db, tiny_conn, layout):
+        [spec], [stream] = executed(
+            q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree)
+        )
+        instances = list(decode_stream(spec, stream.rows, layout))
+        suppliers = [i for i in instances if i.node.sfi == "S1"]
+        assert len(suppliers) == len(tiny_db.table("Supplier"))
+
+    def test_reduced_stream_expands_members(self, q1_tree, tiny_db,
+                                            tiny_conn, layout):
+        specs, streams = executed(
+            q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree),
+            reduce=True,
+        )
+        instances = list(decode_stream(specs[0], streams[0].rows, layout))
+        nodes_seen = {i.node.sfi for i in instances}
+        # Merged members S1.1, S1.2, S1.3 are reconstructed.
+        assert {"S1.1", "S1.2", "S1.3"} <= nodes_seen
+
+    def test_bad_row_rejected(self, q1_tree, tiny_db, tiny_conn, layout):
+        [spec], _ = executed(
+            q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree)
+        )
+        bad_row = (None,) * len(spec.column_names)
+        with pytest.raises(PlanError, match="no L tag"):
+            list(decode_stream(spec, [bad_row], layout))
+
+
+class TestMerge:
+    def test_merge_is_globally_sorted(self, q1_tree, tiny_db, tiny_conn, layout):
+        specs, streams = executed(
+            q1_tree, tiny_db, tiny_conn, fully_partitioned(q1_tree)
+        )
+        decoded = [
+            decode_stream(spec, stream.rows, layout)
+            for spec, stream in zip(specs, streams)
+        ]
+        keys = [i.key for i in merge_streams(decoded)]
+        assert keys == sorted(keys)
+
+
+class TestTagger:
+    def test_tag_streams_returns_xml(self, q1_tree, tiny_db, tiny_conn):
+        specs, streams = executed(
+            q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree)
+        )
+        xml, tagger = tag_streams(q1_tree, specs, streams, root_tag="view")
+        assert xml.startswith("<view>")
+        assert xml.endswith("</view>")
+        assert tagger.implicit_opens == 0
+
+    def test_stack_bounded_by_tree_depth(self, q1_tree, tiny_db, tiny_conn):
+        """Constant space: the stack never exceeds the view-tree depth."""
+        specs, streams = executed(
+            q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree)
+        )
+        _, tagger = tag_streams(q1_tree, specs, streams, root_tag=None)
+        assert tagger.max_stack_depth <= q1_tree.max_depth()
+
+    def test_element_counts_match_database(self, q1_tree, tiny_db, tiny_conn):
+        specs, streams = executed(
+            q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree)
+        )
+        xml, _ = tag_streams(q1_tree, specs, streams, root_tag="view")
+        n_suppliers = len(tiny_db.table("Supplier"))
+        n_parts = len(tiny_db.table("PartSupp"))
+        assert xml.count("<supplier>") == n_suppliers
+        assert xml.count("<part>") == n_parts
+        assert xml.count("<order>") == len(tiny_db.table("LineItem"))
+
+    def test_childless_supplier_still_appears(self, q1_tree, tiny_db, tiny_conn):
+        stocked = {r[1] for r in tiny_db.table("PartSupp")}
+        stockless = [
+            r[0] for r in tiny_db.table("Supplier") if r[0] not in stocked
+        ]
+        assert stockless  # generator guarantees some
+        specs, streams = executed(
+            q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree)
+        )
+        xml, _ = tag_streams(q1_tree, specs, streams, root_tag="view")
+        names = {
+            r[1] for r in tiny_db.table("Supplier") if r[0] in stockless
+        }
+        for name in names:
+            assert name in xml
+
+    def test_no_root_tag(self, q1_tree, tiny_db, tiny_conn):
+        specs, streams = executed(
+            q1_tree, tiny_db, tiny_conn, unified_partition(q1_tree)
+        )
+        xml, _ = tag_streams(q1_tree, specs, streams, root_tag=None)
+        assert xml.startswith("<supplier>")
+
+    def test_empty_streams_produce_empty_document(self, q1_tree, tiny_db,
+                                                  tiny_conn):
+        generator = SqlGenerator(q1_tree, tiny_db.schema)
+        specs = generator.streams_for_partition(unified_partition(q1_tree))
+        xml, tagger = tag_streams(q1_tree, specs, [[]], root_tag="view")
+        assert xml == "<view></view>"
+        assert tagger.elements_written == 0
+
+
+class TestSerializer:
+    def test_escaping(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_format_value(self):
+        import datetime
+
+        assert format_value(3) == "3"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(datetime.date(2001, 5, 21)) == "2001-05-21"
+        assert format_value("x") == "x"
+
+    def test_compact_output(self):
+        writer = XmlWriter()
+        writer.start_element("a")
+        writer.text("hi")
+        writer.end_element("a")
+        assert writer.getvalue() == "<a>hi</a>"
+
+    def test_indented_output(self):
+        writer = XmlWriter(indent=2)
+        writer.start_element("a")
+        writer.start_element("b")
+        writer.text("x")
+        writer.end_element("b")
+        writer.end_element("a")
+        assert writer.getvalue() == "<a>\n  <b>x</b>\n</a>"
+
+    def test_external_sink(self):
+        class ListSink:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, text):
+                self.chunks.append(text)
+
+        sink = ListSink()
+        writer = XmlWriter(sink=sink)
+        writer.start_element("a")
+        writer.end_element("a")
+        assert "".join(sink.chunks) == "<a></a>"
+        with pytest.raises(TypeError):
+            writer.getvalue()
