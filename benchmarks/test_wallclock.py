@@ -1,0 +1,79 @@
+"""Wall-clock smoke bench: the cross-plan result cache on a real sweep.
+
+Unlike every other benchmark (which reports *simulated* milliseconds), this
+one measures the harness itself: how long the exhaustive Query 1 /
+Configuration A sweep takes with and without the
+:class:`~repro.relational.cache.PlanResultCache`, verifying along the way
+that caching changes only wall-clock — every recorded
+:class:`~repro.bench.sweep.PlanTiming` must be bit-identical.
+
+The measured speedup is written to ``BENCH_sweep.json`` at the repository
+root so CI can track it.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.bench.sweep import sweep_partitions
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def timed_sweep(tree, db, conn, config, cache):
+    start = time.perf_counter()
+    sweep = sweep_partitions(
+        tree,
+        db.schema,
+        conn,
+        reduce=False,
+        budget_ms=config.subquery_budget_ms,
+        cache=cache,
+    )
+    return sweep, time.perf_counter() - start
+
+
+def test_cached_sweep_speedup(config_a, trees_a, report_writer):
+    config, db, conn, _ = config_a
+    tree = trees_a["Q1"]
+
+    uncached, uncached_s = timed_sweep(tree, db, conn, config, cache=False)
+    cached, cached_s = timed_sweep(tree, db, conn, config, cache=True)
+
+    # The cache must not move a single simulated millisecond.
+    assert cached.timings == uncached.timings
+    assert len(cached.timings) == 512
+
+    speedup = uncached_s / cached_s if cached_s else float("inf")
+    stats = cached.cache_stats
+    payload = {
+        "experiment": "q1_config_a_nonreduced_sweep",
+        "plans": len(cached.timings),
+        "uncached_seconds": round(uncached_s, 3),
+        "cached_seconds": round(cached_s, 3),
+        "speedup": round(speedup, 2),
+        "cache": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": round(stats.hit_rate, 4),
+            "entries": stats.entries,
+            "bytes": int(stats.current_bytes),
+        },
+    }
+    (REPO_ROOT / "BENCH_sweep.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    report_writer(
+        "wallclock_sweep_cache",
+        "\n".join(
+            [
+                "Q1 / Config A non-reduced 512-plan sweep (wall-clock)",
+                f"  uncached: {uncached_s:8.2f} s",
+                f"  cached:   {cached_s:8.2f} s   ({speedup:.1f}x, "
+                f"{stats})",
+            ]
+        ),
+    )
+    # Loose bound: the acceptance target is >=3x on a quiet machine; keep
+    # the assertion tolerant of loaded CI runners.
+    assert speedup >= 1.5

@@ -33,6 +33,7 @@ from repro.relational import (
     CostEstimator,
     CostModel,
     Database,
+    PlanResultCache,
     DatabaseSchema,
     ForeignKey,
     QueryEngine,
@@ -80,6 +81,7 @@ __all__ = [
     "Database",
     "DatabaseSchema",
     "ForeignKey",
+    "PlanResultCache",
     "QueryEngine",
     "SourceDescription",
     "SqlType",

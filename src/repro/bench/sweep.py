@@ -4,13 +4,24 @@ For every partition of a view tree's edge set, execute the generated
 queries against the simulated RDBMS and record query-only time (server
 execution) and total time (plus transfer).  Plans whose subqueries exceed
 the per-subquery budget are recorded as timed out ("no time was reported").
+
+The 2^|E| plans share almost all of their relational work: the same
+subtree query recurs across most partitions.  By default a sweep installs
+a :class:`~repro.relational.cache.PlanResultCache` on the connection's
+engine for its duration, so each distinct stream plan is executed once and
+replayed everywhere else — wall-clock drops by an order of magnitude while
+every simulated millisecond (including timeout behaviour) stays
+bit-identical.  ``workers=N`` additionally fans partitions out over a
+thread pool with deterministic result ordering.
 """
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.common.errors import TimeoutExceeded
 from repro.core.partition import enumerate_partitions, partition_subtrees
 from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.relational.cache import PlanResultCache
 
 
 @dataclass(frozen=True)
@@ -37,6 +48,12 @@ class SweepResult:
     timings: list
     style: PlanStyle
     reduced: bool
+    #: :class:`~repro.relational.cache.CacheStats` snapshot taken at the
+    #: end of the sweep, or None when the sweep ran uncached.
+    cache_stats: object = None
+
+    def __post_init__(self):
+        self._by_partition = {t.partition: t for t in self.timings}
 
     def completed(self):
         return [t for t in self.timings if not t.timed_out]
@@ -49,10 +66,10 @@ class SweepResult:
         return ranked[:n]
 
     def timing_for(self, partition):
-        for timing in self.timings:
-            if timing.partition == partition:
-                return timing
-        raise KeyError(f"no timing recorded for {partition}")
+        try:
+            return self._by_partition[partition]
+        except KeyError:
+            raise KeyError(f"no timing recorded for {partition}") from None
 
     def by_stream_count(self, key="query_ms"):
         """{n_streams: [values]} — the scatter series of Figs. 13/14."""
@@ -66,9 +83,14 @@ class SweepResult:
 
 def run_single_partition(tree, schema, connection, partition,
                          style=PlanStyle.OUTER_JOIN, reduce=False,
-                         budget_ms=None):
-    """Execute one plan; returns a :class:`PlanTiming`."""
-    generator = SqlGenerator(tree, schema, style=style, reduce=reduce)
+                         budget_ms=None, generator=None):
+    """Execute one plan; returns a :class:`PlanTiming`.
+
+    Pass a prebuilt ``generator`` (one per sweep) to reuse its memoized
+    per-subtree stream specs across partitions.
+    """
+    if generator is None:
+        generator = SqlGenerator(tree, schema, style=style, reduce=reduce)
     specs = generator.streams_for_partition(partition)
     query_ms = 0.0
     transfer_ms = 0.0
@@ -96,19 +118,58 @@ def run_single_partition(tree, schema, connection, partition,
 
 def sweep_partitions(tree, schema, connection, style=PlanStyle.OUTER_JOIN,
                      reduce=False, budget_ms=None, partitions=None,
-                     progress=None):
+                     progress=None, cache=True, workers=None):
     """Execute every plan (or the given ``partitions``); returns a
-    :class:`SweepResult`."""
+    :class:`SweepResult`.
+
+    ``cache`` controls cross-plan result caching for the duration of the
+    sweep: ``True`` (the default) reuses the cache already installed on the
+    connection's engine or installs a fresh
+    :class:`~repro.relational.cache.PlanResultCache`; ``False`` runs
+    uncached; or pass a :class:`PlanResultCache` instance to share one
+    across sweeps.  Cached and uncached sweeps produce bit-identical
+    simulated timings — only wall-clock changes.
+
+    ``workers`` fans partitions out over a thread pool of that size.
+    Result ordering is deterministic (timings follow the input partition
+    order) and per-subquery timeouts are handled inside each worker, so a
+    timed-out plan is recorded exactly as in the serial path.
+    """
     if partitions is None:
         partitions = list(enumerate_partitions(tree))
-    timings = []
-    for i, partition in enumerate(partitions):
-        timings.append(
-            run_single_partition(
+    generator = SqlGenerator(tree, schema, style=style, reduce=reduce)
+    engine = connection.engine
+    previous = engine.cache
+    if cache is True:
+        engine.cache = previous if previous is not None else PlanResultCache()
+    elif cache is False or cache is None:
+        engine.cache = None
+    else:
+        # A PlanResultCache instance (possibly empty — len() is falsy).
+        engine.cache = cache
+    try:
+        def run(partition):
+            return run_single_partition(
                 tree, schema, connection, partition,
                 style=style, reduce=reduce, budget_ms=budget_ms,
+                generator=generator,
             )
-        )
-        if progress is not None:
-            progress(i + 1, len(partitions))
-    return SweepResult(timings=timings, style=style, reduced=reduce)
+
+        timings = []
+        if workers is not None and workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for i, timing in enumerate(pool.map(run, partitions)):
+                    timings.append(timing)
+                    if progress is not None:
+                        progress(i + 1, len(partitions))
+        else:
+            for i, partition in enumerate(partitions):
+                timings.append(run(partition))
+                if progress is not None:
+                    progress(i + 1, len(partitions))
+        stats = engine.cache.stats() if engine.cache is not None else None
+    finally:
+        engine.cache = previous
+    return SweepResult(
+        timings=timings, style=style, reduced=reduce, cache_stats=stats
+    )

@@ -26,6 +26,7 @@ from repro.core.partition import (
 )
 from repro.core.sqlgen import PlanStyle, SqlGenerator
 from repro.core.viewtree import build_view_tree
+from repro.relational.cache import PlanResultCache
 from repro.relational.estimator import CostEstimator
 from repro.rxl.parser import parse_rxl
 from repro.xmlgen.tagger import tag_streams
@@ -74,6 +75,7 @@ class XmlView:
         self.silkroute = silkroute
         self.tree = tree
         self.rxl_text = rxl_text
+        self._planners = {}
 
     # -- plan space ---------------------------------------------------------------
 
@@ -86,16 +88,30 @@ class XmlView:
     def enumerate_partitions(self):
         return enumerate_partitions(self.tree)
 
-    def greedy_plan(self, params=None, style=PlanStyle.OUTER_JOIN, reduce=True):
+    def greedy_plan(self, params=None, style=PlanStyle.OUTER_JOIN, reduce=True,
+                    keep=()):
         """Run the Sec. 5 algorithm; returns a
-        :class:`repro.core.greedy.GreedyPlan`."""
-        planner = GreedyPlanner(
-            self.tree,
-            self.silkroute.schema,
-            self.silkroute.estimator,
-            style=style,
-            reduce=reduce,
-        )
+        :class:`repro.core.greedy.GreedyPlan`.
+
+        The planner (and thus its per-component oracle memo) is cached per
+        ``(style, reduce, keep)``, so repeated planning — e.g. exploring
+        several threshold settings via ``params`` — reuses every oracle
+        answer instead of re-estimating from scratch.  ``keep`` is passed
+        through to the generator's reduction step (Sec. 3.5's
+        reduction-prohibition list).
+        """
+        key = (style, bool(reduce), tuple(keep))
+        planner = self._planners.get(key)
+        if planner is None:
+            planner = GreedyPlanner(
+                self.tree,
+                self.silkroute.schema,
+                self.silkroute.estimator,
+                style=style,
+                reduce=reduce,
+                keep=keep,
+            )
+            self._planners[key] = planner
         return planner.plan(params)
 
     # -- execution ------------------------------------------------------------------
@@ -225,15 +241,32 @@ class XmlView:
 
 
 class SilkRoute:
-    """The middle-ware system: a connection plus view definitions."""
+    """The middle-ware system: a connection plus view definitions.
 
-    def __init__(self, connection, source=None, estimator=None):
+    ``cache=True`` installs a fresh
+    :class:`~repro.relational.cache.PlanResultCache` on the connection's
+    engine (pass an instance to share one across systems): repeated
+    materializations and virtual queries replay previously executed plans
+    with byte-identical results and simulated timings.
+    """
+
+    def __init__(self, connection, source=None, estimator=None, cache=None):
         self.connection = connection
         self.schema = connection.database.schema
         self.source = source
         self.estimator = estimator or CostEstimator(
             connection.database, connection.engine.cost_model
         )
+        if cache is True:
+            connection.engine.cache = PlanResultCache()
+        elif cache is not None and cache is not False:
+            # An instance (possibly empty — len() is falsy) to be shared.
+            connection.engine.cache = cache
+
+    @property
+    def cache(self):
+        """The connection engine's result cache (or None)."""
+        return self.connection.engine.cache
 
     def define_view(self, rxl_text, simplify_args=False):
         """Parse, validate, and label an RXL view definition."""

@@ -115,6 +115,11 @@ class SqlGenerator:
         self.style = style
         self.reduce = reduce
         self.keep = tuple(keep)
+        # One generator serves many partitions (a sweep visits 2^|E| of
+        # them) but the same subtree — the same node set — recurs across
+        # most, so specs are memoized by node-index set.  StreamSpecs are
+        # immutable after construction and safe to share.
+        self._stream_cache = {}
 
     def streams_for_partition(self, partition):
         """The partitioned relations' queries, in document order."""
@@ -122,8 +127,13 @@ class SqlGenerator:
         return [self.stream_for_subtree(s) for s in subtrees]
 
     def stream_for_subtree(self, subtree):
-        unit_tree = reduce_subtree(subtree, reduce=self.reduce, keep=self.keep)
-        return self._build_stream(unit_tree)
+        key = tuple(node.index for node in subtree.nodes)
+        spec = self._stream_cache.get(key)
+        if spec is None:
+            unit_tree = reduce_subtree(subtree, reduce=self.reduce, keep=self.keep)
+            spec = self._build_stream(unit_tree)
+            self._stream_cache[key] = spec
+        return spec
 
     # -- stream assembly -------------------------------------------------------
 

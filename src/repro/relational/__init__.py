@@ -44,6 +44,7 @@ from repro.relational.algebra import (
     Sort,
     ConstantColumn,
 )
+from repro.relational.cache import CacheStats, PlanResultCache
 from repro.relational.engine import CostModel, QueryEngine, ExecutionResult
 from repro.relational.estimator import CostEstimator, EstimateCache
 from repro.relational.explain import explain_plan
@@ -77,6 +78,8 @@ __all__ = [
     "OuterUnion",
     "Sort",
     "ConstantColumn",
+    "CacheStats",
+    "PlanResultCache",
     "CostModel",
     "QueryEngine",
     "ExecutionResult",

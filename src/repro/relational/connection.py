@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import PlanError
 from repro.relational.engine import QueryEngine
+from repro.relational.types import width_function
 
 
 @dataclass(frozen=True)
@@ -84,12 +85,27 @@ class TupleStream:
 
 
 class Connection:
-    """A client connection to the simulated RDBMS."""
+    """A client connection to the simulated RDBMS.
 
-    def __init__(self, database, cost_model, transfer_model=None):
+    ``cache`` optionally installs a
+    :class:`~repro.relational.cache.PlanResultCache` on the engine: plans
+    already executed against the current database generation are replayed
+    (byte-identical results and simulated timings) instead of re-evaluated.
+    """
+
+    def __init__(self, database, cost_model, transfer_model=None, cache=None):
         self.database = database
-        self.engine = QueryEngine(database, cost_model)
+        self.engine = QueryEngine(database, cost_model, cache=cache)
         self.transfer_model = transfer_model or TransferModel()
+
+    @property
+    def cache(self):
+        """The engine's :class:`PlanResultCache` (or None)."""
+        return self.engine.cache
+
+    @cache.setter
+    def cache(self, cache):
+        self.engine.cache = cache
 
     def sql(self, text, budget_ms=None, label=None):
         """Execute SQL *text* (the generated dialect) and return a
@@ -121,23 +137,29 @@ class Connection:
     def _transfer_cost(self, columns, rows, compact_rows):
         model = self.transfer_model
         declared_width = len(columns)
+        width_fns = [width_function(col.sql_type) for col in columns]
+        row_ms = model.row_ms
+        field_ms = model.field_ms
+        byte_ms = model.byte_ms
+        null_field_ms = model.null_field_ms
+        # The paper's "anomalous caching behavior in JDBC": rows produced
+        # by a wide outer join bind every declared column and pay a
+        # super-linear penalty; union-shaped results use the compact
+        # per-branch row format and do not.
+        wide = not compact_rows and declared_width > model.wide_threshold
+        if wide:
+            wide_factor = 1.0 + model.wide_row_factor * (
+                declared_width - model.wide_threshold
+            )
         total = 0.0
         for row in rows:
-            cost = model.row_ms
-            non_null = 0
-            for col, value in zip(columns, row):
+            cost = row_ms
+            for fn, value in zip(width_fns, row):
                 if value is None:
-                    cost += model.null_field_ms
+                    cost += null_field_ms
                 else:
-                    non_null += 1
-                    cost += model.field_ms + col.sql_type.value_width(value) * model.byte_ms
-            # The paper's "anomalous caching behavior in JDBC": rows
-            # produced by a wide outer join bind every declared column and
-            # pay a super-linear penalty; union-shaped results use the
-            # compact per-branch row format and do not.
-            if not compact_rows and declared_width > model.wide_threshold:
-                cost *= 1.0 + model.wide_row_factor * (
-                    declared_width - model.wide_threshold
-                )
+                    cost += field_ms + fn(value) * byte_ms
+            if wide:
+                cost *= wide_factor
             total += cost
         return total

@@ -6,6 +6,7 @@ fractions) feed the :class:`repro.relational.estimator.CostEstimator`, the
 :meth:`Database.analyze`, mirroring an RDBMS's ``ANALYZE``.
 """
 
+import itertools
 from dataclasses import dataclass
 
 from repro.common.errors import SchemaError
@@ -39,10 +40,27 @@ class TableStats:
 class Database:
     """A named collection of tables with integrity checking and statistics."""
 
+    #: Distinguishes database *instances* in cache keys (a plain counter,
+    #: unlike ``id()`` never reused within a process).
+    _tokens = itertools.count()
+
     def __init__(self, schema):
         self.schema = schema
         self.tables = {name: Table(schema.table(name)) for name in schema.table_names}
         self._stats = {}
+        self._token = next(Database._tokens)
+
+    @property
+    def generation(self):
+        """Monotonic data-version counter, bumped by any table mutation
+        (inserts through :meth:`insert` or directly on a table).  Result
+        caches key on it so a stale entry can never be served."""
+        return sum(table.version for table in self.tables.values())
+
+    def cache_key(self):
+        """What identifies this database's current contents in a
+        :class:`repro.relational.cache.PlanResultCache` key."""
+        return (self._token, self.generation)
 
     def table(self, name):
         try:

@@ -32,10 +32,13 @@ time from total time.
 
 import math
 from dataclasses import dataclass, replace
+from operator import itemgetter
 
 from repro.common.errors import ExecutionError, TimeoutExceeded
-from repro.common.ordering import sort_key
+from repro.common.ordering import NoneFirst, sort_key
 from repro.relational import algebra
+from repro.relational.cache import CacheEntry
+from repro.relational.types import width_function
 from repro.relational.algebra import (
     Scan,
     Filter,
@@ -120,7 +123,13 @@ class ExecutionResult:
 
 
 class _Charges:
-    """Mutable accumulator for simulated cost, with a timeout budget."""
+    """Mutable accumulator for simulated cost, with a timeout budget.
+
+    When ``log`` is a list, every (already scaled) charge is also appended
+    to it so the execution can later be *replayed* from a
+    :class:`~repro.relational.cache.PlanResultCache` entry with identical
+    totals, breakdown order, and timeout behaviour.
+    """
 
     def __init__(self, model, budget_ms):
         self.model = model
@@ -130,22 +139,40 @@ class _Charges:
         self.breakdown = {}
         self.memo = {}
         self.memo_hits = 0
+        self.log = None
 
     def charge(self, label, ms, rows=0):
         ms = self.model.scaled(ms)
         self.total_ms += ms
         self.rows_examined += rows
         self.breakdown[label] = self.breakdown.get(label, 0.0) + ms
+        if self.log is not None:
+            self.log.append((label, ms, rows))
         if self.budget_ms is not None and self.total_ms > self.budget_ms:
             raise TimeoutExceeded(self.budget_ms, self.total_ms)
+
+    def replay(self, charge_log):
+        """Re-apply a recorded charge log: the same additions in the same
+        order as the original run, including raising ``TimeoutExceeded`` at
+        the same charge when the budget is exceeded."""
+        breakdown = self.breakdown
+        for label, ms, rows in charge_log:
+            self.total_ms += ms
+            self.rows_examined += rows
+            breakdown[label] = breakdown.get(label, 0.0) + ms
+            if self.budget_ms is not None and self.total_ms > self.budget_ms:
+                raise TimeoutExceeded(self.budget_ms, self.total_ms)
 
 
 class QueryEngine:
     """Executes algebra plans over a :class:`repro.relational.database.Database`."""
 
-    def __init__(self, database, cost_model=None):
+    def __init__(self, database, cost_model=None, cache=None):
         self.database = database
         self.cost_model = cost_model or CostModel()
+        #: Optional :class:`~repro.relational.cache.PlanResultCache` shared
+        #: *across* execute calls (and across engines, if desired).
+        self.cache = cache
 
     def execute(self, plan, budget_ms=None, include_startup=True):
         """Run ``plan``; return an :class:`ExecutionResult`.
@@ -153,11 +180,64 @@ class QueryEngine:
         ``budget_ms`` is a simulated-time budget (the paper's 5-minute
         per-subquery timeout); exceeding it raises
         :class:`~repro.common.errors.TimeoutExceeded`.
+
+        With a :attr:`cache` installed, a plan already executed against the
+        current database generation is *replayed* instead of re-evaluated:
+        the result (rows, timings, breakdown, timeout behaviour) is
+        byte-identical, only the wall-clock cost disappears.  Result rows
+        may then be shared between callers and must be treated as
+        immutable.
         """
         charges = _Charges(self.cost_model, budget_ms)
         if include_startup:
             charges.charge("startup", self.cost_model.startup_ms)
-        rows = self._eval(plan, charges)
+        cache = self.cache
+        if cache is None:
+            rows = self._eval(plan, charges)
+            return self._result(plan, rows, charges)
+        # ``include_startup`` is part of the key: some charges (the
+        # outer-join re-evaluation penalty) are measured as running-total
+        # deltas, so their float values differ at the ulp level between the
+        # two modes and a shared entry would not replay bit-identically.
+        key = (
+            plan.fingerprint(),
+            self.database.cache_key(),
+            self.cost_model,
+            include_startup,
+        )
+        entry = cache.lookup(key, spent_ms=charges.total_ms, budget_ms=budget_ms)
+        if entry is not None:
+            charges.replay(entry.charge_log)
+            # An incomplete entry is only served when the replay is
+            # guaranteed to raise, so reaching here means the entry is
+            # complete and ``entry.rows`` is the full result.
+            return self._result(plan, entry.rows, charges)
+        charges.log = []
+        try:
+            rows = self._eval(plan, charges)
+        except TimeoutExceeded:
+            cache.store(
+                key,
+                CacheEntry(
+                    rows=None,
+                    charge_log=tuple(charges.log),
+                    complete=False,
+                    nbytes=len(charges.log) * 64,
+                ),
+            )
+            raise
+        cache.store(
+            key,
+            CacheEntry(
+                rows=rows,
+                charge_log=tuple(charges.log),
+                complete=True,
+                nbytes=self._estimate_result_bytes(plan, rows, charges.log),
+            ),
+        )
+        return self._result(plan, rows, charges)
+
+    def _result(self, plan, rows, charges):
         return ExecutionResult(
             columns=plan.columns(),
             rows=rows,
@@ -165,6 +245,14 @@ class QueryEngine:
             rows_examined=charges.rows_examined,
             breakdown=charges.breakdown,
         )
+
+    def _estimate_result_bytes(self, plan, rows, log):
+        overhead = 128 + len(log) * 64
+        if not rows:
+            return overhead
+        avg = self._average_row_bytes(plan.columns(), rows)
+        # ~56 bytes of tuple/pointer overhead per row in CPython.
+        return overhead + len(rows) * (avg + 56 + 8 * len(plan.columns()))
 
     # -- operator evaluation ------------------------------------------------
 
@@ -219,18 +307,30 @@ class QueryEngine:
         rows = self._eval(op.child, charges)
         positions = op.child.positions()
         plan = []
+        all_columns = True
         for item in op.items:
             if isinstance(item.expr, ColumnRef):
-                plan.append(("col", positions[item.expr.name]))
+                plan.append((True, positions[item.expr.name]))
             elif isinstance(item.expr, Literal):
-                plan.append(("lit", item.expr.value))
+                plan.append((False, item.expr.value))
+                all_columns = False
             else:
                 raise ExecutionError(f"unsupported projection {item.expr!r}")
-        out = []
-        for row in rows:
-            out.append(
-                tuple(row[p] if kind == "col" else p for kind, p in plan)
-            )
+        if all_columns:
+            indices = [p for _, p in plan]
+            if len(indices) == 1:
+                p = indices[0]
+                out = [(row[p],) for row in rows]
+            elif indices:
+                getter = itemgetter(*indices)
+                out = [getter(row) for row in rows]
+            else:
+                out = [() for _ in rows]
+        else:
+            out = [
+                tuple(row[p] if is_col else p for is_col, p in plan)
+                for row in rows
+            ]
         charges.charge("project", len(rows) * self.cost_model.project_row_ms, len(rows))
         return out
 
@@ -250,21 +350,30 @@ class QueryEngine:
         right_rows = self._eval(op.right, charges)
         left_pos = op.left.positions()
         right_pos = op.right.positions()
-        build_positions = [right_pos[r] for _, r in op.equalities]
-        probe_positions = [left_pos[l] for l, _ in op.equalities]
-        index = {}
-        for row in right_rows:
-            key = tuple(row[p] for p in build_positions)
-            if any(v is None for v in key):
-                continue
-            index.setdefault(key, []).append(row)
+        build_get, build_single = _key_plan(
+            [right_pos[r] for _, r in op.equalities]
+        )
+        probe_get, probe_single = _key_plan(
+            [left_pos[l] for l, _ in op.equalities]
+        )
+        index = _hash_index(right_rows, build_get, build_single)
         out = []
-        for row in left_rows:
-            key = tuple(row[p] for p in probe_positions)
-            if any(v is None for v in key):
-                continue
-            for match in index.get(key, ()):
-                out.append(row + match)
+        append = out.append
+        lookup = index.get
+        if probe_single:
+            for row in left_rows:
+                key = probe_get(row)
+                if key is None:
+                    continue
+                for match in lookup(key, ()):
+                    append(row + match)
+        else:
+            for row in left_rows:
+                key = probe_get(row)
+                if None in key:
+                    continue
+                for match in lookup(key, ()):
+                    append(row + match)
         model = self.cost_model
         charges.charge(
             "join",
@@ -287,34 +396,39 @@ class QueryEngine:
         branch_indexes = []
         build_work = 0
         for branch in op.branches:
-            build_positions = [right_pos[r] for _, r in branch.equalities]
+            build_get, build_single = _key_plan(
+                [right_pos[r] for _, r in branch.equalities]
+            )
             tag_position = (
                 right_pos[branch.tag_column] if branch.tag_column is not None else None
             )
-            index = {}
-            for row in right_rows:
-                if tag_position is not None and row[tag_position] != branch.tag_value:
-                    continue
-                key = tuple(row[p] for p in build_positions)
-                if any(v is None for v in key):
-                    continue
-                index.setdefault(key, []).append(row)
-                build_work += 1
-            probe_positions = [left_pos[l] for l, _ in branch.equalities]
-            branch_indexes.append((probe_positions, index))
+            if tag_position is None:
+                candidates = right_rows
+            else:
+                tag_value = branch.tag_value
+                candidates = [
+                    row for row in right_rows if row[tag_position] == tag_value
+                ]
+            index = _hash_index(candidates, build_get, build_single)
+            build_work += sum(len(bucket) for bucket in index.values())
+            probe_get, probe_single = _key_plan(
+                [left_pos[l] for l, _ in branch.equalities]
+            )
+            branch_indexes.append((probe_get, probe_single, index))
 
         out = []
+        append = out.append
         for row in left_rows:
             matched = False
-            for probe_positions, index in branch_indexes:
-                key = tuple(row[p] for p in probe_positions)
-                if any(v is None for v in key):
+            for probe_get, probe_single, index in branch_indexes:
+                key = probe_get(row)
+                if (key is None) if probe_single else (None in key):
                     continue
                 for match in index.get(key, ()):
-                    out.append(row + match)
+                    append(row + match)
                     matched = True
             if not matched:
-                out.append(row + null_pad)
+                append(row + null_pad)
 
         model = self.cost_model
         charges.charge(
@@ -360,7 +474,14 @@ class QueryEngine:
         rows = self._eval(op.child, charges)
         positions = op.child.positions()
         key_positions = [positions[k] for k in op.keys]
-        out = sorted(rows, key=lambda r: sort_key(r[p] for p in key_positions))
+        if len(key_positions) == 1:
+            p = key_positions[0]
+            out = sorted(rows, key=lambda r: NoneFirst(r[p]))
+        elif key_positions:
+            getter = itemgetter(*key_positions)
+            out = sorted(rows, key=lambda r: sort_key(getter(r)))
+        else:
+            out = list(rows)
 
         model = self.cost_model
         n = len(rows)
@@ -383,11 +504,47 @@ class QueryEngine:
         # are unrepresentative (e.g. the narrow supplier rows come first).
         stride = max(len(rows) // sample, 1)
         sampled = rows[::stride]
+        width_fns = [width_function(col.sql_type) for col in columns]
         total = 0
         for row in sampled:
-            for col, value in zip(columns, row):
+            for fn, value in zip(width_fns, row):
                 if value is None:
                     total += 1  # null marker
                 else:
-                    total += col.sql_type.value_width(value)
+                    total += fn(value)
         return total / len(sampled)
+
+
+def _key_plan(positions):
+    """Compile join-key extraction: ``(extractor, single)``.
+
+    Multi-column keys use :func:`operator.itemgetter` (a tuple per row, as
+    before); single-column keys skip the tuple entirely — the scalar is the
+    key and ``is None`` replaces the per-element NULL scan.
+    """
+    if not positions:
+        return _EMPTY_KEY, False
+    if len(positions) == 1:
+        return itemgetter(positions[0]), True
+    return itemgetter(*positions), False
+
+
+def _EMPTY_KEY(row):
+    return ()
+
+
+def _hash_index(rows, key_get, single):
+    """Hash-build ``rows`` into {key: [rows]}, skipping NULL keys."""
+    index = {}
+    setdefault = index.setdefault
+    if single:
+        for row in rows:
+            key = key_get(row)
+            if key is not None:
+                setdefault(key, []).append(row)
+    else:
+        for row in rows:
+            key = key_get(row)
+            if None not in key:
+                setdefault(key, []).append(row)
+    return index

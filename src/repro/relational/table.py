@@ -16,6 +16,9 @@ class Table:
     def __init__(self, schema):
         self.schema = schema
         self.rows = []
+        #: Monotonic mutation counter; feeds the database generation that
+        #: versions :class:`repro.relational.cache.PlanResultCache` keys.
+        self.version = 0
         self._key_index = {}
         self._indexes = {}
         self._unique_indexes = {}
@@ -64,6 +67,7 @@ class Table:
         self._key_index[key] = row
         self.rows.append(row)
         self._indexes.clear()
+        self.version += 1
         return row
 
     def _check_types(self, row):

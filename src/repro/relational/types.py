@@ -61,6 +61,29 @@ class SqlType(enum.Enum):
         raise AssertionError(f"unhandled type {self}")
 
 
+_WIDTH_FUNCTIONS = {}
+
+
+def width_function(sql_type):
+    """A memoized fast-path callable ``value -> width`` for one type.
+
+    Equivalent to :meth:`SqlType.value_width` for non-NULL values but
+    avoids the per-value enum dispatch: variable-width types return
+    ``len`` itself, fixed-width types a constant function.  Hot loops
+    (transfer costing, sort-width sampling) bind one callable per column
+    instead of re-deciding the type per field.
+    """
+    fn = _WIDTH_FUNCTIONS.get(sql_type)
+    if fn is None:
+        if sql_type in (SqlType.VARCHAR, SqlType.CHAR):
+            fn = len
+        else:
+            width = sql_type.storage_width
+            fn = lambda value, _width=width: _width  # noqa: E731
+        _WIDTH_FUNCTIONS[sql_type] = fn
+    return fn
+
+
 _STORAGE_WIDTHS = {
     SqlType.INTEGER: 4,
     SqlType.DECIMAL: 8,

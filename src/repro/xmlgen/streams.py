@@ -121,15 +121,18 @@ def decode_stream(spec, rows, layout):
                         values=values,
                     )
                 )
-        # The row pins everything up to the terminal unit's deepest member;
-        # instances beyond that position wait for their group to close.
-        terminal_member = path[-1].members[-1]
-        terminal_values = {
+        # The row pins everything up to its own sort position — the
+        # terminal unit's *representative* (whose index is the row's L
+        # prefix).  Merged members deeper than the representative sort
+        # after rows still to come (e.g. a sibling subtree with a smaller
+        # ordinal kept as its own unit), so they wait in ``pending``.
+        representative = path[-1].representative
+        rep_values = {
             stv.name: row[positions[stv.name]]
-            for stv in terminal_member.args
+            for stv in representative.args
             if stv.name in positions
         }
-        threshold = layout.instance_key(terminal_member, terminal_values)
+        threshold = layout.instance_key(representative, rep_values)
 
         ready = [i for i in decoded if i.key <= threshold]
         pending.extend(i for i in decoded if i.key > threshold)

@@ -127,3 +127,70 @@ class TestWorkloadDefinitions:
         for text in (QUERY_1, QUERY_2):
             tree = load_view(text, tiny_db.schema)
             assert len(tree.edges) == 9
+
+
+class TestCachedAndParallelSweep:
+    @pytest.fixture(scope="class")
+    def sample(self, q1_tree):
+        return [
+            unified_partition(q1_tree),
+            fully_partitioned(q1_tree),
+            Partition([(1, 1)]),
+            Partition([(1, 1), (1, 2), (1, 3)]),
+            Partition([(1, 4), (1, 4, 1)]),
+            Partition([(1, 4), (1, 4, 2)]),
+        ]
+
+    def test_cached_sweep_timings_bit_identical(
+        self, q1_tree, tiny_db, tiny_conn, sample
+    ):
+        kwargs = dict(partitions=sample, reduce=True, budget_ms=50.0)
+        uncached = sweep_partitions(
+            q1_tree, tiny_db.schema, tiny_conn, cache=False, **kwargs
+        )
+        cached = sweep_partitions(
+            q1_tree, tiny_db.schema, tiny_conn, cache=True, **kwargs
+        )
+        assert cached.timings == uncached.timings
+        assert uncached.cache_stats is None
+        assert cached.cache_stats.hits > 0  # subtree queries recur
+
+    def test_workers_match_serial(self, q1_tree, tiny_db, tiny_conn, sample):
+        kwargs = dict(partitions=sample, reduce=True, budget_ms=50.0)
+        serial = sweep_partitions(
+            q1_tree, tiny_db.schema, tiny_conn, cache=False, **kwargs
+        )
+        threaded = sweep_partitions(
+            q1_tree, tiny_db.schema, tiny_conn, cache=False, workers=3,
+            **kwargs
+        )
+        assert threaded.timings == serial.timings  # same values, same order
+
+    def test_workers_with_shared_cache(self, q1_tree, tiny_db, tiny_conn, sample):
+        from repro.relational.cache import PlanResultCache
+
+        serial = sweep_partitions(
+            q1_tree, tiny_db.schema, tiny_conn, cache=False,
+            partitions=sample, reduce=True,
+        )
+        shared = PlanResultCache()
+        first = sweep_partitions(
+            q1_tree, tiny_db.schema, tiny_conn, cache=shared, workers=2,
+            partitions=sample, reduce=True,
+        )
+        second = sweep_partitions(
+            q1_tree, tiny_db.schema, tiny_conn, cache=shared, workers=2,
+            partitions=sample, reduce=True,
+        )
+        assert first.timings == serial.timings
+        assert second.timings == serial.timings
+        # The second sweep found every plan already cached.
+        assert second.cache_stats.misses == first.cache_stats.misses
+
+    def test_sweep_restores_engine_cache(self, q1_tree, tiny_db, tiny_conn):
+        before = tiny_conn.engine.cache
+        sweep_partitions(
+            q1_tree, tiny_db.schema, tiny_conn,
+            partitions=[fully_partitioned(q1_tree)],
+        )
+        assert tiny_conn.engine.cache is before

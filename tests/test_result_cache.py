@@ -1,0 +1,271 @@
+"""Tests for the cross-plan result cache (repro.relational.cache).
+
+The cache's contract is strict: a hit must replay the *exact* simulated
+execution — byte-identical rows, ``server_ms``, ``rows_examined``, the
+per-operator breakdown (including dict insertion order), and the same
+:class:`TimeoutExceeded` at the same accumulated total.  These tests
+compare cached engines against uncached ones across the paper workload
+queries on both configurations' cost models, and check invalidation when
+the underlying database mutates.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.errors import TimeoutExceeded
+from repro.core.partition import (
+    Partition,
+    enumerate_partitions,
+    fully_partitioned,
+    unified_partition,
+)
+from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.relational.cache import CacheEntry, PlanResultCache
+from repro.relational.engine import (
+    CONFIG_A_COST_MODEL,
+    CONFIG_B_COST_MODEL,
+    CostModel,
+    QueryEngine,
+)
+from repro.tpch.generator import TpchGenerator, TpchScale
+
+
+def sample_partitions(tree):
+    """A small but structurally diverse set of plans: unified, fully
+    partitioned, and a couple of mixed cuts."""
+    edges = sorted(child.index for _, child in tree.edges)
+    return [
+        unified_partition(tree),
+        fully_partitioned(tree),
+        Partition(edges[: len(edges) // 2]),
+        Partition(edges[::2]),
+    ]
+
+
+def run_specs(engine, specs, budget_ms=None):
+    """Execute every spec; returns (results, timeout_or_None) where a
+    timeout is recorded as (spec index, budget, total)."""
+    results = []
+    for i, spec in enumerate(specs):
+        try:
+            results.append(engine.execute(spec.plan, budget_ms=budget_ms))
+        except TimeoutExceeded as exc:
+            return results, (i, exc.budget_ms, exc.elapsed_ms)
+    return results, None
+
+
+def assert_identical(cached, uncached):
+    assert cached.rows == uncached.rows
+    assert cached.columns == uncached.columns
+    assert cached.server_ms == uncached.server_ms
+    assert cached.rows_examined == uncached.rows_examined
+    assert cached.breakdown == uncached.breakdown
+    assert list(cached.breakdown) == list(uncached.breakdown)
+
+
+class TestCachedExecutionIdentity:
+    @pytest.mark.parametrize("cost_model", [
+        CONFIG_A_COST_MODEL, CONFIG_B_COST_MODEL,
+    ], ids=["config-a", "config-b"])
+    @pytest.mark.parametrize("tree_fixture", ["q1_tree", "q2_tree"])
+    def test_bit_identical_across_plans(
+        self, request, tree_fixture, cost_model, tiny_db
+    ):
+        tree = request.getfixturevalue(tree_fixture)
+        cached_engine = QueryEngine(
+            tiny_db, cost_model, cache=PlanResultCache()
+        )
+        plain_engine = QueryEngine(tiny_db, cost_model)
+        for style in (PlanStyle.OUTER_JOIN, PlanStyle.OUTER_UNION):
+            generator = SqlGenerator(
+                tree, tiny_db.schema, style=style, reduce=True
+            )
+            for partition in sample_partitions(tree):
+                for spec in generator.streams_for_partition(partition):
+                    reference = plain_engine.execute(spec.plan)
+                    first = cached_engine.execute(spec.plan)
+                    replayed = cached_engine.execute(spec.plan)
+                    assert_identical(first, reference)
+                    assert_identical(replayed, reference)
+        stats = cached_engine.cache.stats()
+        assert stats.hits > 0  # shared subtrees + the explicit re-run
+        assert stats.misses == stats.stores
+
+    def test_include_startup_modes_keyed_separately(self, q1_tree, tiny_db):
+        # Some charges are running-total float deltas, so the two timing
+        # modes differ at the ulp level; each mode gets its own entry and
+        # each replays bit-identically against its own uncached run.
+        engine = QueryEngine(tiny_db, CostModel(), cache=PlanResultCache())
+        plain = QueryEngine(tiny_db, CostModel())
+        spec = SqlGenerator(q1_tree, tiny_db.schema).streams_for_partition(
+            unified_partition(q1_tree)
+        )[0]
+        engine.execute(spec.plan, include_startup=True)
+        for include_startup in (False, True):
+            got = engine.execute(spec.plan, include_startup=include_startup)
+            want = plain.execute(spec.plan, include_startup=include_startup)
+            assert_identical(got, want)
+        assert engine.cache.stats().hits == 1
+        assert engine.cache.stats().misses == 2
+
+    def test_timeout_replay_identical(self, q1_tree, tiny_db):
+        generator = SqlGenerator(q1_tree, tiny_db.schema, reduce=True)
+        specs = generator.streams_for_partition(unified_partition(q1_tree))
+        plain = QueryEngine(tiny_db, CostModel())
+        reference, ref_timeout = run_specs(plain, specs, budget_ms=1.0)
+        assert ref_timeout is not None
+        cached = QueryEngine(tiny_db, CostModel(), cache=PlanResultCache())
+        for _ in range(2):  # second pass replays the incomplete entry
+            results, timeout = run_specs(cached, specs, budget_ms=1.0)
+            assert timeout == ref_timeout
+            for got, want in zip(results, reference):
+                assert_identical(got, want)
+
+    def test_incomplete_entry_upgrades_on_larger_budget(self, q1_tree, tiny_db):
+        generator = SqlGenerator(q1_tree, tiny_db.schema, reduce=True)
+        spec = generator.streams_for_partition(unified_partition(q1_tree))[0]
+        plain = QueryEngine(tiny_db, CostModel())
+        reference = plain.execute(spec.plan)
+        cached = QueryEngine(tiny_db, CostModel(), cache=PlanResultCache())
+        with pytest.raises(TimeoutExceeded):
+            cached.execute(spec.plan, budget_ms=1.0)
+        # The stored prefix cannot prove a timeout under no budget, so the
+        # full run happens and upgrades the entry to a complete one.
+        assert_identical(cached.execute(spec.plan), reference)
+        assert_identical(cached.execute(spec.plan), reference)
+        assert cached.cache.stats().hits == 1
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_property_random_plan_and_budget(self, data, q1_tree, tiny_db):
+        """Any (partition, style, budget) behaves identically cached and
+        uncached — same rows/timings on success, same timeout otherwise."""
+        partitions = list(enumerate_partitions(q1_tree))
+        partition = data.draw(st.sampled_from(partitions))
+        style = data.draw(st.sampled_from(list(PlanStyle)))
+        budget_ms = data.draw(
+            st.sampled_from([None, 0.5, 2.0, 25.0, 100000.0])
+        )
+        generator = SqlGenerator(
+            q1_tree, tiny_db.schema, style=style, reduce=True
+        )
+        specs = generator.streams_for_partition(partition)
+        plain = QueryEngine(tiny_db, CONFIG_A_COST_MODEL)
+        cached = QueryEngine(
+            tiny_db, CONFIG_A_COST_MODEL, cache=PlanResultCache()
+        )
+        reference, ref_timeout = run_specs(plain, specs, budget_ms=budget_ms)
+        for _ in range(2):
+            results, timeout = run_specs(cached, specs, budget_ms=budget_ms)
+            assert timeout == ref_timeout
+            for got, want in zip(results, reference):
+                assert_identical(got, want)
+
+
+class TestInvalidation:
+    def make_db(self):
+        scale = TpchScale(suppliers=4, parts=6, customers=4, orders=8)
+        return TpchGenerator(scale=scale, seed=7).generate()
+
+    def test_mutation_bumps_generation_and_misses(self, q1_tree):
+        db = self.make_db()
+        engine = QueryEngine(db, CostModel(), cache=PlanResultCache())
+        spec = SqlGenerator(q1_tree, db.schema).streams_for_partition(
+            unified_partition(q1_tree)
+        )[0]
+        before = engine.execute(spec.plan)
+        generation = db.generation
+        nation = db.table("Nation")
+        nation.insert(nationkey=99, name="ATLANTIS", regionkey=0)
+        assert db.generation == generation + 1
+        after = engine.execute(spec.plan)
+        # No stale hit: the second execution really ran (two misses).
+        assert engine.cache.stats().hits == 0
+        assert engine.cache.stats().misses == 2
+        assert after.rows != before.rows or after.server_ms != before.server_ms
+
+    def test_distinct_databases_never_collide(self, q1_tree):
+        db_a = self.make_db()
+        db_b = self.make_db()
+        cache = PlanResultCache()
+        spec = SqlGenerator(q1_tree, db_a.schema).streams_for_partition(
+            unified_partition(q1_tree)
+        )[0]
+        QueryEngine(db_a, CostModel(), cache=cache).execute(spec.plan)
+        QueryEngine(db_b, CostModel(), cache=cache).execute(spec.plan)
+        assert cache.stats().hits == 0
+        assert cache.stats().misses == 2
+
+    def test_cost_model_is_part_of_the_key(self, q1_tree, tiny_db):
+        cache = PlanResultCache()
+        spec = SqlGenerator(q1_tree, tiny_db.schema).streams_for_partition(
+            unified_partition(q1_tree)
+        )[0]
+        a = QueryEngine(tiny_db, CONFIG_A_COST_MODEL, cache=cache)
+        b = QueryEngine(tiny_db, CONFIG_B_COST_MODEL, cache=cache)
+        result_a = a.execute(spec.plan)
+        result_b = b.execute(spec.plan)
+        assert cache.stats().hits == 0
+        assert result_a.server_ms != result_b.server_ms
+
+
+class TestCacheBookkeeping:
+    def entry(self, nbytes, tag):
+        return CacheEntry(
+            rows=[(tag,)], charge_log=(("scan", 1.0, 1),),
+            complete=True, nbytes=nbytes,
+        )
+
+    def test_lru_eviction_under_memory_bound(self):
+        cache = PlanResultCache(max_bytes=1000)
+        for i in range(4):
+            cache.store(("plan", i), self.entry(300, i))
+        # 4 * 300 > 1000: the least recently used entry was evicted.
+        assert len(cache) == 3
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.current_bytes == 900
+        assert cache.lookup(("plan", 0)) is None
+        assert cache.lookup(("plan", 3)).rows == [(3,)]
+
+    def test_lookup_refreshes_recency(self):
+        cache = PlanResultCache(max_bytes=1000)
+        for i in range(3):
+            cache.store(("plan", i), self.entry(300, i))
+        cache.lookup(("plan", 0))  # refresh the oldest
+        cache.store(("plan", 3), self.entry(300, 3))
+        assert cache.lookup(("plan", 0)) is not None
+        assert cache.lookup(("plan", 1)) is None
+
+    def test_oversize_entry_rejected(self):
+        cache = PlanResultCache(max_bytes=100)
+        cache.store(("big",), self.entry(500, 0))
+        assert len(cache) == 0
+        assert cache.stats().oversize_rejections == 1
+
+    def test_clear_resets_contents_not_counters(self):
+        cache = PlanResultCache()
+        cache.store(("plan",), self.entry(64, 0))
+        cache.lookup(("plan",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().current_bytes == 0
+        assert cache.stats().hits == 1
+
+    def test_incomplete_entry_needs_provable_timeout(self):
+        cache = PlanResultCache()
+        entry = CacheEntry(
+            rows=None, charge_log=(("scan", 5.0, 10), ("sort", 5.0, 0)),
+            complete=False, nbytes=128,
+        )
+        cache.store(("plan",), entry)
+        assert cache.lookup(("plan",), spent_ms=0.0, budget_ms=None) is None
+        assert cache.lookup(("plan",), spent_ms=0.0, budget_ms=20.0) is None
+        hit = cache.lookup(("plan",), spent_ms=0.0, budget_ms=8.0)
+        assert hit is entry
+        assert hit.replay_raises(0.0, 8.0)
+        assert not hit.replay_raises(0.0, 10.0)  # exactly on budget: no raise

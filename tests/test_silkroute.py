@@ -139,3 +139,25 @@ class TestExplainWith:
     def test_plain_explain_has_no_ctes(self, view):
         sqls = view.explain("unified", reduce=False)
         assert not any(sql.startswith("WITH") for sql in sqls)
+
+
+class TestPlannerCaching:
+    def test_planner_reused_per_style_and_reduce(self, view):
+        first = view.greedy_plan()
+        assert first.oracle_requests > 0
+        assert len(view._planners) == 1
+        [planner] = view._planners.values()
+        view.greedy_plan()
+        assert len(view._planners) == 1
+        assert next(iter(view._planners.values())) is planner
+        # The memoized oracle answered every repeated component query.
+        assert planner.oracle_requests == first.oracle_requests
+        view.greedy_plan(reduce=False)
+        view.greedy_plan(style=PlanStyle.OUTER_UNION)
+        assert len(view._planners) == 3
+
+    def test_keep_passthrough(self, view):
+        plan = view.greedy_plan(keep=[(1, 4)])
+        assert (1, 4) in (plan.mandatory | plan.optional)
+        # A distinct keep list is a distinct planner.
+        assert (PlanStyle.OUTER_JOIN, True, ((1, 4),)) in view._planners
