@@ -15,7 +15,9 @@ import json
 import pathlib
 import time
 
+from repro.bench.queries import QUERY_1
 from repro.bench.sweep import sweep_partitions
+from repro.core.silkroute import SilkRoute
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -76,4 +78,68 @@ def test_cached_sweep_speedup(config_a, trees_a, report_writer):
     )
     # Loose bound: the acceptance target is >=3x on a quiet machine; keep
     # the assertion tolerant of loaded CI runners.
+    assert speedup >= 1.5
+
+
+def test_concurrent_dispatch_makespan(config_a, report_writer):
+    """Concurrent dispatch of one multi-stream plan.
+
+    Sequentially a plan's simulated elapsed query time is the *sum* of its
+    subquery server times; with one worker per stream it is their *max*
+    (plus nothing — the dispatcher has no simulated overhead).  The
+    speedup is deterministic: it only depends on the plan's server-time
+    profile, so the assertion is exact even on loaded CI runners.  Real
+    wall seconds are recorded for information only — the pure-Python
+    engine holds the GIL, so threads overlap simulated, not real, work.
+    """
+    _, db, conn, _ = config_a
+    view = SilkRoute(conn).define_view(QUERY_1)
+    partition = view.fully_partitioned()
+
+    start = time.perf_counter()
+    _, streams, seq = view.execute_partition(partition, reduce=False)
+    seq_wall = time.perf_counter() - start
+    workers = seq.n_streams
+    start = time.perf_counter()
+    _, _, con = view.execute_partition(
+        partition, reduce=False, workers=workers
+    )
+    con_wall = time.perf_counter() - start
+
+    max_server = max(s.server_ms for s in streams)
+    speedup = seq.elapsed_query_ms / con.elapsed_query_ms
+    payload = {
+        "experiment": "q1_config_a_concurrent_dispatch",
+        "streams": seq.n_streams,
+        "workers": workers,
+        "sequential_elapsed_query_ms": round(seq.elapsed_query_ms, 3),
+        "concurrent_elapsed_query_ms": round(con.elapsed_query_ms, 3),
+        "max_stream_server_ms": round(max_server, 3),
+        "speedup": round(speedup, 2),
+        "sequential_wall_s": round(seq_wall, 3),
+        "concurrent_wall_s": round(con_wall, 3),
+    }
+    (REPO_ROOT / "BENCH_dispatch.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    report_writer(
+        "wallclock_concurrent_dispatch",
+        "\n".join(
+            [
+                f"Q1 / Config A fully-partitioned plan, {seq.n_streams} "
+                f"streams, {workers} workers",
+                f"  sequential elapsed: {seq.elapsed_query_ms:10.2f} ms "
+                f"(simulated; wall {seq_wall:.2f} s)",
+                f"  concurrent elapsed: {con.elapsed_query_ms:10.2f} ms "
+                f"(simulated; wall {con_wall:.2f} s)",
+                f"  max stream server:  {max_server:10.2f} ms   "
+                f"speedup {speedup:.2f}x",
+            ]
+        ),
+    )
+    # Per-stream results and simulated sums are identical either way.
+    assert con.query_ms == seq.query_ms
+    assert con.transfer_ms == seq.transfer_ms
+    # With a worker per stream the makespan IS the slowest subquery.
+    assert con.elapsed_query_ms == max_server
     assert speedup >= 1.5

@@ -18,10 +18,10 @@ thread pool with deterministic result ordering.
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.common.errors import TimeoutExceeded
 from repro.core.partition import enumerate_partitions, partition_subtrees
 from repro.core.sqlgen import PlanStyle, SqlGenerator
 from repro.relational.cache import PlanResultCache
+from repro.relational.dispatch import execute_specs
 
 
 @dataclass(frozen=True)
@@ -83,31 +83,30 @@ class SweepResult:
 
 def run_single_partition(tree, schema, connection, partition,
                          style=PlanStyle.OUTER_JOIN, reduce=False,
-                         budget_ms=None, generator=None):
+                         budget_ms=None, generator=None, stream_workers=None):
     """Execute one plan; returns a :class:`PlanTiming`.
 
     Pass a prebuilt ``generator`` (one per sweep) to reuse its memoized
-    per-subtree stream specs across partitions.
+    per-subtree stream specs across partitions.  ``stream_workers``
+    dispatches the plan's subqueries concurrently
+    (:func:`repro.relational.dispatch.execute_specs`); the recorded
+    simulated timings and timeout behaviour are identical either way.
     """
     if generator is None:
         generator = SqlGenerator(tree, schema, style=style, reduce=reduce)
     specs = generator.streams_for_partition(partition)
-    query_ms = 0.0
-    transfer_ms = 0.0
-    try:
-        for spec in specs:
-            stream = connection.execute(
-                spec.plan,
-                compact_rows=spec.compact,
-                budget_ms=budget_ms,
-                label=spec.label,
-            )
-            query_ms += stream.server_ms
-            transfer_ms += stream.transfer_ms
-    except TimeoutExceeded:
+    streams, timeout = execute_specs(
+        connection, specs, budget_ms=budget_ms, workers=stream_workers
+    )
+    if timeout is not None:
         return PlanTiming(
             partition=partition, n_streams=len(specs), timed_out=True
         )
+    query_ms = 0.0
+    transfer_ms = 0.0
+    for stream in streams:
+        query_ms += stream.server_ms
+        transfer_ms += stream.transfer_ms
     return PlanTiming(
         partition=partition,
         n_streams=len(specs),
@@ -118,7 +117,8 @@ def run_single_partition(tree, schema, connection, partition,
 
 def sweep_partitions(tree, schema, connection, style=PlanStyle.OUTER_JOIN,
                      reduce=False, budget_ms=None, partitions=None,
-                     progress=None, cache=True, workers=None):
+                     progress=None, cache=True, workers=None,
+                     stream_workers=None):
     """Execute every plan (or the given ``partitions``); returns a
     :class:`SweepResult`.
 
@@ -134,6 +134,9 @@ def sweep_partitions(tree, schema, connection, style=PlanStyle.OUTER_JOIN,
     Result ordering is deterministic (timings follow the input partition
     order) and per-subquery timeouts are handled inside each worker, so a
     timed-out plan is recorded exactly as in the serial path.
+    ``stream_workers`` additionally dispatches each plan's subqueries
+    concurrently (usually redundant when ``workers`` already saturates the
+    pool).
     """
     if partitions is None:
         partitions = list(enumerate_partitions(tree))
@@ -152,7 +155,7 @@ def sweep_partitions(tree, schema, connection, style=PlanStyle.OUTER_JOIN,
             return run_single_partition(
                 tree, schema, connection, partition,
                 style=style, reduce=reduce, budget_ms=budget_ms,
-                generator=generator,
+                generator=generator, stream_workers=stream_workers,
             )
 
         timings = []

@@ -53,11 +53,20 @@ class TimeoutExceeded(ExecutionError):
     Mirrors the paper's 5-minute per-subquery timeout in the Config-A
     exhaustive sweep: plans whose subqueries exceed the budget report no
     time at all.
+
+    When the timeout is raised (or re-raised) on behalf of a whole plan,
+    ``stream_label`` names the subquery stream that overran its budget and
+    ``report`` carries the partial
+    :class:`~repro.core.silkroute.PlanReport` — the streams completed
+    before the offender — so callers can inspect which stream timed out
+    without re-running the plan.
     """
 
-    def __init__(self, budget_ms, elapsed_ms):
+    def __init__(self, budget_ms, elapsed_ms, stream_label=None, report=None):
         self.budget_ms = budget_ms
         self.elapsed_ms = elapsed_ms
+        self.stream_label = stream_label
+        self.report = report
         super().__init__(
             f"simulated time {elapsed_ms:.0f}ms exceeded budget {budget_ms:.0f}ms"
         )

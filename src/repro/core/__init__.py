@@ -20,7 +20,13 @@ from repro.core.reduction import (
 )
 from repro.core.sqlgen import SqlGenerator, StreamSpec, PlanStyle
 from repro.core.greedy import GreedyPlanner, GreedyPlan, GreedyParameters
-from repro.core.silkroute import SilkRoute, MaterializedView, PlanReport
+from repro.core.silkroute import (
+    MaterializedView,
+    PlanReport,
+    SilkRoute,
+    StreamReport,
+    XmlView,
+)
 
 __all__ = [
     "ViewTree",
@@ -49,4 +55,6 @@ __all__ = [
     "SilkRoute",
     "MaterializedView",
     "PlanReport",
+    "StreamReport",
+    "XmlView",
 ]

@@ -12,6 +12,7 @@ downstream user works with::
     print(result.report.total_ms)
 """
 
+import time
 from dataclasses import dataclass, field
 
 from repro.common.errors import PlanError, TimeoutExceeded
@@ -27,8 +28,10 @@ from repro.core.partition import (
 from repro.core.sqlgen import PlanStyle, SqlGenerator
 from repro.core.viewtree import build_view_tree
 from repro.relational.cache import PlanResultCache
+from repro.relational.dispatch import execute_specs, simulated_makespan
 from repro.relational.estimator import CostEstimator
 from repro.rxl.parser import parse_rxl
+from repro.xmlgen.serializer import XmlWriter
 from repro.xmlgen.tagger import tag_streams
 
 
@@ -45,7 +48,16 @@ class StreamReport:
 
 @dataclass
 class PlanReport:
-    """What happened when one plan was executed."""
+    """What happened when one plan was executed.
+
+    ``query_ms`` / ``transfer_ms`` are the paper's figures — *sums* of the
+    per-stream simulated times, independent of how the streams were
+    dispatched.  ``elapsed_query_ms`` / ``elapsed_total_ms`` are the
+    simulated elapsed times under the dispatch that actually ran
+    (``workers`` concurrent submissions): equal to the sums sequentially,
+    approaching the per-stream max with enough workers.  ``wall_s`` is the
+    real (harness) execution time — the only non-deterministic field.
+    """
 
     partition: Partition
     n_streams: int
@@ -53,15 +65,32 @@ class PlanReport:
     transfer_ms: float
     streams: list
     timed_out: bool = False
+    #: Label of the stream whose subquery exceeded the budget (None unless
+    #: ``timed_out``); ``streams`` then holds the reports of the streams
+    #: completed before it, in spec order.
+    timed_out_label: str = None
+    workers: int = 1
+    elapsed_query_ms: float = None
+    elapsed_total_ms: float = None
+    wall_s: float = None
 
     @property
     def total_ms(self):
+        """Query plus transfer time; explicitly ``nan`` for a timed-out
+        report ("no time was reported") — check :attr:`timed_out` before
+        aggregating."""
+        if self.timed_out:
+            return float("nan")
         return self.query_ms + self.transfer_ms
 
 
 @dataclass
 class MaterializedView:
-    """The result of materializing a view: the document plus its report."""
+    """The result of materializing a view: the document plus its report.
+
+    For :meth:`XmlView.materialize_to` the document went to the caller's
+    sink and ``xml`` is None.
+    """
 
     xml: str
     report: PlanReport
@@ -133,11 +162,22 @@ class XmlView:
         return [spec.sql for spec in specs]
 
     def execute_partition(self, partition, style=PlanStyle.OUTER_JOIN,
-                          reduce=False, budget_ms=None):
+                          reduce=False, budget_ms=None, workers=None):
         """Execute one plan; returns ``(specs, streams, report)``.
 
         A subquery exceeding ``budget_ms`` (simulated server time) marks the
         report as timed out, mirroring the paper's "no time was reported".
+
+        ``workers`` > 1 dispatches the plan's subqueries concurrently on a
+        thread pool.  Specs, streams, and the report are identical to the
+        sequential run (the simulated engine is deterministic and the
+        result cache is single-flighted) except for the dispatch fields:
+        ``report.elapsed_query_ms`` / ``elapsed_total_ms`` become the
+        simulated makespan over ``workers`` workers — approaching
+        ``max(server_ms)`` instead of ``sum(server_ms)`` — and ``wall_s``
+        reflects the real concurrent execution.  Timeout semantics are
+        preserved: the first stream (in spec order) to exceed the budget
+        wins, and in-flight later streams are cancelled or drained.
         """
         generator = SqlGenerator(
             self.tree, self.silkroute.schema, style=style, reduce=reduce
@@ -149,26 +189,24 @@ class XmlView:
                 source.check_plan_features(
                     spec.uses_outer_join(), spec.uses_union()
                 )
-        streams = []
-        reports = []
-        try:
-            for spec in specs:
-                stream = self.silkroute.connection.execute(
-                    spec.plan,
-                    compact_rows=spec.compact,
-                    budget_ms=budget_ms,
-                    label=spec.label,
-                )
-                streams.append(stream)
-                reports.append(
-                    StreamReport(
-                        label=spec.label,
-                        rows=len(stream),
-                        server_ms=stream.server_ms,
-                        transfer_ms=stream.transfer_ms,
-                    )
-                )
-        except TimeoutExceeded:
+        start = time.perf_counter()
+        streams, timeout = execute_specs(
+            self.silkroute.connection, specs,
+            budget_ms=budget_ms, workers=workers,
+        )
+        wall_s = time.perf_counter() - start
+        reports = [
+            StreamReport(
+                label=spec.label,
+                rows=len(stream),
+                server_ms=stream.server_ms,
+                transfer_ms=stream.transfer_ms,
+                sql=spec.sql,
+            )
+            for spec, stream in zip(specs, streams)
+        ]
+        n_workers = max(workers or 1, 1)
+        if timeout is not None:
             report = PlanReport(
                 partition=partition,
                 n_streams=len(specs),
@@ -176,6 +214,11 @@ class XmlView:
                 transfer_ms=float("nan"),
                 streams=reports,
                 timed_out=True,
+                timed_out_label=timeout.stream_label,
+                workers=n_workers,
+                elapsed_query_ms=float("nan"),
+                elapsed_total_ms=float("nan"),
+                wall_s=wall_s,
             )
             return specs, None, report
         report = PlanReport(
@@ -184,30 +227,148 @@ class XmlView:
             query_ms=sum(s.server_ms for s in streams),
             transfer_ms=sum(s.transfer_ms for s in streams),
             streams=reports,
+            workers=n_workers,
+            elapsed_query_ms=simulated_makespan(
+                (s.server_ms for s in streams), n_workers
+            ),
+            elapsed_total_ms=simulated_makespan(
+                (s.server_ms + s.transfer_ms for s in streams), n_workers
+            ),
+            wall_s=wall_s,
         )
         return specs, streams, report
 
     def materialize(self, partition=None, style=PlanStyle.OUTER_JOIN,
                     reduce=True, root_tag="view", indent=None,
-                    budget_ms=None, greedy_params=None):
+                    budget_ms=None, greedy_params=None, workers=None):
         """Materialize the view as XML.
 
         Without an explicit ``partition``, the greedy algorithm chooses the
         plan (its recommended member).  ``partition`` may also be the string
-        ``"unified"`` or ``"fully-partitioned"``.
+        ``"unified"`` or ``"fully-partitioned"``.  ``workers`` dispatches
+        the plan's subqueries concurrently (see :meth:`execute_partition`);
+        the produced document is identical either way.
+
+        On a budget overrun the raised
+        :class:`~repro.common.errors.TimeoutExceeded` carries the partial
+        :class:`PlanReport` (``exc.report``) and the label of the offending
+        stream (``exc.stream_label``).
         """
         partition = self._resolve_partition(
             partition, style, reduce, greedy_params
         )
         specs, streams, report = self.execute_partition(
-            partition, style=style, reduce=reduce, budget_ms=budget_ms
+            partition, style=style, reduce=reduce, budget_ms=budget_ms,
+            workers=workers,
         )
         if streams is None:
-            raise TimeoutExceeded(budget_ms, float("nan"))
+            raise TimeoutExceeded(
+                budget_ms, float("nan"),
+                stream_label=report.timed_out_label, report=report,
+            )
         xml, tagger = tag_streams(
             self.tree, specs, streams, root_tag=root_tag, indent=indent
         )
         return MaterializedView(xml=xml, report=report, tagger=tagger)
+
+    def materialize_to(self, sink, partition=None, style=PlanStyle.OUTER_JOIN,
+                       reduce=True, root_tag="view", indent=None,
+                       budget_ms=None, greedy_params=None):
+        """Stream the view's XML into a file-like ``sink`` in bounded memory.
+
+        The full pipeline runs lazily: each subquery executes through the
+        engine's Volcano iterator
+        (:meth:`~repro.relational.engine.QueryEngine.execute_iter`), decoded
+        instances feed the k-way document-order merge, and the tagger
+        writes to ``sink`` as it goes — so neither the tuple streams nor
+        the document are ever held in memory and the paper's constant-space
+        tagger bound (Sec. 3.3) survives end to end.  The bytes written are
+        identical to ``materialize(...).xml``.
+
+        Returns a :class:`MaterializedView` whose ``xml`` is None and whose
+        report's per-stream timings match the materializing path
+        bit-identically (the iterator engine charges operators in the batch
+        engine's evaluation order).  On a
+        budget overrun the raised
+        :class:`~repro.common.errors.TimeoutExceeded` carries the partial
+        report; streams the merge had not yet finished appear with the
+        rows/charges consumed so far.
+        """
+        partition = self._resolve_partition(
+            partition, style, reduce, greedy_params
+        )
+        generator = SqlGenerator(
+            self.tree, self.silkroute.schema, style=style, reduce=reduce
+        )
+        specs = generator.streams_for_partition(partition)
+        source = self.silkroute.source
+        if source is not None:
+            for spec in specs:
+                source.check_plan_features(
+                    spec.uses_outer_join(), spec.uses_union()
+                )
+        connection = self.silkroute.connection
+        writer = XmlWriter(sink=sink, indent=indent)
+        start = time.perf_counter()
+        cursors = []
+        try:
+            for spec in specs:
+                cursors.append(
+                    connection.execute_iter(
+                        spec.plan,
+                        compact_rows=spec.compact,
+                        budget_ms=budget_ms,
+                        sql=spec.sql,
+                        label=spec.label,
+                    )
+                )
+            _, tagger = tag_streams(
+                self.tree, specs, cursors, root_tag=root_tag, writer=writer
+            )
+        except TimeoutExceeded as exc:
+            exc.report = self._cursor_report(
+                partition, specs, cursors, timed_out=True,
+                timed_out_label=exc.stream_label,
+                wall_s=time.perf_counter() - start,
+            )
+            raise
+        report = self._cursor_report(
+            partition, specs, cursors, timed_out=False, timed_out_label=None,
+            wall_s=time.perf_counter() - start,
+        )
+        return MaterializedView(xml=None, report=report, tagger=tagger)
+
+    def _cursor_report(self, partition, specs, cursors, timed_out,
+                       timed_out_label, wall_s):
+        reports = [
+            StreamReport(
+                label=spec.label,
+                rows=cursor.rows_read,
+                server_ms=cursor.server_ms,
+                transfer_ms=cursor.transfer_ms,
+                sql=spec.sql,
+            )
+            for spec, cursor in zip(specs, cursors)
+        ]
+        nan = float("nan")
+        return PlanReport(
+            partition=partition,
+            n_streams=len(specs),
+            query_ms=nan if timed_out else sum(c.server_ms for c in cursors),
+            transfer_ms=(
+                nan if timed_out else sum(c.transfer_ms for c in cursors)
+            ),
+            streams=reports,
+            timed_out=timed_out,
+            timed_out_label=timed_out_label,
+            elapsed_query_ms=(
+                nan if timed_out else sum(c.server_ms for c in cursors)
+            ),
+            elapsed_total_ms=(
+                nan if timed_out else sum(c.total_ms for c in cursors)
+            ),
+            wall_s=wall_s,
+        )
 
     def query(self, xmlql_text, root_tag="result", indent=None):
         """Run an XML-QL query against this view *virtually* (Sec. 7):

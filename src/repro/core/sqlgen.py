@@ -78,7 +78,12 @@ class StreamSpec:
 
     @property
     def sql(self):
-        """The SQL text actually sent to the RDBMS (rendered lazily)."""
+        """The SQL text actually sent to the RDBMS (rendered lazily).
+
+        Specs are shared across threads by the concurrent dispatcher; the
+        lazy render is idempotent, so the benign race at worst renders the
+        text twice (the dispatcher pre-renders before fanning out anyway).
+        """
         if self._sql is None:
             self._sql = render_sql(self.plan)
         return self._sql

@@ -45,12 +45,18 @@ from repro.relational.algebra import (
     ConstantColumn,
 )
 from repro.relational.cache import CacheStats, PlanResultCache
-from repro.relational.engine import CostModel, QueryEngine, ExecutionResult
+from repro.relational.engine import CostModel, QueryEngine, ExecutionResult, IterResult
 from repro.relational.estimator import CostEstimator, EstimateCache
 from repro.relational.explain import explain_plan
 from repro.relational.sqlparse import parse_sql
 from repro.relational.sqltext import render_sql
-from repro.relational.connection import Connection, TupleStream, SourceDescription
+from repro.relational.connection import (
+    Connection,
+    SourceDescription,
+    TupleCursor,
+    TupleStream,
+)
+from repro.relational.dispatch import execute_specs, simulated_makespan
 
 __all__ = [
     "SqlType",
@@ -83,10 +89,14 @@ __all__ = [
     "CostModel",
     "QueryEngine",
     "ExecutionResult",
+    "IterResult",
     "CostEstimator",
     "EstimateCache",
     "Connection",
+    "TupleCursor",
     "TupleStream",
+    "execute_specs",
+    "simulated_makespan",
     "SourceDescription",
     "explain_plan",
     "parse_sql",

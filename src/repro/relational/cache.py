@@ -124,6 +124,8 @@ class PlanResultCache:
         self.max_bytes = max_bytes
         self._entries = OrderedDict()
         self._lock = threading.Lock()
+        self._pending = set()
+        self._pending_cv = threading.Condition(self._lock)
         self._hits = 0
         self._misses = 0
         self._stores = 0
@@ -152,6 +154,35 @@ class PlanResultCache:
             self._entries.move_to_end(key)
             self._hits += 1
             return entry
+
+    def begin(self, key):
+        """Single-flight guard for concurrent misses on the same key.
+
+        Returns True when the caller becomes the *leader* for ``key`` (it
+        must execute the plan and call :meth:`finish` when done, whether or
+        not it stored an entry).  When another thread is already computing
+        the same key, blocks until that leader finishes and returns False —
+        the caller should then re-:meth:`lookup` (the leader's entry is
+        usually usable; if not, e.g. an incomplete entry under a larger
+        budget, the next ``begin`` makes the caller the new leader).
+
+        This is what makes concurrent stream dispatch insert each distinct
+        plan *once*: N simultaneous misses produce one execution and N-1
+        replays instead of N executions racing to store.
+        """
+        with self._pending_cv:
+            if key not in self._pending:
+                self._pending.add(key)
+                return True
+            while key in self._pending:
+                self._pending_cv.wait()
+            return False
+
+    def finish(self, key):
+        """Release the single-flight guard taken by :meth:`begin`."""
+        with self._pending_cv:
+            self._pending.discard(key)
+            self._pending_cv.notify_all()
 
     def store(self, key, entry):
         """Insert (or replace) one entry, evicting LRU entries as needed.

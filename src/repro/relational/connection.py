@@ -20,7 +20,7 @@ produced by a wide outer join bind every declared column.
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import PlanError
+from repro.common.errors import PlanError, TimeoutExceeded
 from repro.relational.engine import QueryEngine
 from repro.relational.types import width_function
 
@@ -84,6 +84,66 @@ class TupleStream:
         )
 
 
+class TupleCursor:
+    """A *streaming* query result: rows are produced on demand.
+
+    The iterator twin of :class:`TupleStream` — ``Connection.execute_iter``
+    returns one instead of a materialized stream.  Iterating drives the
+    engine's Volcano pipeline row by row; per-row transfer cost is charged
+    as each row crosses the client boundary, with the same per-row formula
+    (and float accumulation order) as the materializing path, so after
+    exhaustion ``transfer_ms`` matches ``TupleStream.transfer_ms`` and
+    ``server_ms`` matches the batch engine's — both bit-identically.
+
+    ``server_ms`` / ``transfer_ms`` / ``rows_read`` read the charges
+    accumulated *so far*; they are final once :attr:`exhausted` is True.
+    A :class:`~repro.common.errors.TimeoutExceeded` budget overrun
+    surfaces from the consuming ``next()`` call.
+    """
+
+    def __init__(self, iter_result, row_cost_fn, sql=None, label=None):
+        self.columns = iter_result.columns
+        self.sql = sql
+        self.label = label
+        self.transfer_ms = 0.0
+        self.rows_read = 0
+        self._iter_result = iter_result
+
+        def rows():
+            try:
+                for row in iter_result:
+                    self.transfer_ms += row_cost_fn(row)
+                    self.rows_read += 1
+                    yield row
+            except TimeoutExceeded as exc:
+                if exc.stream_label is None:
+                    exc.stream_label = self.label
+                raise
+        self._rows = rows()
+
+    @property
+    def server_ms(self):
+        return self._iter_result.server_ms
+
+    @property
+    def exhausted(self):
+        return self._iter_result.exhausted
+
+    @property
+    def total_ms(self):
+        return self.server_ms + self.transfer_ms
+
+    def __iter__(self):
+        return self._rows
+
+    def __repr__(self):
+        state = "done" if self.exhausted else "open"
+        return (
+            f"TupleCursor({self.label or '?'}: {self.rows_read} rows {state}, "
+            f"query {self.server_ms:.1f}ms + transfer {self.transfer_ms:.1f}ms)"
+        )
+
+
 class Connection:
     """A client connection to the simulated RDBMS.
 
@@ -134,7 +194,39 @@ class Connection:
             label=label,
         )
 
-    def _transfer_cost(self, columns, rows, compact_rows):
+    def execute_iter(self, plan, compact_rows=False, budget_ms=None, sql=None,
+                     label=None):
+        """Execute ``plan`` streaming; return a :class:`TupleCursor`.
+
+        The engine runs its Volcano pipeline
+        (:meth:`~repro.relational.engine.QueryEngine.execute_iter`), so
+        neither the server result nor the client-side rows are ever held as
+        a whole — memory stays bounded by the largest pipeline-breaker
+        (typically the final ORDER BY, whose buffer is drained
+        destructively).  Budget overruns raise from the consuming
+        ``next()``.  A result-cache hit replays its charge log and streams
+        the cached rows; misses are *not* inserted (that would require
+        materializing).
+        """
+        try:
+            iter_result = self.engine.execute_iter(plan, budget_ms=budget_ms)
+        except TimeoutExceeded as exc:
+            # The startup charge alone blew the budget — the cursor was
+            # never built, so label the error here.
+            if exc.stream_label is None:
+                exc.stream_label = label
+            raise
+        return TupleCursor(
+            iter_result,
+            self._row_cost_fn(iter_result.columns, compact_rows),
+            sql=sql,
+            label=label,
+        )
+
+    def _row_cost_fn(self, columns, compact_rows):
+        """The per-row transfer charge as a compiled closure — shared by the
+        materializing and streaming paths so both accumulate identical
+        per-row costs in identical order."""
         model = self.transfer_model
         declared_width = len(columns)
         width_fns = [width_function(col.sql_type) for col in columns]
@@ -151,15 +243,23 @@ class Connection:
             wide_factor = 1.0 + model.wide_row_factor * (
                 declared_width - model.wide_threshold
             )
-        total = 0.0
-        for row in rows:
-            cost = row_ms
+
+        def cost(row):
+            ms = row_ms
             for fn, value in zip(width_fns, row):
                 if value is None:
-                    cost += null_field_ms
+                    ms += null_field_ms
                 else:
-                    cost += field_ms + fn(value) * byte_ms
+                    ms += field_ms + fn(value) * byte_ms
             if wide:
-                cost *= wide_factor
-            total += cost
+                ms *= wide_factor
+            return ms
+
+        return cost
+
+    def _transfer_cost(self, columns, rows, compact_rows):
+        row_cost = self._row_cost_fn(columns, compact_rows)
+        total = 0.0
+        for row in rows:
+            total += row_cost(row)
         return total

@@ -122,6 +122,53 @@ class ExecutionResult:
         return len(self.rows)
 
 
+class IterResult:
+    """Result of a streaming execution: a row iterator plus live charges.
+
+    ``server_ms`` / ``rows_examined`` / ``breakdown`` read the underlying
+    accumulator *as charged so far*; they are final once :attr:`exhausted`
+    is True (the iterator has been fully drained).
+    """
+
+    def __init__(self, columns, charges):
+        self.columns = columns
+        self._charges = charges
+        self._rows = None
+        self.exhausted = False
+
+    def _attach(self, generator):
+        def tracked():
+            yield from generator
+            self.exhausted = True
+        self._rows = tracked()
+
+    def __iter__(self):
+        return self._rows
+
+    @property
+    def server_ms(self):
+        return self._charges.total_ms
+
+    @property
+    def rows_examined(self):
+        return self._charges.rows_examined
+
+    @property
+    def breakdown(self):
+        return self._charges.breakdown
+
+
+def _shared_fingerprints(plan):
+    """Fingerprints occurring more than once in ``plan`` — the sub-plans the
+    optimizer's common-subexpression sharing will re-read, which the
+    streaming path must therefore materialize on first evaluation."""
+    counts = {}
+    for op in algebra.walk(plan):
+        fp = op.fingerprint()
+        counts[fp] = counts.get(fp, 0) + 1
+    return frozenset(fp for fp, n in counts.items() if n > 1)
+
+
 class _Charges:
     """Mutable accumulator for simulated cost, with a timeout budget.
 
@@ -205,37 +252,109 @@ class QueryEngine:
             self.cost_model,
             include_startup,
         )
-        entry = cache.lookup(key, spent_ms=charges.total_ms, budget_ms=budget_ms)
-        if entry is not None:
-            charges.replay(entry.charge_log)
-            # An incomplete entry is only served when the replay is
-            # guaranteed to raise, so reaching here means the entry is
-            # complete and ``entry.rows`` is the full result.
-            return self._result(plan, entry.rows, charges)
-        charges.log = []
+        while True:
+            entry = cache.lookup(
+                key, spent_ms=charges.total_ms, budget_ms=budget_ms
+            )
+            if entry is not None:
+                charges.replay(entry.charge_log)
+                # An incomplete entry is only served when the replay is
+                # guaranteed to raise, so reaching here means the entry is
+                # complete and ``entry.rows`` is the full result.
+                return self._result(plan, entry.rows, charges)
+            # Single-flight: under concurrent dispatch, N simultaneous
+            # misses on the same plan run it once; the waiters loop back
+            # and replay the leader's entry bit-identically.
+            if cache.begin(key):
+                break
         try:
-            rows = self._eval(plan, charges)
-        except TimeoutExceeded:
+            charges.log = []
+            try:
+                rows = self._eval(plan, charges)
+            except TimeoutExceeded:
+                cache.store(
+                    key,
+                    CacheEntry(
+                        rows=None,
+                        charge_log=tuple(charges.log),
+                        complete=False,
+                        nbytes=len(charges.log) * 64,
+                    ),
+                )
+                raise
             cache.store(
                 key,
                 CacheEntry(
-                    rows=None,
+                    rows=rows,
                     charge_log=tuple(charges.log),
-                    complete=False,
-                    nbytes=len(charges.log) * 64,
+                    complete=True,
+                    nbytes=self._estimate_result_bytes(plan, rows, charges.log),
                 ),
             )
-            raise
-        cache.store(
-            key,
-            CacheEntry(
-                rows=rows,
-                charge_log=tuple(charges.log),
-                complete=True,
-                nbytes=self._estimate_result_bytes(plan, rows, charges.log),
-            ),
-        )
+        finally:
+            cache.finish(key)
         return self._result(plan, rows, charges)
+
+    def execute_iter(self, plan, budget_ms=None, include_startup=True):
+        """Run ``plan`` Volcano-style; return an :class:`IterResult`.
+
+        Rows are produced by a generator pipeline instead of materialized
+        lists: scan → filter → project chains stream row by row, while
+        sort, distinct-build, and hash-join build sides remain pipeline
+        breakers that release their inputs eagerly (a consumed operator's
+        frame — hash indexes, unsorted lists — is freed as soon as its
+        output is drained).  Peak memory is bounded by the largest single
+        pipeline-breaker state instead of the sum of every intermediate
+        result, which is what lets :meth:`XmlView.materialize_to
+        <repro.core.silkroute.XmlView.materialize_to>` stream arbitrarily
+        large views.
+
+        Charges use the *same* cost-model formulas as :meth:`execute`,
+        accounted per operator as its stream completes.  Operators complete
+        in the batch engine's evaluation order (join probe sides are
+        consumed first — materialized — and sub-plans shared within the
+        query are evaluated once and re-read at rescan cost), so the
+        charge log is *identical* — same values, same order — and
+        ``server_ms``, the breakdown, and timeout behaviour match the
+        materializing path bit-for-bit.  ``budget_ms`` raises
+        :class:`~repro.common.errors.TimeoutExceeded` from the consuming
+        ``next()`` call rather than from ``execute_iter`` itself.
+
+        With a :attr:`cache` installed, a hit replays the recorded charge
+        log (bit-identically, on first ``next()``) and streams the cached
+        rows; a *miss is not stored* — storing would require materializing
+        the result, defeating the constant-memory path.
+        """
+        charges = _Charges(self.cost_model, budget_ms)
+        if include_startup:
+            charges.charge("startup", self.cost_model.startup_ms)
+        result = IterResult(plan.columns(), charges)
+        cache = self.cache
+        if cache is not None:
+            key = (
+                plan.fingerprint(),
+                self.database.cache_key(),
+                self.cost_model,
+                include_startup,
+            )
+            entry = cache.lookup(
+                key, spent_ms=charges.total_ms, budget_ms=budget_ms
+            )
+            if entry is not None:
+                def replay_rows():
+                    charges.replay(entry.charge_log)
+                    yield from entry.rows
+                result._attach(replay_rows())
+                return result
+
+        def stream_rows():
+            shared = _shared_fingerprints(plan)
+            try:
+                yield from self._stream(plan, charges, shared)
+            finally:
+                charges.memo.clear()
+        result._attach(stream_rows())
+        return result
 
     def _result(self, plan, rows, charges):
         return ExecutionResult(
@@ -497,6 +616,283 @@ class QueryEngine:
                 cost *= 1.0 + model.spill_factor * overflow
             charges.charge("sort", cost, n)
         return out
+
+    # -- streaming (Volcano-style) evaluation -------------------------------
+    #
+    # Each operator is a generator applying the *same* cost-model formulas
+    # as its batch twin, charged when its stream completes (the generator
+    # chain unwinds bottom-up, so a pipelined scan→filter→project charges
+    # in the batch order).  Sub-plans occurring more than once in the query
+    # (``shared``) are batch-evaluated into the per-execution memo on first
+    # use, exactly like the optimizer's common-subexpression sharing —
+    # re-reading a stream twice is impossible without materializing it.
+
+    def _stream(self, op, charges, shared):
+        key = op.fingerprint()
+        if key in charges.memo:
+            rows = charges.memo[key]
+            charges.memo_hits += 1
+            charges.charge(
+                "rescan", len(rows) * self.cost_model.rescan_row_ms, len(rows)
+            )
+            yield from rows
+            return
+        if key in shared:
+            yield from self._eval(op, charges)
+            return
+        yield from self._stream_fresh(op, charges, shared)
+
+    def _stream_fresh(self, op, charges, shared):
+        if isinstance(op, Scan):
+            return self._stream_scan(op, charges)
+        if isinstance(op, Filter):
+            return self._stream_filter(op, charges, shared)
+        if isinstance(op, Project):
+            return self._stream_project(op, charges, shared)
+        if isinstance(op, Distinct):
+            return self._stream_distinct(op, charges, shared)
+        if isinstance(op, InnerJoin):
+            return self._stream_inner_join(op, charges, shared)
+        if isinstance(op, LeftOuterJoin):
+            return self._stream_outer_join(op, charges, shared)
+        if isinstance(op, OuterUnion):
+            return self._stream_union(op, charges, shared)
+        if isinstance(op, Sort):
+            return self._stream_sort(op, charges, shared)
+        raise ExecutionError(f"cannot execute operator {op!r}")
+
+    def _stream_scan(self, op, charges):
+        rows = self.database.table(op.table_schema.name).rows
+        charges.charge("scan", len(rows) * self.cost_model.scan_row_ms, len(rows))
+        yield from rows
+
+    def _stream_filter(self, op, charges, shared):
+        positions = op.child.positions()
+        predicate = op.predicate
+        n = 0
+        for row in self._stream(op.child, charges, shared):
+            n += 1
+            if predicate.evaluate(row, positions):
+                yield row
+        charges.charge("filter", n * self.cost_model.filter_row_ms, n)
+
+    def _stream_project(self, op, charges, shared):
+        positions = op.child.positions()
+        plan = []
+        all_columns = True
+        for item in op.items:
+            if isinstance(item.expr, ColumnRef):
+                plan.append((True, positions[item.expr.name]))
+            elif isinstance(item.expr, Literal):
+                plan.append((False, item.expr.value))
+                all_columns = False
+            else:
+                raise ExecutionError(f"unsupported projection {item.expr!r}")
+        n = 0
+        child = self._stream(op.child, charges, shared)
+        if all_columns:
+            indices = [p for _, p in plan]
+            if len(indices) == 1:
+                p = indices[0]
+                for row in child:
+                    n += 1
+                    yield (row[p],)
+            elif indices:
+                getter = itemgetter(*indices)
+                for row in child:
+                    n += 1
+                    yield getter(row)
+            else:
+                for row in child:
+                    n += 1
+                    yield ()
+        else:
+            for row in child:
+                n += 1
+                yield tuple(row[p] if is_col else p for is_col, p in plan)
+        charges.charge("project", n * self.cost_model.project_row_ms, n)
+
+    def _stream_distinct(self, op, charges, shared):
+        seen = set()
+        n = 0
+        for row in self._stream(op.child, charges, shared):
+            n += 1
+            if row not in seen:
+                seen.add(row)
+                yield row
+        charges.charge("distinct", n * self.cost_model.hash_row_ms, n)
+
+    def _stream_inner_join(self, op, charges, shared):
+        # The probe (left) side is consumed *first and materialized*: the
+        # batch engine evaluates left before right, and matching that order
+        # keeps the memo's common-subexpression assignments — hence the
+        # whole charge log — bit-identical.  The build side streams into
+        # its hash index and the join output is never held.
+        left_rows = list(self._stream(op.left, charges, shared))
+        left_pos = op.left.positions()
+        right_pos = op.right.positions()
+        build_get, build_single = _key_plan(
+            [right_pos[r] for _, r in op.equalities]
+        )
+        probe_get, probe_single = _key_plan(
+            [left_pos[l] for l, _ in op.equalities]
+        )
+        index = {}
+        setdefault = index.setdefault
+        n_right = 0
+        for row in self._stream(op.right, charges, shared):
+            n_right += 1
+            key = build_get(row)
+            if (key is None) if build_single else (None in key):
+                continue
+            setdefault(key, []).append(row)
+        lookup = index.get
+        n_out = 0
+        for i in range(len(left_rows)):
+            row = left_rows[i]
+            left_rows[i] = None
+            key = probe_get(row)
+            if (key is None) if probe_single else (None in key):
+                continue
+            for match in lookup(key, ()):
+                n_out += 1
+                yield row + match
+        model = self.cost_model
+        charges.charge(
+            "join",
+            n_right * model.hash_row_ms
+            + len(left_rows) * model.probe_row_ms
+            + n_out * model.join_out_row_ms,
+            len(left_rows) + n_right,
+        )
+
+    def _stream_outer_join(self, op, charges, shared):
+        # As in the inner join: left (probe) side first and materialized to
+        # mirror the batch engine's evaluation — and charge — order; the
+        # right side (the derived table) streams into the per-branch
+        # indexes in one pass, and the joined output is never held.
+        left_rows = list(self._stream(op.left, charges, shared))
+        left_pos = op.left.positions()
+        right_pos = op.right.positions()
+        null_pad = (None,) * len(op.right.columns())
+
+        branch_builds = []
+        for branch in op.branches:
+            build_get, build_single = _key_plan(
+                [right_pos[r] for _, r in branch.equalities]
+            )
+            tag_position = (
+                right_pos[branch.tag_column]
+                if branch.tag_column is not None else None
+            )
+            probe_get, probe_single = _key_plan(
+                [left_pos[l] for l, _ in branch.equalities]
+            )
+            branch_builds.append(
+                (build_get, build_single, tag_position, branch.tag_value,
+                 probe_get, probe_single, {})
+            )
+
+        right_start_ms = charges.total_ms
+        n_right = 0
+        build_work = 0
+        for row in self._stream(op.right, charges, shared):
+            n_right += 1
+            for (build_get, build_single, tag_position, tag_value,
+                 _, _, index) in branch_builds:
+                if tag_position is not None and row[tag_position] != tag_value:
+                    continue
+                key = build_get(row)
+                if (key is None) if build_single else (None in key):
+                    continue
+                index.setdefault(key, []).append(row)
+                build_work += 1
+        right_cost_ms = charges.total_ms - right_start_ms
+
+        n_out = 0
+        for i in range(len(left_rows)):
+            row = left_rows[i]
+            left_rows[i] = None
+            matched = False
+            for (_, _, _, _, probe_get, probe_single, index) in branch_builds:
+                key = probe_get(row)
+                if (key is None) if probe_single else (None in key):
+                    continue
+                for match in index.get(key, ()):
+                    n_out += 1
+                    yield row + match
+                    matched = True
+            if not matched:
+                n_out += 1
+                yield row + null_pad
+
+        model = self.cost_model
+        charges.charge(
+            "outer_join",
+            build_work * model.hash_row_ms
+            + len(left_rows) * len(op.branches) * model.probe_row_ms
+            + n_out * model.join_out_row_ms,
+            len(left_rows) + n_right,
+        )
+        if algebra.outer_join_nesting(op.right) >= model.reevaluation_threshold:
+            reevaluations = max(len(left_rows) - 1, 0)
+            penalty = reevaluations * right_cost_ms * model.reevaluation_factor
+            if model.speed:
+                penalty /= model.speed
+            charges.charge("outer_join_reevaluation", penalty)
+
+    def _stream_union(self, op, charges, shared):
+        out_columns = op.column_names()
+        seen = set() if op.distinct else None
+        n_out = 0
+        for child in op.inputs:
+            child_names = child.column_names()
+            mapping = {name: i for i, name in enumerate(child_names)}
+            slots = [mapping.get(name) for name in out_columns]
+            for row in self._stream(child, charges, shared):
+                out = tuple(None if s is None else row[s] for s in slots)
+                if seen is not None:
+                    if out in seen:
+                        continue
+                    seen.add(out)
+                n_out += 1
+                yield out
+        charges.charge("union", n_out * self.cost_model.union_row_ms, n_out)
+
+    def _stream_sort(self, op, charges, shared):
+        rows = list(self._stream(op.child, charges, shared))
+        positions = op.child.positions()
+        key_positions = [positions[k] for k in op.keys]
+        if len(key_positions) == 1:
+            p = key_positions[0]
+            out = sorted(rows, key=lambda r: NoneFirst(r[p]))
+        elif key_positions:
+            getter = itemgetter(*key_positions)
+            out = sorted(rows, key=lambda r: sort_key(getter(r)))
+        else:
+            out = rows
+
+        model = self.cost_model
+        n = len(rows)
+        if n:
+            row_bytes = self._average_row_bytes(op.child.columns(), rows)
+            comparisons = n * math.log2(n + 1)
+            cost = comparisons * model.sort_cmp_ms * (
+                1.0 + row_bytes / model.sort_width_norm
+            )
+            total_bytes = n * row_bytes
+            if total_bytes > model.sort_memory_bytes:
+                overflow = total_bytes / model.sort_memory_bytes - 1.0
+                cost *= 1.0 + model.spill_factor * overflow
+            charges.charge("sort", cost, n)
+        del rows
+        # Drain destructively: a consumed row's slot is released so fully
+        # tagged prefixes of an arbitrarily large stream can be collected
+        # while the tail is still being merged.
+        for i in range(len(out)):
+            row = out[i]
+            out[i] = None
+            yield row
 
     @staticmethod
     def _average_row_bytes(columns, rows, sample=500):

@@ -14,9 +14,10 @@ from repro.xmlgen.streams import (
     Instance,
     ComparatorLayout,
     decode_stream,
+    iter_instances,
     merge_streams,
 )
-from repro.xmlgen.serializer import XmlWriter, escape_text
+from repro.xmlgen.serializer import CountingSink, XmlWriter, escape_text
 from repro.xmlgen.tagger import XmlTagger, tag_streams
 from repro.xmlgen.dtd import Dtd, parse_dtd, validate_document
 
@@ -24,7 +25,9 @@ __all__ = [
     "Instance",
     "ComparatorLayout",
     "decode_stream",
+    "iter_instances",
     "merge_streams",
+    "CountingSink",
     "XmlWriter",
     "escape_text",
     "XmlTagger",

@@ -74,3 +74,16 @@ class XmlWriter:
         if isinstance(self.sink, io.StringIO):
             return self.sink.getvalue()
         raise TypeError("writer is backed by an external sink")
+
+
+class CountingSink:
+    """A file-like sink that discards everything it is given, counting
+    characters — lets benchmarks and dry runs drive the full streaming
+    serialization path without accumulating the document anywhere."""
+
+    def __init__(self):
+        self.chars = 0
+
+    def write(self, text):
+        self.chars += len(text)
+        return len(text)

@@ -148,3 +148,20 @@ def decode_stream(spec, rows, layout):
 def merge_streams(instance_iterables):
     """K-way merge of per-stream instance sequences into document order."""
     return heapq.merge(*instance_iterables, key=lambda inst: inst.key)
+
+
+def iter_instances(tree, specs, row_sources, layout=None):
+    """The merged document-order instance iterator of a set of streams.
+
+    ``row_sources`` may be materialized
+    :class:`~repro.relational.connection.TupleStream` results or lazy
+    :class:`~repro.relational.connection.TupleCursor` iterators — decoding
+    pulls rows on demand either way, so with cursors the whole
+    decode→merge pipeline runs in bounded memory (the heap holds one
+    pending instance per stream)."""
+    if layout is None:
+        layout = ComparatorLayout(tree)
+    return merge_streams(
+        [decode_stream(spec, rows, layout)
+         for spec, rows in zip(specs, row_sources)]
+    )

@@ -16,7 +16,7 @@ streams do not cover some node).
 
 from repro.core.viewtree import Stv
 from repro.xmlgen.serializer import XmlWriter
-from repro.xmlgen.streams import ComparatorLayout, decode_stream, merge_streams
+from repro.xmlgen.streams import iter_instances
 
 
 class XmlTagger:
@@ -111,16 +111,15 @@ def tag_streams(tree, specs, streams, root_tag="view", indent=None, writer=None)
     """Decode, merge, and tag a set of executed streams.
 
     ``specs`` are the :class:`~repro.core.sqlgen.StreamSpec` objects and
-    ``streams`` the matching executed row sources (any iterables of tuples).
+    ``streams`` the matching executed row sources (any iterables of tuples —
+    materialized ``TupleStream`` lists or lazy ``TupleCursor`` pipelines;
+    with cursors and a sink-backed ``writer`` the whole
+    decode→merge→tag→serialize path runs in constant memory).
     Returns ``(xml_text_or_writer, tagger)``.
     """
-    layout = ComparatorLayout(tree)
-    decoded = [
-        decode_stream(spec, rows, layout) for spec, rows in zip(specs, streams)
-    ]
     writer = writer or XmlWriter(indent=indent)
     tagger = XmlTagger(tree, writer, root_tag=root_tag)
-    tagger.run(merge_streams(decoded))
+    tagger.run(iter_instances(tree, specs, streams))
     try:
         return writer.getvalue(), tagger
     except TypeError:

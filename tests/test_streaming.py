@@ -1,0 +1,218 @@
+"""Tests for the streaming execution pipeline (PR: streaming tentpole).
+
+Three surfaces are covered:
+
+* :meth:`XmlView.materialize_to` — the constant-memory path must produce
+  byte-identical XML and a bit-identical report versus ``materialize()``,
+  across queries, plan styles, partition strategies, reduction, and result
+  cache warm/cold (property-based).
+* :meth:`Connection.execute_iter` / the engine's Volcano iterators — lazy
+  evaluation with the same charge log as the batch path.
+* Concurrent dispatch — ``execute_partition(workers=N)`` must be
+  indistinguishable from the sequential run except for the dispatch
+  fields, including under timeouts and a shared result cache.
+"""
+
+import io
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.errors import TimeoutExceeded
+from repro.core.silkroute import SilkRoute
+from repro.core.sqlgen import PlanStyle
+from repro.relational.cache import PlanResultCache
+from repro.relational.connection import Connection
+from repro.relational.engine import CostModel
+from repro.bench.queries import QUERY_1, QUERY_2
+
+
+@pytest.fixture(scope="module")
+def views(tiny_db):
+    """Views over two independent connections: one uncached ("cold"), one
+    with a shared result cache ("warm" — examples re-populate it)."""
+
+    def make(cache):
+        silk = SilkRoute(Connection(tiny_db, CostModel()), cache=cache)
+        return {
+            "Q1": silk.define_view(QUERY_1),
+            "Q2": silk.define_view(QUERY_2),
+        }
+
+    return {"cold": make(False), "warm": make(True)}
+
+
+@pytest.fixture(scope="module")
+def q1_view(tiny_db):
+    silk = SilkRoute(Connection(tiny_db, CostModel()))
+    return silk.define_view(QUERY_1)
+
+
+def assert_same_stream_reports(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert (ra.label, ra.rows, ra.server_ms, ra.transfer_ms, ra.sql) == (
+            rb.label, rb.rows, rb.server_ms, rb.transfer_ms, rb.sql
+        )
+
+
+class TestMaterializeToProperty:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        query=st.sampled_from(["Q1", "Q2"]),
+        style=st.sampled_from([PlanStyle.OUTER_JOIN, PlanStyle.OUTER_UNION]),
+        strategy=st.sampled_from(["unified", "fully-partitioned", None]),
+        reduce=st.booleans(),
+        cache=st.sampled_from(["cold", "warm"]),
+    )
+    def test_byte_identical_and_report_identical(
+        self, views, query, style, strategy, reduce, cache
+    ):
+        view = views[cache][query]
+        if cache == "warm":
+            # Populate the result cache so the streaming run replays hits.
+            view.materialize(strategy, style=style, reduce=reduce)
+        ref = view.materialize(strategy, style=style, reduce=reduce)
+        sink = io.StringIO()
+        out = view.materialize_to(sink, strategy, style=style, reduce=reduce)
+        assert sink.getvalue() == ref.xml
+        assert out.xml is None
+        assert out.report.query_ms == ref.report.query_ms
+        assert out.report.transfer_ms == ref.report.transfer_ms
+        assert out.report.total_ms == ref.report.total_ms
+        assert_same_stream_reports(ref.report.streams, out.report.streams)
+
+
+class TestExecuteIter:
+    def test_lazy_rows_match_batch(self, tiny_conn, q1_view, tiny_db):
+        from repro.core.sqlgen import SqlGenerator
+
+        generator = SqlGenerator(q1_view.tree, tiny_db.schema)
+        specs = generator.streams_for_partition(q1_view.unified_partition())
+        for spec in specs:
+            batch = tiny_conn.execute(spec.plan, compact_rows=spec.compact)
+            cursor = tiny_conn.execute_iter(
+                spec.plan, compact_rows=spec.compact
+            )
+            assert not cursor.exhausted
+            assert list(cursor) == list(batch)
+            assert cursor.exhausted
+            assert cursor.rows_read == len(batch)
+            assert cursor.server_ms == batch.server_ms
+            assert cursor.transfer_ms == batch.transfer_ms
+
+    def test_charges_accrue_incrementally(self, tiny_conn, q1_view, tiny_db):
+        from repro.core.sqlgen import SqlGenerator
+
+        generator = SqlGenerator(q1_view.tree, tiny_db.schema)
+        [spec] = generator.streams_for_partition(q1_view.unified_partition())
+        cursor = tiny_conn.execute_iter(spec.plan, compact_rows=spec.compact)
+        rows = iter(cursor)
+        next(rows)
+        mid_transfer = cursor.transfer_ms
+        assert mid_transfer > 0
+        for _ in rows:
+            pass
+        assert cursor.transfer_ms > mid_transfer
+
+    def test_budget_raises_with_label(self, tiny_conn, q1_view, tiny_db):
+        from repro.core.sqlgen import SqlGenerator
+
+        generator = SqlGenerator(q1_view.tree, tiny_db.schema)
+        [spec] = generator.streams_for_partition(q1_view.unified_partition())
+        with pytest.raises(TimeoutExceeded) as exc_info:
+            cursor = tiny_conn.execute_iter(
+                spec.plan, budget_ms=0.001, label=spec.label
+            )
+            list(cursor)
+        assert exc_info.value.stream_label == spec.label
+
+
+class TestConcurrentDispatch:
+    def test_identical_to_sequential(self, q1_view):
+        part = q1_view.fully_partitioned()
+        specs_s, streams_s, seq = q1_view.execute_partition(part, reduce=False)
+        specs_c, streams_c, con = q1_view.execute_partition(
+            part, reduce=False, workers=4
+        )
+        assert [s.sql for s in specs_s] == [s.sql for s in specs_c]
+        assert [list(s) for s in streams_s] == [list(s) for s in streams_c]
+        assert_same_stream_reports(seq.streams, con.streams)
+        assert seq.query_ms == con.query_ms
+        assert seq.transfer_ms == con.transfer_ms
+        assert seq.workers == 1 and con.workers == 4
+        # Sequential makespan is the sum; concurrent approaches the max.
+        assert seq.elapsed_query_ms == seq.query_ms
+        assert con.elapsed_query_ms < seq.elapsed_query_ms
+        assert con.elapsed_query_ms >= max(
+            s.server_ms for s in streams_s
+        )
+
+    def test_stream_report_sql_populated(self, q1_view):
+        _, _, report = q1_view.execute_partition(
+            q1_view.fully_partitioned(), reduce=False
+        )
+        for stream_report in report.streams:
+            assert stream_report.sql.lstrip().upper().startswith("SELECT")
+
+    def test_timeout_deterministic_across_workers(self, q1_view):
+        part = q1_view.fully_partitioned()
+        _, streams, _ = q1_view.execute_partition(part, reduce=False)
+        times = sorted(s.server_ms for s in streams)
+        budget = (times[-1] + times[-2]) / 2
+        _, s1, r1 = q1_view.execute_partition(
+            part, reduce=False, budget_ms=budget
+        )
+        _, s2, r2 = q1_view.execute_partition(
+            part, reduce=False, budget_ms=budget, workers=4
+        )
+        assert s1 is None and s2 is None
+        assert r1.timed_out and r2.timed_out
+        assert r1.timed_out_label == r2.timed_out_label
+        assert [x.label for x in r1.streams] == [x.label for x in r2.streams]
+        assert math.isnan(r1.total_ms) and math.isnan(r2.total_ms)
+
+    def test_materialize_workers_same_document(self, q1_view):
+        a = q1_view.materialize("fully-partitioned", reduce=False)
+        b = q1_view.materialize("fully-partitioned", reduce=False, workers=4)
+        assert a.xml == b.xml
+        assert a.report.query_ms == b.report.query_ms
+
+    def test_materialize_timeout_carries_partial_report(self, q1_view):
+        with pytest.raises(TimeoutExceeded) as exc_info:
+            q1_view.materialize("unified", budget_ms=0.001)
+        exc = exc_info.value
+        assert exc.stream_label is not None
+        assert exc.report is not None
+        assert exc.report.timed_out
+        assert exc.report.timed_out_label == exc.stream_label
+        assert math.isnan(exc.report.total_ms)
+
+    def test_concurrent_cache_single_flight(self, tiny_db):
+        cache = PlanResultCache()
+        silk = SilkRoute(Connection(tiny_db, CostModel()), cache=cache)
+        view = silk.define_view(QUERY_1)
+        part = view.fully_partitioned()
+        _, _, cold = view.execute_partition(part, reduce=False, workers=4)
+        misses_after_cold = cache.stats().misses
+        assert misses_after_cold == cold.n_streams
+        _, _, warm = view.execute_partition(part, reduce=False, workers=4)
+        assert cache.stats().misses == misses_after_cold
+        assert cache.stats().hits >= warm.n_streams
+        assert_same_stream_reports(cold.streams, warm.streams)
+
+
+class TestMaterializeToTimeout:
+    def test_partial_report_attached(self, q1_view):
+        sink = io.StringIO()
+        with pytest.raises(TimeoutExceeded) as exc_info:
+            q1_view.materialize_to(sink, "unified", budget_ms=0.001)
+        exc = exc_info.value
+        assert exc.report is not None
+        assert exc.report.timed_out
+        assert math.isnan(exc.report.total_ms)
