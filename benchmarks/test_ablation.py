@@ -16,12 +16,11 @@ phenomenon is shown to disappear:
 
 import dataclasses
 
-import pytest
 
 from repro.bench.sweep import run_single_partition
 from repro.core.partition import Partition, fully_partitioned, unified_partition
 from repro.core.sqlgen import PlanStyle
-from repro.relational.connection import Connection, TransferModel
+from repro.relational.connection import Connection
 
 
 def _conn(db, cost_model, transfer_model=None):

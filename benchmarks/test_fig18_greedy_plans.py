@@ -6,7 +6,6 @@ verifies against the Config A exhaustive sweep that the generated family
 corresponds directly to the fastest measured plans.
 """
 
-import pytest
 
 from repro.core.greedy import GreedyPlanner
 from repro.core.sqlgen import PlanStyle

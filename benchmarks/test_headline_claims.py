@@ -10,7 +10,6 @@
 * "For Query 1, 101 plans timed out; for Query 2, no plans timed out."
 """
 
-import pytest
 
 from repro.bench.report import summarize_sweep
 from repro.bench.sweep import run_single_partition

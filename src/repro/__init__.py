@@ -24,25 +24,31 @@ from repro.common.errors import (
     PlanError,
     ExecutionError,
     TimeoutExceeded,
+    TransientConnectionError,
     DtdError,
     ValidationError,
 )
 from repro.relational import (
+    NO_RETRY,
+    CircuitBreaker,
     Column,
     Connection,
     CostEstimator,
     CostModel,
     Database,
+    FaultPolicy,
     PlanResultCache,
     DatabaseSchema,
     ForeignKey,
     QueryEngine,
+    RetryPolicy,
     SourceDescription,
     SqlType,
     Table,
     TableSchema,
 )
 from repro.core import (
+    ExecutionOptions,
     GreedyParameters,
     GreedyPlan,
     GreedyPlanner,
@@ -72,8 +78,14 @@ __all__ = [
     "PlanError",
     "ExecutionError",
     "TimeoutExceeded",
+    "TransientConnectionError",
     "DtdError",
     "ValidationError",
+    "FaultPolicy",
+    "RetryPolicy",
+    "NO_RETRY",
+    "CircuitBreaker",
+    "ExecutionOptions",
     "Column",
     "Connection",
     "CostEstimator",

@@ -6,7 +6,7 @@ the paper's headline numbers — so ``python -m repro experiments`` (and the
 tests) can enumerate exactly what the reproduction covers.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -18,25 +18,38 @@ thread pool with deterministic result ordering.
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.core.partition import enumerate_partitions, partition_subtrees
+from repro.core.options import UNSET, resolve_options
+from repro.core.partition import enumerate_partitions
 from repro.core.sqlgen import PlanStyle, SqlGenerator
-from repro.relational.cache import PlanResultCache
+from repro.relational.cache import PlanResultCache, resolve_cache
 from repro.relational.dispatch import execute_specs
 
 
 @dataclass(frozen=True)
 class PlanTiming:
-    """One plan's outcome in a sweep."""
+    """One plan's outcome in a sweep.
+
+    ``failed`` marks a plan whose stream exhausted its retries under fault
+    injection (sweeps record the failure instead of degrading the plan —
+    degradation is :meth:`repro.core.silkroute.XmlView.execute_partition`'s
+    job).  ``attempts``/``retries``/``faults_injected``/``backoff_ms``
+    total the resilience accounting over the plan's streams.
+    """
 
     partition: object
     n_streams: int
     query_ms: float = None
     transfer_ms: float = None
     timed_out: bool = False
+    failed: bool = False
+    attempts: int = 0
+    retries: int = 0
+    faults_injected: int = 0
+    backoff_ms: float = 0.0
 
     @property
     def total_ms(self):
-        if self.timed_out:
+        if self.timed_out or self.failed:
             return None
         return self.query_ms + self.transfer_ms
 
@@ -56,10 +69,13 @@ class SweepResult:
         self._by_partition = {t.partition: t for t in self.timings}
 
     def completed(self):
-        return [t for t in self.timings if not t.timed_out]
+        return [t for t in self.timings if not t.timed_out and not t.failed]
 
     def timed_out(self):
         return [t for t in self.timings if t.timed_out]
+
+    def failed(self):
+        return [t for t in self.timings if t.failed]
 
     def fastest(self, n=1, key="query_ms"):
         ranked = sorted(self.completed(), key=lambda t: getattr(t, key))
@@ -83,7 +99,8 @@ class SweepResult:
 
 def run_single_partition(tree, schema, connection, partition,
                          style=PlanStyle.OUTER_JOIN, reduce=False,
-                         budget_ms=None, generator=None, stream_workers=None):
+                         budget_ms=None, generator=None, stream_workers=None,
+                         retry=None, faults=None):
     """Execute one plan; returns a :class:`PlanTiming`.
 
     Pass a prebuilt ``generator`` (one per sweep) to reuse its memoized
@@ -91,20 +108,37 @@ def run_single_partition(tree, schema, connection, partition,
     dispatches the plan's subqueries concurrently
     (:func:`repro.relational.dispatch.execute_specs`); the recorded
     simulated timings and timeout behaviour are identical either way.
+    ``retry``/``faults`` run the plan under the resilience regime: a
+    stream that exhausts its retries marks the timing ``failed`` (sweeps
+    record, they do not degrade).
     """
     if generator is None:
         generator = SqlGenerator(tree, schema, style=style, reduce=reduce)
     specs = generator.streams_for_partition(partition)
-    streams, timeout = execute_specs(
-        connection, specs, budget_ms=budget_ms, workers=stream_workers
+    result = execute_specs(
+        connection, specs, budget_ms=budget_ms, workers=stream_workers,
+        retry=retry, faults=faults,
     )
-    if timeout is not None:
+    all_stats = list(result.stats)
+    failure_stats = getattr(result.failure, "stats", None)
+    if failure_stats is not None:
+        all_stats.append(failure_stats)
+    resilience = dict(
+        attempts=sum(s.attempts for s in all_stats),
+        retries=sum(s.retries for s in all_stats),
+        faults_injected=sum(s.faults for s in all_stats),
+        backoff_ms=sum(s.backoff_ms for s in all_stats),
+    )
+    if result.timeout is not None or result.failure is not None:
         return PlanTiming(
-            partition=partition, n_streams=len(specs), timed_out=True
+            partition=partition, n_streams=len(specs),
+            timed_out=result.timeout is not None,
+            failed=result.failure is not None,
+            **resilience,
         )
     query_ms = 0.0
     transfer_ms = 0.0
-    for stream in streams:
+    for stream in result.streams:
         query_ms += stream.server_ms
         transfer_ms += stream.transfer_ms
     return PlanTiming(
@@ -112,18 +146,30 @@ def run_single_partition(tree, schema, connection, partition,
         n_streams=len(specs),
         query_ms=query_ms,
         transfer_ms=transfer_ms,
+        **resilience,
     )
 
 
-def sweep_partitions(tree, schema, connection, style=PlanStyle.OUTER_JOIN,
-                     reduce=False, budget_ms=None, partitions=None,
-                     progress=None, cache=True, workers=None,
-                     stream_workers=None):
+def sweep_partitions(tree, schema, connection, style=UNSET,
+                     reduce=UNSET, budget_ms=UNSET, partitions=None,
+                     progress=None, cache=True, workers=UNSET,
+                     stream_workers=None, retry=UNSET, faults=UNSET,
+                     options=None):
     """Execute every plan (or the given ``partitions``); returns a
     :class:`SweepResult`.
 
+    Execution knobs (``style``, ``reduce``, ``budget_ms``, ``workers``,
+    ``retry``, ``faults``) may be bundled in an
+    :class:`~repro.core.options.ExecutionOptions` passed as ``options=``;
+    explicit keywords win.  In a sweep, ``workers`` fans *partitions* out
+    over a thread pool of that size (``stream_workers`` is the per-plan
+    subquery fan-out).  The per-method default ``reduce=False`` applies
+    when neither a keyword nor an options object supplies a value.
+
     ``cache`` controls cross-plan result caching for the duration of the
-    sweep: ``True`` (the default) reuses the cache already installed on the
+    sweep, through the same :func:`~repro.relational.cache.resolve_cache`
+    flow as ``Connection(cache=...)`` and ``SilkRoute(cache=...)``:
+    ``True`` (the default) reuses the cache already installed on the
     connection's engine or installs a fresh
     :class:`~repro.relational.cache.PlanResultCache`; ``False`` runs
     uncached; or pass a :class:`PlanResultCache` instance to share one
@@ -133,29 +179,38 @@ def sweep_partitions(tree, schema, connection, style=PlanStyle.OUTER_JOIN,
     ``workers`` fans partitions out over a thread pool of that size.
     Result ordering is deterministic (timings follow the input partition
     order) and per-subquery timeouts are handled inside each worker, so a
-    timed-out plan is recorded exactly as in the serial path.
+    timed-out plan is recorded exactly as in the serial path — and the
+    order-independent fault draws make this hold under ``faults`` too.
     ``stream_workers`` additionally dispatches each plan's subqueries
     concurrently (usually redundant when ``workers`` already saturates the
     pool).
     """
+    opts = resolve_options(
+        options, defaults={"reduce": False}, style=style, reduce=reduce,
+        budget_ms=budget_ms, workers=workers, retry=retry, faults=faults,
+    )
+    style, reduce = opts.style, opts.reduce
+    budget_ms, workers = opts.budget_ms, opts.workers
     if partitions is None:
         partitions = list(enumerate_partitions(tree))
-    generator = SqlGenerator(tree, schema, style=style, reduce=reduce)
+    generator = SqlGenerator(
+        tree, schema, style=style, reduce=reduce, keep=opts.keep
+    )
     engine = connection.engine
     previous = engine.cache
     if cache is True:
+        # The sweep's historical True semantics: reuse the cache already
+        # installed on the engine, else install a fresh one for the sweep.
         engine.cache = previous if previous is not None else PlanResultCache()
-    elif cache is False or cache is None:
-        engine.cache = None
     else:
-        # A PlanResultCache instance (possibly empty — len() is falsy).
-        engine.cache = cache
+        engine.cache = resolve_cache(cache)
     try:
         def run(partition):
             return run_single_partition(
                 tree, schema, connection, partition,
                 style=style, reduce=reduce, budget_ms=budget_ms,
                 generator=generator, stream_workers=stream_workers,
+                retry=opts.retry, faults=opts.faults,
             )
 
         timings = []

@@ -18,8 +18,10 @@ from repro.bench.queries import QUERY_1, QUERY_2, load_view
 from repro.bench.report import format_series
 from repro.bench.sweep import sweep_partitions
 from repro.core.greedy import GreedyPlanner
+from repro.core.options import ExecutionOptions
 from repro.core.silkroute import SilkRoute
 from repro.core.sqlgen import PlanStyle
+from repro.relational.faults import FaultPolicy, RetryPolicy
 from repro.tpch.configs import CONFIG_A, build_configuration
 
 _QUERIES = {"q1": QUERY_1, "q2": QUERY_2}
@@ -27,6 +29,30 @@ _STYLES = {
     "outer-join": PlanStyle.OUTER_JOIN,
     "outer-union": PlanStyle.OUTER_UNION,
 }
+
+
+def _execution_options(args, default_budget_ms=None):
+    """The :class:`ExecutionOptions` described by the command line."""
+    retry = None
+    if args.retries is not None:
+        retry = RetryPolicy(max_attempts=args.retries)
+    faults = None
+    if args.fault_seed is not None or args.fault_rate is not None:
+        faults = FaultPolicy(
+            seed=args.fault_seed if args.fault_seed is not None else 0,
+            error_rate=args.fault_rate if args.fault_rate is not None else 0.0,
+        )
+    budget_ms = args.budget_ms
+    if budget_ms is None:
+        budget_ms = default_budget_ms
+    return ExecutionOptions(
+        style=_STYLES[args.style],
+        reduce=args.reduce,
+        budget_ms=budget_ms,
+        workers=args.workers,
+        retry=retry,
+        faults=faults,
+    )
 
 
 def build_parser():
@@ -44,14 +70,30 @@ def build_parser():
         p.add_argument("--reduce", action="store_true",
                        help="apply view-tree reduction")
 
+    def add_execution(p):
+        p.add_argument("--workers", type=int, default=None,
+                       help="concurrent dispatch width (subqueries, or "
+                            "partitions for sweep)")
+        p.add_argument("--budget-ms", type=float, default=None,
+                       help="per-subquery simulated timeout")
+        p.add_argument("--retries", type=int, default=None,
+                       help="max attempts per stream under fault injection")
+        p.add_argument("--fault-seed", type=int, default=None,
+                       help="deterministic fault-injection seed")
+        p.add_argument("--fault-rate", type=float, default=None,
+                       help="per-attempt transient failure probability")
+
     explain = sub.add_parser("explain", help="print the SQL a plan sends")
     add_common(explain)
     explain.add_argument("--strategy", default="greedy",
                          choices=["unified", "fully-partitioned", "greedy"])
 
+    add_execution(explain)
+
     materialize = sub.add_parser("materialize",
                                  help="materialize the XML view")
     add_common(materialize)
+    add_execution(materialize)
     materialize.add_argument("--strategy", default="greedy",
                              choices=["unified", "fully-partitioned", "greedy"])
     materialize.add_argument("--indent", type=int, default=None)
@@ -64,6 +106,7 @@ def build_parser():
     sweep = sub.add_parser("sweep",
                            help="time all 512 plans (Fig. 13/14 series)")
     add_common(sweep)
+    add_execution(sweep)
     sweep.add_argument("--metric", choices=["query_ms", "total_ms"],
                        default="query_ms")
 
@@ -129,18 +172,18 @@ def main(argv=None, out=sys.stdout):
     style = _STYLES[args.style]
 
     if args.command in ("explain", "materialize"):
+        options = _execution_options(args)
         silk = SilkRoute(connection, estimator=estimator)
         view = silk.define_view(rxl)
         strategy = None if args.strategy == "greedy" else args.strategy
         if args.command == "explain":
-            sqls = view.explain(strategy, style=style, reduce=args.reduce)
+            sqls = view.explain(strategy, options=options)
             for i, sql in enumerate(sqls, 1):
                 print(f"-- query {i} " + "-" * 50, file=out)
                 print(sql, file=out)
             return 0
         result = view.materialize(
-            strategy, style=style, reduce=args.reduce, indent=args.indent,
-            root_tag="view",
+            strategy, indent=args.indent, root_tag="view", options=options,
         )
         if args.out:
             with open(args.out, "w") as sink:
@@ -154,6 +197,15 @@ def main(argv=None, out=sys.stdout):
             f"{result.report.transfer_ms:.0f}ms transfer",
             file=out,
         )
+        if options.faults is not None:
+            report = result.report
+            print(
+                f"-- resilience: {report.attempts} attempt(s), "
+                f"{report.retries} retried, {report.faults_injected} fault(s) "
+                f"injected, {report.backoff_ms:.0f}ms backoff, "
+                f"{len(report.degraded_streams)} stream(s) degraded",
+                file=out,
+            )
         return 0
 
     tree = load_view(rxl, database.schema)
@@ -171,9 +223,11 @@ def main(argv=None, out=sys.stdout):
         return 0
 
     if args.command == "sweep":
+        options = _execution_options(
+            args, default_budget_ms=CONFIG_A.subquery_budget_ms
+        )
         sweep = sweep_partitions(
-            tree, database.schema, connection, style=style,
-            reduce=args.reduce, budget_ms=CONFIG_A.subquery_budget_ms,
+            tree, database.schema, connection, options=options,
         )
         print(
             format_series(

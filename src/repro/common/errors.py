@@ -72,6 +72,42 @@ class TimeoutExceeded(ExecutionError):
         )
 
 
+class TransientConnectionError(ExecutionError):
+    """A simulated transient failure of the client/server connection.
+
+    Raised by a :class:`~repro.relational.faults.FaultPolicy` installed on a
+    :class:`~repro.relational.connection.Connection`: the middle-ware does
+    not control the RDBMS, so a stream execution can fail for reasons that
+    have nothing to do with the plan — the connection dropped, the server
+    shed load.  Transient means *retryable*: re-submitting the same query
+    may succeed (unlike :class:`TimeoutExceeded`, which is deterministic in
+    simulated time and never retried).
+
+    ``stream_label`` names the stream whose execution failed and
+    ``attempt`` is the 1-based submission attempt that drew the fault.
+    When the error is re-raised on behalf of a whole plan — the stream
+    exhausted its :class:`~repro.relational.faults.RetryPolicy` and no
+    finer degradation split existed — ``attempts`` is the total number of
+    submissions spent on the stream and ``report`` carries the partial
+    :class:`~repro.core.silkroute.PlanReport` of the streams completed
+    before it.  ``latency_ms`` is the simulated connection time wasted by
+    the failing attempt (charged to retry deadlines, never to server
+    time).
+    """
+
+    def __init__(self, stream_label=None, attempt=1, latency_ms=0.0,
+                 attempts=None, report=None, reason="injected fault"):
+        self.stream_label = stream_label
+        self.attempt = attempt
+        self.latency_ms = latency_ms
+        self.attempts = attempts if attempts is not None else attempt
+        self.report = report
+        super().__init__(
+            f"transient connection failure on stream "
+            f"{stream_label or '?'} (attempt {attempt}: {reason})"
+        )
+
+
 class DtdError(ReproError):
     """A DTD could not be parsed."""
 

@@ -20,6 +20,7 @@ from repro.core.reduction import (
 )
 from repro.core.sqlgen import SqlGenerator, StreamSpec, PlanStyle
 from repro.core.greedy import GreedyPlanner, GreedyPlan, GreedyParameters
+from repro.core.options import UNSET, ExecutionOptions, resolve_options
 from repro.core.silkroute import (
     MaterializedView,
     PlanReport,
@@ -52,6 +53,9 @@ __all__ = [
     "GreedyPlanner",
     "GreedyPlan",
     "GreedyParameters",
+    "ExecutionOptions",
+    "UNSET",
+    "resolve_options",
     "SilkRoute",
     "MaterializedView",
     "PlanReport",

@@ -23,11 +23,10 @@ below the worst case.
 """
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import PlanError
 from repro.core.partition import Partition, Subtree
-from repro.core.reduction import reduce_subtree
 from repro.core.sqlgen import PlanStyle, SqlGenerator
 
 

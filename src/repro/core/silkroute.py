@@ -10,26 +10,46 @@ downstream user works with::
     result = view.materialize()            # greedy-chosen plan
     print(result.xml)
     print(result.report.total_ms)
+
+Execution knobs can be passed individually or bundled in a frozen
+:class:`~repro.core.options.ExecutionOptions` (``options=``); explicit
+keywords override option fields.
+
+Execution is *fault tolerant*: with a
+:class:`~repro.relational.faults.FaultPolicy` installed on the connection
+and a :class:`~repro.relational.faults.RetryPolicy` in play, transient
+stream failures are retried with simulated backoff, repeat offenders are
+circuit-broken, and a stream that exhausts its retries is *degraded* —
+the failing subtree is re-planned into finer streams (consulting the
+cached greedy family's optional edges first, then the full cut) whose
+sorted outputs splice back into the k-way document merge.  The document
+comes out byte-identical to the fault-free run, just later; only when a
+single-node stream keeps failing does the
+:class:`~repro.common.errors.TransientConnectionError` propagate, with
+the partial :class:`PlanReport` attached.
 """
 
 import time
 from dataclasses import dataclass, field
 
 from repro.common.errors import PlanError, TimeoutExceeded
-from repro.core.greedy import GreedyParameters, GreedyPlanner
+from repro.core.greedy import GreedyPlanner
 from repro.core.labeling import label_view_tree
+from repro.core.options import UNSET, resolve_options
 from repro.core.partition import (
     Partition,
+    Subtree,
     enumerate_partitions,
     fully_partitioned,
     partition_subtrees,
     unified_partition,
 )
-from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.core.sqlgen import SqlGenerator
 from repro.core.viewtree import build_view_tree
-from repro.relational.cache import PlanResultCache
+from repro.relational.cache import resolve_cache
 from repro.relational.dispatch import execute_specs, simulated_makespan
 from repro.relational.estimator import CostEstimator
+from repro.relational.faults import CircuitBreaker
 from repro.rxl.parser import parse_rxl
 from repro.xmlgen.serializer import XmlWriter
 from repro.xmlgen.tagger import tag_streams
@@ -37,13 +57,27 @@ from repro.xmlgen.tagger import tag_streams
 
 @dataclass
 class StreamReport:
-    """Timing and size of one executed tuple stream."""
+    """Timing, size, and resilience accounting of one executed stream.
+
+    ``attempts`` counts submissions to the simulated source (0 when the
+    result was replayed from the plan cache — ``from_cache``); ``retries``
+    / ``faults`` / ``backoff_ms`` / ``fault_latency_ms`` are the
+    resilience overhead, in simulated ms, on top of the fault-free
+    ``server_ms``/``transfer_ms`` (which are unchanged by fault
+    injection).
+    """
 
     label: str
     rows: int
     server_ms: float
     transfer_ms: float
     sql: str = field(repr=False, default="")
+    attempts: int = 1
+    retries: int = 0
+    faults: int = 0
+    backoff_ms: float = 0.0
+    fault_latency_ms: float = 0.0
+    from_cache: bool = False
 
 
 @dataclass
@@ -52,11 +86,20 @@ class PlanReport:
 
     ``query_ms`` / ``transfer_ms`` are the paper's figures — *sums* of the
     per-stream simulated times, independent of how the streams were
-    dispatched.  ``elapsed_query_ms`` / ``elapsed_total_ms`` are the
-    simulated elapsed times under the dispatch that actually ran
-    (``workers`` concurrent submissions): equal to the sums sequentially,
-    approaching the per-stream max with enough workers.  ``wall_s`` is the
-    real (harness) execution time — the only non-deterministic field.
+    dispatched, and identical with and without fault injection (retries
+    re-submit until the clean execution succeeds).  ``elapsed_query_ms`` /
+    ``elapsed_total_ms`` are the simulated elapsed times under the
+    dispatch that actually ran (``workers`` concurrent submissions),
+    *including* the resilience overhead — per-stream backoff and wasted
+    fault latency, plus the submissions burned by streams that were
+    degraded away.  ``wall_s`` is the real (harness) execution time — the
+    only non-deterministic field.
+
+    Resilience totals: ``attempts`` (source submissions, cache replays
+    excluded), ``retries``, ``faults_injected``, ``backoff_ms``,
+    ``fault_latency_ms``, and ``degraded_streams`` — the labels of
+    streams that exhausted their retries and were re-planned into the
+    finer streams found in ``streams``.
     """
 
     partition: Partition
@@ -73,6 +116,12 @@ class PlanReport:
     elapsed_query_ms: float = None
     elapsed_total_ms: float = None
     wall_s: float = None
+    attempts: int = 0
+    retries: int = 0
+    faults_injected: int = 0
+    backoff_ms: float = 0.0
+    fault_latency_ms: float = 0.0
+    degraded_streams: tuple = ()
 
     @property
     def total_ms(self):
@@ -97,6 +146,18 @@ class MaterializedView:
     tagger: object = None
 
 
+@dataclass
+class _DispatchOutcome:
+    """Internal result of the resilient dispatch loop."""
+
+    specs: list
+    streams: list
+    stats: list
+    degraded: tuple
+    spent_stats: list       # stats burned by degraded-away streams
+    timeout: object = None
+
+
 class XmlView:
     """One defined RXL view over a connection."""
 
@@ -105,6 +166,7 @@ class XmlView:
         self.tree = tree
         self.rxl_text = rxl_text
         self._planners = {}
+        self._greedy_plans = {}
 
     # -- plan space ---------------------------------------------------------------
 
@@ -117,8 +179,8 @@ class XmlView:
     def enumerate_partitions(self):
         return enumerate_partitions(self.tree)
 
-    def greedy_plan(self, params=None, style=PlanStyle.OUTER_JOIN, reduce=True,
-                    keep=()):
+    def greedy_plan(self, params=None, style=UNSET, reduce=UNSET, keep=UNSET,
+                    options=None):
         """Run the Sec. 5 algorithm; returns a
         :class:`repro.core.greedy.GreedyPlan`.
 
@@ -127,42 +189,52 @@ class XmlView:
         several threshold settings via ``params`` — reuses every oracle
         answer instead of re-estimating from scratch.  ``keep`` is passed
         through to the generator's reduction step (Sec. 3.5's
-        reduction-prohibition list).
+        reduction-prohibition list).  The returned plan *family* is also
+        remembered: adaptive degradation consults it to re-plan a failing
+        subtree along the family's optional edges.
         """
-        key = (style, bool(reduce), tuple(keep))
+        opts = resolve_options(options, style=style, reduce=reduce, keep=keep)
+        key = (opts.style, bool(opts.reduce), tuple(opts.keep))
         planner = self._planners.get(key)
         if planner is None:
             planner = GreedyPlanner(
                 self.tree,
                 self.silkroute.schema,
                 self.silkroute.estimator,
-                style=style,
-                reduce=reduce,
-                keep=keep,
+                style=opts.style,
+                reduce=opts.reduce,
+                keep=opts.keep,
             )
             self._planners[key] = planner
-        return planner.plan(params)
+        plan = planner.plan(params)
+        self._greedy_plans[key] = plan
+        return plan
 
     # -- execution ------------------------------------------------------------------
 
-    def explain(self, partition=None, style=PlanStyle.OUTER_JOIN,
-                reduce=False, use_with=False):
+    def explain(self, partition=None, style=UNSET, reduce=UNSET,
+                use_with=False, options=None):
         """The SQL queries a plan would send, without executing them.
 
         ``use_with`` phrases shared node queries as common table
         expressions (requires a target whose source description supports
         the ``with`` clause)."""
-        partition = self._resolve_partition(partition, style, reduce)
+        opts = resolve_options(
+            options, defaults={"reduce": False}, style=style, reduce=reduce
+        )
+        partition = self._resolve_partition(partition, opts.style, opts.reduce)
         generator = SqlGenerator(
-            self.tree, self.silkroute.schema, style=style, reduce=reduce
+            self.tree, self.silkroute.schema, style=opts.style,
+            reduce=opts.reduce, keep=opts.keep,
         )
         specs = generator.streams_for_partition(partition)
         if use_with:
             return [spec.sql_with for spec in specs]
         return [spec.sql for spec in specs]
 
-    def execute_partition(self, partition, style=PlanStyle.OUTER_JOIN,
-                          reduce=False, budget_ms=None, workers=None):
+    def execute_partition(self, partition, style=UNSET, reduce=UNSET,
+                          budget_ms=UNSET, workers=UNSET, retry=UNSET,
+                          faults=UNSET, options=None):
         """Execute one plan; returns ``(specs, streams, report)``.
 
         A subquery exceeding ``budget_ms`` (simulated server time) marks the
@@ -178,23 +250,153 @@ class XmlView:
         reflects the real concurrent execution.  Timeout semantics are
         preserved: the first stream (in spec order) to exceed the budget
         wins, and in-flight later streams are cancelled or drained.
+
+        With ``retry`` (a :class:`~repro.relational.faults.RetryPolicy`)
+        and a fault policy in play, transient failures are retried with
+        simulated backoff; a stream that exhausts its retries is
+        *degraded*: its subtree is re-planned into finer streams (the
+        greedy family's optional edges are cut first, then every edge)
+        which are executed in its place — the spliced specs/streams
+        produce a byte-identical document.  If a single-node stream keeps
+        failing, the
+        :class:`~repro.common.errors.TransientConnectionError` propagates
+        with the partial report attached (``exc.report``).  Without
+        ``retry``, the first transient failure propagates the same way.
         """
+        opts = resolve_options(
+            options, defaults={"reduce": False}, style=style, reduce=reduce,
+            budget_ms=budget_ms, workers=workers, retry=retry, faults=faults,
+        )
         generator = SqlGenerator(
-            self.tree, self.silkroute.schema, style=style, reduce=reduce
+            self.tree, self.silkroute.schema, style=opts.style,
+            reduce=opts.reduce, keep=opts.keep,
         )
         specs = generator.streams_for_partition(partition)
+        self._check_source(specs)
+        start = time.perf_counter()
+        try:
+            outcome = self._dispatch_resilient(
+                generator, partition, specs, opts
+            )
+        except Exception as exc:
+            partial = getattr(exc, "partial_outcome", None)
+            if partial is not None:
+                exc.report = self._outcome_report(
+                    partition, partial, opts,
+                    wall_s=time.perf_counter() - start,
+                )
+                del exc.partial_outcome
+            raise
+        report = self._outcome_report(
+            partition, outcome, opts, wall_s=time.perf_counter() - start
+        )
+        if outcome.timeout is not None:
+            return outcome.specs, None, report
+        return outcome.specs, outcome.streams, report
+
+    def _check_source(self, specs):
         source = self.silkroute.source
         if source is not None:
             for spec in specs:
                 source.check_plan_features(
                     spec.uses_outer_join(), spec.uses_union()
                 )
-        start = time.perf_counter()
-        streams, timeout = execute_specs(
-            self.silkroute.connection, specs,
-            budget_ms=budget_ms, workers=workers,
-        )
-        wall_s = time.perf_counter() - start
+
+    def _dispatch_resilient(self, generator, partition, specs, opts):
+        """Dispatch ``specs``, degrading failing subtrees until the plan
+        completes, times out, or a stream fails undegradably.
+
+        On an unrecoverable transient failure the raised error gets a
+        ``partial_outcome`` attribute (consumed by
+        :meth:`execute_partition`, which turns it into the attached
+        partial report)."""
+        connection = self.silkroute.connection
+        breaker = CircuitBreaker() if opts.retry is not None else None
+        pending = list(zip(specs, partition_subtrees(self.tree, partition)))
+        done_specs, done_streams, done_stats = [], [], []
+        degraded, spent_stats = [], []
+
+        def outcome(timeout=None):
+            return _DispatchOutcome(
+                specs=done_specs, streams=done_streams, stats=done_stats,
+                degraded=tuple(degraded), spent_stats=spent_stats,
+                timeout=timeout,
+            )
+
+        while True:
+            result = execute_specs(
+                connection, [spec for spec, _ in pending],
+                budget_ms=opts.budget_ms, workers=opts.workers,
+                retry=opts.retry, faults=opts.faults, breaker=breaker,
+            )
+            completed = len(result.streams)
+            done_specs.extend(spec for spec, _ in pending[:completed])
+            done_streams.extend(result.streams)
+            done_stats.extend(result.stats)
+            if result.timeout is not None:
+                return outcome(timeout=result.timeout)
+            if result.failure is None:
+                return outcome()
+            failure = result.failure
+            failing_spec, failing_subtree = pending[result.failed_index]
+            stats = getattr(failure, "stats", None)
+            if stats is not None:
+                spent_stats.append(stats)
+            finer = (
+                self._finer_subtrees(failing_subtree, opts)
+                if opts.retry is not None else None
+            )
+            if finer is None:
+                failure.partial_outcome = outcome()
+                raise failure
+            degraded.append(failing_spec.label)
+            finer_specs = [generator.stream_for_subtree(s) for s in finer]
+            self._check_source(finer_specs)
+            pending = (
+                list(zip(finer_specs, finer))
+                + pending[result.failed_index + 1:]
+            )
+
+    def _finer_subtrees(self, subtree, opts):
+        """The failing subtree re-planned into finer streams, or None when
+        no finer split exists (a single node).
+
+        Degradation follows the plan *family* (Sec. 4/5: ``genPlan``
+        returns a family of semantically equivalent partitions): if the
+        cached greedy plan for this (style, reduce, keep) marks optional
+        edges inside the subtree, those are cut first — the family's own
+        finer member.  Otherwise (or when that cut is the whole edge set)
+        every edge of the subtree is cut, the maximally partitioned
+        fallback.  Each round strictly shrinks the failing component, so
+        repeated degradation terminates at single-node streams.
+        """
+        if len(subtree.nodes) == 1:
+            return None
+        inner = {
+            node.index for node in subtree.nodes if node is not subtree.root
+        }
+        key = (opts.style, bool(opts.reduce), tuple(opts.keep))
+        family = self._greedy_plans.get(key)
+        kept = set()
+        if family is not None:
+            cut = inner & set(family.optional)
+            if cut and cut != inner:
+                kept = inner - cut
+        components, assigned = [], {}
+        for node in subtree.nodes:  # index-sorted: parents before children
+            if node is not subtree.root and node.index in kept:
+                component = assigned[node.parent.index]
+                component.append(node)
+            else:
+                component = [node]
+                components.append(component)
+            assigned[node.index] = component
+        return [Subtree(self.tree, nodes[0], nodes) for nodes in components]
+
+    def _outcome_report(self, partition, outcome, opts, wall_s):
+        """Build the :class:`PlanReport` for a dispatch outcome (complete,
+        timed out, or the partial report of an unrecoverable failure)."""
+        stats = outcome.stats
         reports = [
             StreamReport(
                 label=spec.label,
@@ -202,68 +404,114 @@ class XmlView:
                 server_ms=stream.server_ms,
                 transfer_ms=stream.transfer_ms,
                 sql=spec.sql,
+                attempts=st.attempts,
+                retries=st.retries,
+                faults=st.faults,
+                backoff_ms=st.backoff_ms,
+                fault_latency_ms=st.fault_latency_ms,
+                from_cache=st.from_cache,
             )
-            for spec, stream in zip(specs, streams)
+            for spec, stream, st in zip(
+                outcome.specs, outcome.streams, stats
+            )
         ]
-        n_workers = max(workers or 1, 1)
-        if timeout is not None:
-            report = PlanReport(
+        every_stats = list(stats) + list(outcome.spent_stats)
+        n_workers = max(opts.workers or 1, 1)
+        resilience = dict(
+            attempts=sum(s.attempts for s in every_stats),
+            retries=sum(s.retries for s in every_stats),
+            faults_injected=sum(s.faults for s in every_stats),
+            backoff_ms=sum(s.backoff_ms for s in every_stats),
+            fault_latency_ms=sum(s.fault_latency_ms for s in every_stats),
+            degraded_streams=tuple(outcome.degraded),
+        )
+        if outcome.timeout is not None:
+            nan = float("nan")
+            return PlanReport(
                 partition=partition,
-                n_streams=len(specs),
-                query_ms=float("nan"),
-                transfer_ms=float("nan"),
+                n_streams=len(outcome.specs) or len(outcome.streams),
+                query_ms=nan,
+                transfer_ms=nan,
                 streams=reports,
                 timed_out=True,
-                timed_out_label=timeout.stream_label,
+                timed_out_label=outcome.timeout.stream_label,
                 workers=n_workers,
-                elapsed_query_ms=float("nan"),
-                elapsed_total_ms=float("nan"),
+                elapsed_query_ms=nan,
+                elapsed_total_ms=nan,
                 wall_s=wall_s,
+                **resilience,
             )
-            return specs, None, report
-        report = PlanReport(
+        streams = outcome.streams
+        # Resilience overhead (backoff, wasted fault latency — including
+        # the submissions burned by degraded-away streams) is charged to
+        # the simulated elapsed clock, never to the paper's query/transfer
+        # sums.
+        overhead = [
+            s.backoff_ms + s.fault_latency_ms for s in stats
+        ] + [
+            s.backoff_ms + s.fault_latency_ms for s in outcome.spent_stats
+        ]
+        query_durations = [
+            stream.server_ms + extra
+            for stream, extra in zip(streams, overhead)
+        ] + overhead[len(streams):]
+        total_durations = [
+            stream.server_ms + stream.transfer_ms + extra
+            for stream, extra in zip(streams, overhead)
+        ] + overhead[len(streams):]
+        return PlanReport(
             partition=partition,
-            n_streams=len(specs),
+            n_streams=len(outcome.specs),
             query_ms=sum(s.server_ms for s in streams),
             transfer_ms=sum(s.transfer_ms for s in streams),
             streams=reports,
             workers=n_workers,
-            elapsed_query_ms=simulated_makespan(
-                (s.server_ms for s in streams), n_workers
-            ),
-            elapsed_total_ms=simulated_makespan(
-                (s.server_ms + s.transfer_ms for s in streams), n_workers
-            ),
+            elapsed_query_ms=simulated_makespan(query_durations, n_workers),
+            elapsed_total_ms=simulated_makespan(total_durations, n_workers),
             wall_s=wall_s,
+            **resilience,
         )
-        return specs, streams, report
 
-    def materialize(self, partition=None, style=PlanStyle.OUTER_JOIN,
-                    reduce=True, root_tag="view", indent=None,
-                    budget_ms=None, greedy_params=None, workers=None):
+    def materialize(self, partition=None, style=UNSET, reduce=UNSET,
+                    root_tag="view", indent=None, budget_ms=UNSET,
+                    greedy_params=None, workers=UNSET, retry=UNSET,
+                    faults=UNSET, options=None):
         """Materialize the view as XML.
 
         Without an explicit ``partition``, the greedy algorithm chooses the
         plan (its recommended member).  ``partition`` may also be the string
         ``"unified"`` or ``"fully-partitioned"``.  ``workers`` dispatches
         the plan's subqueries concurrently (see :meth:`execute_partition`);
-        the produced document is identical either way.
+        the produced document is identical either way.  Knobs may be
+        bundled in an :class:`~repro.core.options.ExecutionOptions`
+        (``options=``); explicit keywords win.
+
+        With ``retry``/``faults`` (see :meth:`execute_partition`),
+        transient stream failures are retried and degraded around: the
+        produced XML is byte-identical to the fault-free run, and the
+        report records ``attempts``/``retries``/``faults_injected``/
+        ``backoff_ms``/``degraded_streams``.
 
         On a budget overrun the raised
         :class:`~repro.common.errors.TimeoutExceeded` carries the partial
         :class:`PlanReport` (``exc.report``) and the label of the offending
-        stream (``exc.stream_label``).
+        stream (``exc.stream_label``); an unrecoverable transient failure
+        raises :class:`~repro.common.errors.TransientConnectionError` the
+        same way.
         """
+        opts = resolve_options(
+            options, style=style, reduce=reduce, budget_ms=budget_ms,
+            workers=workers, retry=retry, faults=faults,
+        )
         partition = self._resolve_partition(
-            partition, style, reduce, greedy_params
+            partition, opts.style, opts.reduce, greedy_params, keep=opts.keep
         )
         specs, streams, report = self.execute_partition(
-            partition, style=style, reduce=reduce, budget_ms=budget_ms,
-            workers=workers,
+            partition, options=opts
         )
         if streams is None:
             raise TimeoutExceeded(
-                budget_ms, float("nan"),
+                opts.budget_ms, float("nan"),
                 stream_label=report.timed_out_label, report=report,
             )
         xml, tagger = tag_streams(
@@ -271,9 +519,9 @@ class XmlView:
         )
         return MaterializedView(xml=xml, report=report, tagger=tagger)
 
-    def materialize_to(self, sink, partition=None, style=PlanStyle.OUTER_JOIN,
-                       reduce=True, root_tag="view", indent=None,
-                       budget_ms=None, greedy_params=None):
+    def materialize_to(self, sink, partition=None, style=UNSET, reduce=UNSET,
+                       root_tag="view", indent=None, budget_ms=UNSET,
+                       greedy_params=None, faults=UNSET, options=None):
         """Stream the view's XML into a file-like ``sink`` in bounded memory.
 
         The full pipeline runs lazily: each subquery executes through the
@@ -292,21 +540,29 @@ class XmlView:
         budget overrun the raised
         :class:`~repro.common.errors.TimeoutExceeded` carries the partial
         report; streams the merge had not yet finished appear with the
-        rows/charges consumed so far.
+        rows/charges consumed so far.  Either way the abandoned cursors
+        are closed, releasing their pipeline-breaker buffers.
+
+        The streaming path has no retry/degradation layer (a half-written
+        sink cannot be retried transparently): with a fault policy in
+        play, a drawn failure raises
+        :class:`~repro.common.errors.TransientConnectionError` directly —
+        use :meth:`materialize` when resilience matters more than constant
+        memory.
         """
+        opts = resolve_options(
+            options, style=style, reduce=reduce, budget_ms=budget_ms,
+            faults=faults,
+        )
         partition = self._resolve_partition(
-            partition, style, reduce, greedy_params
+            partition, opts.style, opts.reduce, greedy_params, keep=opts.keep
         )
         generator = SqlGenerator(
-            self.tree, self.silkroute.schema, style=style, reduce=reduce
+            self.tree, self.silkroute.schema, style=opts.style,
+            reduce=opts.reduce, keep=opts.keep,
         )
         specs = generator.streams_for_partition(partition)
-        source = self.silkroute.source
-        if source is not None:
-            for spec in specs:
-                source.check_plan_features(
-                    spec.uses_outer_join(), spec.uses_union()
-                )
+        self._check_source(specs)
         connection = self.silkroute.connection
         writer = XmlWriter(sink=sink, indent=indent)
         start = time.perf_counter()
@@ -317,9 +573,10 @@ class XmlView:
                     connection.execute_iter(
                         spec.plan,
                         compact_rows=spec.compact,
-                        budget_ms=budget_ms,
+                        budget_ms=opts.budget_ms,
                         sql=spec.sql,
                         label=spec.label,
+                        faults=opts.faults if opts.faults is not None else None,
                     )
                 )
             _, tagger = tag_streams(
@@ -331,6 +588,12 @@ class XmlView:
                 timed_out_label=exc.stream_label,
                 wall_s=time.perf_counter() - start,
             )
+            for cursor in cursors:
+                cursor.close()
+            raise
+        except Exception:
+            for cursor in cursors:
+                cursor.close()
             raise
         report = self._cursor_report(
             partition, specs, cursors, timed_out=False, timed_out_label=None,
@@ -368,6 +631,7 @@ class XmlView:
                 nan if timed_out else sum(c.total_ms for c in cursors)
             ),
             wall_s=wall_s,
+            attempts=len(cursors),
         )
 
     def query(self, xmlql_text, root_tag="result", indent=None):
@@ -382,10 +646,11 @@ class XmlView:
             root_tag=root_tag, indent=indent,
         )
 
-    def _resolve_partition(self, partition, style, reduce, greedy_params=None):
+    def _resolve_partition(self, partition, style, reduce, greedy_params=None,
+                           keep=()):
         if partition is None:
             return self.greedy_plan(
-                greedy_params, style=style, reduce=reduce
+                greedy_params, style=style, reduce=reduce, keep=keep
             ).recommended()
         if isinstance(partition, str):
             named = {
@@ -404,11 +669,17 @@ class XmlView:
 class SilkRoute:
     """The middle-ware system: a connection plus view definitions.
 
-    ``cache=True`` installs a fresh
-    :class:`~repro.relational.cache.PlanResultCache` on the connection's
-    engine (pass an instance to share one across systems): repeated
-    materializations and virtual queries replay previously executed plans
-    with byte-identical results and simulated timings.
+    Cache wiring is one flow, shared with ``Connection(cache=...)`` and
+    ``sweep_partitions(cache=...)``: the cache lives in exactly one slot —
+    the connection engine's
+    :attr:`~repro.relational.engine.QueryEngine.cache` — and every entry
+    point normalizes through
+    :func:`~repro.relational.cache.resolve_cache`: ``True`` installs a
+    fresh :class:`~repro.relational.cache.PlanResultCache`, an instance is
+    shared as-is (repeated materializations and virtual queries replay
+    previously executed plans with byte-identical results and simulated
+    timings), ``False`` uninstalls, and ``None`` leaves the connection's
+    current cache untouched.
     """
 
     def __init__(self, connection, source=None, estimator=None, cache=None):
@@ -418,16 +689,27 @@ class SilkRoute:
         self.estimator = estimator or CostEstimator(
             connection.database, connection.engine.cost_model
         )
-        if cache is True:
-            connection.engine.cache = PlanResultCache()
-        elif cache is not None and cache is not False:
-            # An instance (possibly empty — len() is falsy) to be shared.
-            connection.engine.cache = cache
+        if cache is not None:
+            self.cache = cache
 
     @property
     def cache(self):
         """The connection engine's result cache (or None)."""
-        return self.connection.engine.cache
+        return self.connection.cache
+
+    @cache.setter
+    def cache(self, cache):
+        self.connection.cache = resolve_cache(cache)
+
+    @property
+    def faults(self):
+        """The connection's installed
+        :class:`~repro.relational.faults.FaultPolicy` (or None)."""
+        return self.connection.faults
+
+    @faults.setter
+    def faults(self, policy):
+        self.connection.faults = policy
 
     def define_view(self, rxl_text, simplify_args=False):
         """Parse, validate, and label an RXL view definition."""

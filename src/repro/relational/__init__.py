@@ -44,10 +44,17 @@ from repro.relational.algebra import (
     Sort,
     ConstantColumn,
 )
-from repro.relational.cache import CacheStats, PlanResultCache
+from repro.relational.cache import CacheStats, PlanResultCache, resolve_cache
 from repro.relational.engine import CostModel, QueryEngine, ExecutionResult, IterResult
 from repro.relational.estimator import CostEstimator, EstimateCache
 from repro.relational.explain import explain_plan
+from repro.relational.faults import (
+    NO_RETRY,
+    CircuitBreaker,
+    FaultPolicy,
+    RetryPolicy,
+    StreamAttemptStats,
+)
 from repro.relational.sqlparse import parse_sql
 from repro.relational.sqltext import render_sql
 from repro.relational.connection import (
@@ -56,7 +63,12 @@ from repro.relational.connection import (
     TupleCursor,
     TupleStream,
 )
-from repro.relational.dispatch import execute_specs, simulated_makespan
+from repro.relational.dispatch import (
+    DispatchResult,
+    execute_specs,
+    run_spec_with_retry,
+    simulated_makespan,
+)
 
 __all__ = [
     "SqlType",
@@ -86,6 +98,12 @@ __all__ = [
     "ConstantColumn",
     "CacheStats",
     "PlanResultCache",
+    "resolve_cache",
+    "FaultPolicy",
+    "RetryPolicy",
+    "NO_RETRY",
+    "CircuitBreaker",
+    "StreamAttemptStats",
     "CostModel",
     "QueryEngine",
     "ExecutionResult",
@@ -95,7 +113,9 @@ __all__ = [
     "Connection",
     "TupleCursor",
     "TupleStream",
+    "DispatchResult",
     "execute_specs",
+    "run_spec_with_retry",
     "simulated_makespan",
     "SourceDescription",
     "explain_plan",

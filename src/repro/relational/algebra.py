@@ -12,7 +12,7 @@ that carry a type and, where known, the base-table column they descend from;
 the estimator uses that provenance for distinct-count estimates.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import QueryError
 from repro.relational.types import SqlType, sql_literal

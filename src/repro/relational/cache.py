@@ -106,6 +106,25 @@ class CacheEntry:
         return False
 
 
+def resolve_cache(cache):
+    """Normalize the one cache-wiring convention shared by every layer.
+
+    ``SilkRoute(cache=...)``, ``Connection(cache=...)``, the
+    ``Connection.cache`` property, and ``sweep_partitions(cache=...)`` all
+    funnel through this: ``True`` builds a fresh :class:`PlanResultCache`,
+    ``False``/``None`` disables caching, and an instance (possibly empty —
+    ``len()`` is falsy) is used as-is, which is how one cache is shared
+    across systems.  The cache itself always lives in exactly one place:
+    the engine's :attr:`~repro.relational.engine.QueryEngine.cache`
+    attribute.
+    """
+    if cache is True:
+        return PlanResultCache()
+    if cache is False or cache is None:
+        return None
+    return cache
+
+
 class PlanResultCache:
     """Thread-safe LRU cache of plan execution outcomes.
 
@@ -135,6 +154,15 @@ class PlanResultCache:
 
     def __len__(self):
         return len(self._entries)
+
+    def peek(self, key):
+        """Return the entry for ``key`` without touching counters or LRU
+        order (or None).  Used by the resilient dispatcher to decide
+        whether a plan can be replayed without contacting the (possibly
+        faulty) source — a peek is not a request and must not skew
+        :meth:`stats`."""
+        with self._lock:
+            return self._entries.get(key)
 
     def lookup(self, key, spent_ms=0.0, budget_ms=None):
         """Return a usable :class:`CacheEntry` or None.

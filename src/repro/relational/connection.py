@@ -20,7 +20,12 @@ produced by a wide outer join bind every declared column.
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import PlanError, TimeoutExceeded
+from repro.common.errors import (
+    PlanError,
+    TimeoutExceeded,
+    TransientConnectionError,
+)
+from repro.relational.cache import resolve_cache
 from repro.relational.engine import QueryEngine
 from repro.relational.types import width_function
 
@@ -57,7 +62,15 @@ class SourceDescription:
 
 
 class TupleStream:
-    """One executed query's sorted result stream with its simulated timings."""
+    """One executed query's sorted result stream with its simulated timings.
+
+    ``fault_latency_ms`` is simulated connection latency injected by an
+    installed :class:`~repro.relational.faults.FaultPolicy` on the
+    successful attempt — kept separate from ``server_ms`` so fault-free
+    and faulted runs report identical query/transfer times (resilience
+    overhead is accounted in the plan report's ``backoff_ms`` /
+    ``fault_latency_ms`` and the elapsed makespans instead).
+    """
 
     def __init__(self, columns, rows, server_ms, transfer_ms, sql=None, label=None):
         self.columns = columns
@@ -66,6 +79,7 @@ class TupleStream:
         self.transfer_ms = transfer_ms
         self.sql = sql
         self.label = label
+        self.fault_latency_ms = 0.0
 
     @property
     def total_ms(self):
@@ -99,6 +113,11 @@ class TupleCursor:
     accumulated *so far*; they are final once :attr:`exhausted` is True.
     A :class:`~repro.common.errors.TimeoutExceeded` budget overrun
     surfaces from the consuming ``next()`` call.
+
+    A cursor is a context manager: abandoning one mid-stream (a degraded
+    stream spliced out of a merge, an aborted export) should
+    :meth:`close` it so the engine's pipeline-breaker buffers are dropped
+    promptly instead of lingering until garbage collection.
     """
 
     def __init__(self, iter_result, row_cost_fn, sql=None, label=None):
@@ -107,6 +126,7 @@ class TupleCursor:
         self.label = label
         self.transfer_ms = 0.0
         self.rows_read = 0
+        self.closed = False
         self._iter_result = iter_result
 
         def rows():
@@ -136,8 +156,29 @@ class TupleCursor:
     def __iter__(self):
         return self._rows
 
+    def close(self):
+        """Release the cursor: close the client-side row generator and the
+        engine's iterator pipeline, dropping every pipeline-breaker buffer
+        (sort runs, hash indexes, shared-subplan memos).  Charges stay
+        frozen at the rows consumed so far.  Idempotent; iterating a
+        closed cursor yields nothing further."""
+        if self.closed:
+            return
+        self.closed = True
+        self._rows.close()
+        self._iter_result.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
     def __repr__(self):
-        state = "done" if self.exhausted else "open"
+        state = "closed" if self.closed else (
+            "done" if self.exhausted else "open"
+        )
         return (
             f"TupleCursor({self.label or '?'}: {self.rows_read} rows {state}, "
             f"query {self.server_ms:.1f}ms + transfer {self.transfer_ms:.1f}ms)"
@@ -151,21 +192,66 @@ class Connection:
     :class:`~repro.relational.cache.PlanResultCache` on the engine: plans
     already executed against the current database generation are replayed
     (byte-identical results and simulated timings) instead of re-evaluated.
+    The cache always lives on the engine; this parameter and the
+    :attr:`cache` property (like ``SilkRoute(cache=...)``) are views of
+    the same slot, normalized by
+    :func:`~repro.relational.cache.resolve_cache` — pass ``True`` for a
+    fresh cache or an instance to share one.
+
+    ``faults`` installs a :class:`~repro.relational.faults.FaultPolicy`:
+    stream executions then draw deterministic transient failures
+    (:class:`~repro.common.errors.TransientConnectionError`) and simulated
+    connection latency, which the resilient dispatcher
+    (:func:`~repro.relational.dispatch.execute_specs` with a
+    :class:`~repro.relational.faults.RetryPolicy`) retries, breaks, or
+    degrades around.
     """
 
-    def __init__(self, database, cost_model, transfer_model=None, cache=None):
+    def __init__(self, database, cost_model, transfer_model=None, cache=None,
+                 faults=None):
         self.database = database
-        self.engine = QueryEngine(database, cost_model, cache=cache)
+        self.engine = QueryEngine(database, cost_model,
+                                  cache=resolve_cache(cache))
         self.transfer_model = transfer_model or TransferModel()
+        self.faults = faults
 
     @property
     def cache(self):
-        """The engine's :class:`PlanResultCache` (or None)."""
+        """The engine's :class:`PlanResultCache` (or None) — the single
+        slot every cache-wiring path writes to."""
         return self.engine.cache
 
     @cache.setter
     def cache(self, cache):
-        self.engine.cache = cache
+        self.engine.cache = resolve_cache(cache)
+
+    def is_cached(self, plan):
+        """True when the engine would replay ``plan`` from its result
+        cache without re-evaluating — i.e. executing it cannot touch the
+        (possibly faulty) simulated source."""
+        return self.engine.cached_complete(plan)
+
+    def _fault_check(self, plan, label, attempt, faults):
+        """Draw the fault decision for one submission; raise on failure.
+
+        ``faults`` overrides the installed policy (``False`` disables
+        injection — used when replaying from cache, where no connection to
+        the source is opened).  Returns the injected latency in simulated
+        ms.  Draws are keyed by ``(label, plan fingerprint, attempt)``, so
+        they are independent of dispatch order and a degraded re-plan
+        (same label, different fingerprint) draws fresh outcomes.
+        """
+        policy = self.faults if faults is None else faults
+        if not policy or attempt is None:
+            return 0.0
+        decision = policy.decide(label or "?", plan.fingerprint(), attempt)
+        if decision.fail:
+            raise TransientConnectionError(
+                stream_label=label,
+                attempt=attempt,
+                latency_ms=decision.latency_ms,
+            )
+        return decision.latency_ms
 
     def sql(self, text, budget_ms=None, label=None):
         """Execute SQL *text* (the generated dialect) and return a
@@ -176,16 +262,26 @@ class Connection:
         plan = parse_sql(text, self.database.schema)
         return self.execute(plan, sql=text, label=label, budget_ms=budget_ms)
 
-    def execute(self, plan, compact_rows=False, budget_ms=None, sql=None, label=None):
+    def execute(self, plan, compact_rows=False, budget_ms=None, sql=None,
+                label=None, attempt=1, faults=None):
         """Execute ``plan`` and return a :class:`TupleStream`.
 
         ``compact_rows`` marks union-shaped results whose driver-side row
         format skips NULL columns (see module docstring).  ``budget_ms``
         bounds *server* time (the paper's per-subquery timeout).
+
+        With a :class:`~repro.relational.faults.FaultPolicy` installed (or
+        passed via ``faults``), the submission first draws that policy's
+        deterministic outcome for ``(label, plan, attempt)`` — possibly
+        raising :class:`~repro.common.errors.TransientConnectionError`
+        *before* the engine (and its result cache) is touched, so fault
+        outcomes are never cached.  ``faults=False`` disables injection
+        for this call.
         """
+        latency_ms = self._fault_check(plan, label, attempt, faults)
         result = self.engine.execute(plan, budget_ms=budget_ms)
         transfer_ms = self._transfer_cost(result.columns, result.rows, compact_rows)
-        return TupleStream(
+        stream = TupleStream(
             columns=result.columns,
             rows=result.rows,
             server_ms=result.server_ms,
@@ -193,10 +289,19 @@ class Connection:
             sql=sql,
             label=label,
         )
+        stream.fault_latency_ms = latency_ms
+        return stream
 
     def execute_iter(self, plan, compact_rows=False, budget_ms=None, sql=None,
-                     label=None):
+                     label=None, attempt=1, faults=None):
         """Execute ``plan`` streaming; return a :class:`TupleCursor`.
+
+        An installed :class:`~repro.relational.faults.FaultPolicy` draws
+        its outcome when the cursor is *opened* (the streaming path has no
+        retry layer — callers see the
+        :class:`~repro.common.errors.TransientConnectionError` directly
+        and decide; the materializing path is the one with
+        retry/degradation machinery).
 
         The engine runs its Volcano pipeline
         (:meth:`~repro.relational.engine.QueryEngine.execute_iter`), so
@@ -208,6 +313,7 @@ class Connection:
         the cached rows; misses are *not* inserted (that would require
         materializing).
         """
+        self._fault_check(plan, label, attempt, faults)
         try:
             iter_result = self.engine.execute_iter(plan, budget_ms=budget_ms)
         except TimeoutExceeded as exc:

@@ -31,8 +31,10 @@ scheduling, which reports expose as ``elapsed_query_ms``.
 
 import heapq
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
-from repro.common.errors import TimeoutExceeded
+from repro.common.errors import TimeoutExceeded, TransientConnectionError
+from repro.relational.faults import StreamAttemptStats
 
 
 def simulated_makespan(durations_ms, workers):
@@ -54,9 +56,130 @@ def simulated_makespan(durations_ms, workers):
     return max(free_at)
 
 
-def execute_specs(connection, specs, budget_ms=None, workers=None):
+@dataclass
+class DispatchResult:
+    """Outcome of one :func:`execute_specs` call.
+
+    ``streams`` holds the completed
+    :class:`~repro.relational.connection.TupleStream` results in spec
+    order, ``stats`` the matching per-stream
+    :class:`~repro.relational.faults.StreamAttemptStats`.  Exactly one of
+    the failure slots may be set:
+
+    * ``timeout`` — the first spec (in spec order) whose subquery exceeded
+      the budget; ``streams``/``stats`` stop before it,
+    * ``failure`` — the first spec (in spec order) that exhausted its
+      retries with a
+      :class:`~repro.common.errors.TransientConnectionError`;
+      ``failure.stats`` carries the attempts it burned and
+      ``failed_index`` its position, so a caller can degrade that spec
+      and re-dispatch the remainder.
+
+    Unpacks as the historical ``streams, timeout = execute_specs(...)``
+    pair.
+    """
+
+    streams: list
+    timeout: object = None
+    failure: object = None
+    failed_index: int = None
+    stats: list = field(default_factory=list)
+
+    def __iter__(self):
+        return iter((self.streams, self.timeout))
+
+
+def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
+                        faults=None, breaker=None):
+    """Execute one spec under the retry/backoff/breaker regime; return
+    ``(stream, stats)``.
+
+    The loop around :meth:`Connection.execute
+    <repro.relational.connection.Connection.execute>`:
+
+    * **cache short-circuit** — a plan the engine would replay from its
+      :class:`~repro.relational.cache.PlanResultCache` never contacts the
+      (possibly faulty) source: no fault draw, no attempt recorded
+      (``stats.from_cache``), which is why a warm cache makes a flaky
+      source harmless.
+    * **retry with simulated backoff** — each
+      :class:`~repro.common.errors.TransientConnectionError` charges its
+      wasted connection latency and the next backoff to the *simulated*
+      clock (``stats.fault_latency_ms`` / ``stats.backoff_ms``); the
+      stream is exhausted after ``retry.max_attempts`` submissions or when
+      the next backoff would cross the deadline (``retry.deadline_ms``,
+      defaulting to the plan's ``budget_ms``).
+    * **circuit breaking** — ``breaker`` counts exhausted plans by
+      fingerprint and fails repeat offenders fast.
+
+    :class:`~repro.common.errors.TimeoutExceeded` is deterministic in
+    simulated time and is never retried.  On exhaustion the raised
+    ``TransientConnectionError`` carries ``stats`` (as ``exc.stats``) and
+    the total ``attempts``.
+    """
+    policy = faults if faults is not None else getattr(connection, "faults", None)
+    stats = StreamAttemptStats(label=spec.label)
+    fingerprint = spec.plan.fingerprint() if breaker is not None else None
+    if breaker is not None and not breaker.allow(fingerprint):
+        exc = TransientConnectionError(
+            stream_label=spec.label, attempt=0, attempts=0,
+            reason="circuit breaker open",
+        )
+        exc.stats = stats
+        raise exc
+    if policy and connection.is_cached(spec.plan):
+        stats.from_cache = True
+        stream = connection.execute(
+            spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
+            sql=spec.sql, label=spec.label, faults=False,
+        )
+        return stream, stats
+    max_attempts = retry.max_attempts if retry is not None else 1
+    deadline = budget_ms
+    if retry is not None and retry.deadline_ms is not None:
+        deadline = retry.deadline_ms
+    seed = policy.seed if policy else 0
+    spent_ms = 0.0
+    while True:
+        stats.attempts += 1
+        try:
+            stream = connection.execute(
+                spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
+                sql=spec.sql, label=spec.label, attempt=stats.attempts,
+                faults=policy if policy is not None else False,
+            )
+            stats.fault_latency_ms += stream.fault_latency_ms
+            if breaker is not None:
+                breaker.record_success(fingerprint)
+            return stream, stats
+        except TransientConnectionError as exc:
+            stats.faults += 1
+            stats.fault_latency_ms += exc.latency_ms
+            spent_ms += exc.latency_ms
+            exhausted = stats.attempts >= max_attempts
+            backoff = 0.0
+            if not exhausted:
+                backoff = retry.backoff_for(
+                    spec.label, stats.faults, seed=seed
+                )
+                if deadline is not None and spent_ms + backoff > deadline:
+                    exhausted = True
+            if exhausted:
+                if breaker is not None:
+                    breaker.record_failure(fingerprint)
+                exc.attempts = stats.attempts
+                exc.stats = stats
+                raise
+            spent_ms += backoff
+            stats.backoff_ms += backoff
+            stats.retries += 1
+
+
+def execute_specs(connection, specs, budget_ms=None, workers=None,
+                  retry=None, faults=None, breaker=None):
     """Execute every :class:`~repro.core.sqlgen.StreamSpec`'s plan; return
-    ``(streams, timeout)``.
+    a :class:`DispatchResult` (unpacks as the ``(streams, timeout)``
+    pair).
 
     ``streams`` is the list of :class:`~repro.relational.connection.TupleStream`
     results in spec order.  On a per-subquery budget overrun, ``streams``
@@ -66,17 +189,26 @@ def execute_specs(connection, specs, budget_ms=None, workers=None):
     with ``stream_label``.  ``workers`` > 1 dispatches the subqueries on a
     thread pool; results, timings, and timeout behaviour are identical to
     the sequential path.
+
+    ``retry`` (a :class:`~repro.relational.faults.RetryPolicy`) makes each
+    stream resilient to
+    :class:`~repro.common.errors.TransientConnectionError` injected by the
+    connection's :class:`~repro.relational.faults.FaultPolicy` (or the
+    ``faults`` override): failed submissions are retried with simulated
+    backoff (see :func:`run_spec_with_retry`).  A stream that exhausts its
+    retries is reported via ``result.failure``/``failed_index`` — first
+    failing spec in spec order wins, exactly like timeouts — so the caller
+    can degrade the plan.  Fault draws are keyed by ``(label, plan,
+    attempt)``: sequential and concurrent dispatch of the same specs see
+    identical faults, retries, and results.
     """
     def run(spec):
-        return connection.execute(
-            spec.plan,
-            compact_rows=spec.compact,
-            budget_ms=budget_ms,
-            sql=spec.sql,
-            label=spec.label,
+        return run_spec_with_retry(
+            connection, spec, budget_ms=budget_ms, retry=retry,
+            faults=faults, breaker=breaker,
         )
 
-    streams = []
+    result = DispatchResult(streams=[])
     if workers is not None and workers > 1 and len(specs) > 1:
         # Render SQL text up front: StreamSpec renders lazily and the specs
         # are shared across threads.
@@ -86,20 +218,34 @@ def execute_specs(connection, specs, budget_ms=None, workers=None):
             futures = [pool.submit(run, spec) for spec in specs]
             for i, future in enumerate(futures):
                 try:
-                    streams.append(future.result())
-                except TimeoutExceeded as exc:
-                    # First timed-out spec in spec order wins; later
-                    # futures are cancelled if not yet running and drained
-                    # by the executor's shutdown otherwise.
+                    stream, stats = future.result()
+                except (TimeoutExceeded, TransientConnectionError) as exc:
+                    # First terminally-failed spec in spec order wins;
+                    # later futures are cancelled if not yet running and
+                    # drained by the executor's shutdown otherwise.
                     for later in futures[i + 1:]:
                         later.cancel()
-                    exc.stream_label = specs[i].label
-                    return streams, exc
-        return streams, None
-    for spec in specs:
+                    _record_failure(result, exc, specs[i], i)
+                    return result
+                result.streams.append(stream)
+                result.stats.append(stats)
+        return result
+    for i, spec in enumerate(specs):
         try:
-            streams.append(run(spec))
-        except TimeoutExceeded as exc:
-            exc.stream_label = spec.label
-            return streams, exc
-    return streams, None
+            stream, stats = run(spec)
+        except (TimeoutExceeded, TransientConnectionError) as exc:
+            _record_failure(result, exc, spec, i)
+            return result
+        result.streams.append(stream)
+        result.stats.append(stats)
+    return result
+
+
+def _record_failure(result, exc, spec, index):
+    if exc.stream_label is None:
+        exc.stream_label = spec.label
+    if isinstance(exc, TimeoutExceeded):
+        result.timeout = exc
+    else:
+        result.failure = exc
+    result.failed_index = index

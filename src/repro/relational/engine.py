@@ -145,6 +145,16 @@ class IterResult:
     def __iter__(self):
         return self._rows
 
+    def close(self):
+        """Abandon the stream: close the generator pipeline so every
+        pipeline-breaker buffer (sort runs, hash indexes, shared-subplan
+        memos) is released immediately instead of at garbage collection.
+        Safe to call repeatedly; a closed result stays un-:attr:`exhausted`
+        and its charges are frozen at the consumed prefix."""
+        if self._rows is not None:
+            self._rows.close()
+        self._charges.memo.clear()
+
     @property
     def server_ms(self):
         return self._charges.total_ms
@@ -221,6 +231,26 @@ class QueryEngine:
         #: *across* execute calls (and across engines, if desired).
         self.cache = cache
 
+    def cache_key_for(self, plan, include_startup=True):
+        """The :attr:`cache` key identifying ``plan`` on this engine."""
+        return (
+            plan.fingerprint(),
+            self.database.cache_key(),
+            self.cost_model,
+            include_startup,
+        )
+
+    def cached_complete(self, plan, include_startup=True):
+        """True when :attr:`cache` holds a *complete* entry for ``plan`` —
+        i.e. :meth:`execute` would replay it without re-evaluating.  A
+        peek: does not count as a cache request.  The resilient dispatcher
+        uses this to serve cached plans without contacting the (possibly
+        faulty) source."""
+        if self.cache is None:
+            return False
+        entry = self.cache.peek(self.cache_key_for(plan, include_startup))
+        return entry is not None and entry.complete
+
     def execute(self, plan, budget_ms=None, include_startup=True):
         """Run ``plan``; return an :class:`ExecutionResult`.
 
@@ -246,12 +276,7 @@ class QueryEngine:
         # outer-join re-evaluation penalty) are measured as running-total
         # deltas, so their float values differ at the ulp level between the
         # two modes and a shared entry would not replay bit-identically.
-        key = (
-            plan.fingerprint(),
-            self.database.cache_key(),
-            self.cost_model,
-            include_startup,
-        )
+        key = self.cache_key_for(plan, include_startup)
         while True:
             entry = cache.lookup(
                 key, spent_ms=charges.total_ms, budget_ms=budget_ms
@@ -331,12 +356,7 @@ class QueryEngine:
         result = IterResult(plan.columns(), charges)
         cache = self.cache
         if cache is not None:
-            key = (
-                plan.fingerprint(),
-                self.database.cache_key(),
-                self.cost_model,
-                include_startup,
-            )
+            key = self.cache_key_for(plan, include_startup)
             entry = cache.lookup(
                 key, spent_ms=charges.total_ms, budget_ms=budget_ms
             )

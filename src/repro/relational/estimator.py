@@ -28,7 +28,6 @@ from repro.relational.algebra import (
     OuterUnion,
     Sort,
     ColumnRef,
-    Literal,
     Comparison,
 )
 

@@ -1,0 +1,218 @@
+"""Deterministic fault injection, retry policies, and circuit breaking.
+
+SilkRoute's premise (Sec. 1) is that the middle-ware does **not** control
+the RDBMS: the tuple source is a remote server reached over a connection
+that can drop, stall, or shed load.  This module models that unreliability
+*deterministically* so every failure scenario is replayable in tests and
+CI:
+
+* :class:`FaultPolicy` — installable on a
+  :class:`~repro.relational.connection.Connection`; decides, per stream
+  execution attempt, whether to raise
+  :class:`~repro.common.errors.TransientConnectionError` and how much
+  simulated connection latency to add.  Decisions come from a PRNG seeded
+  by ``(seed, label, plan fingerprint, attempt)``, so they are independent
+  of execution order (sequential and concurrent dispatch draw identical
+  outcomes) and stable across processes (string seeding hashes through
+  SHA-512, not ``PYTHONHASHSEED``).
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter.
+  Backoff is charged to the *simulated* clock (reports' ``backoff_ms`` and
+  the ``elapsed_*`` makespans), preserving the sim/wall-clock separation
+  of docs/API.md; per-stream deadlines default to the plan's ``budget_ms``.
+* :class:`CircuitBreaker` — per-plan-fingerprint consecutive-failure
+  counter: once a stream has exhausted its retries ``threshold`` times,
+  further submissions of the same plan fail fast instead of burning more
+  attempts and backoff against a source that keeps refusing it.
+
+The injection point is the connection boundary, *before* the engine sees
+the plan: a faulted attempt never reads or writes the
+:class:`~repro.relational.cache.PlanResultCache`, so fault outcomes are
+never cached, and a plan already cached is replayed without touching the
+flaky source at all (no fault draw, no attempt recorded).
+"""
+
+import random
+import threading
+from dataclasses import dataclass
+
+
+def _rng(*parts):
+    """A PRNG keyed by the given parts — deterministic across processes
+    and independent of draw order (a fresh generator per decision)."""
+    return random.Random("|".join(str(part) for part in parts))
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One attempt's drawn outcome."""
+
+    fail: bool
+    latency_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Deterministic per-attempt fault injection.
+
+    ``error_rate`` is the probability that any single stream submission
+    fails with :class:`~repro.common.errors.TransientConnectionError`;
+    ``latency_ms`` scales an added simulated connection latency per
+    attempt (drawn in ``[0.5, 1.5] * latency_ms``; on a failing attempt it
+    is the time wasted before the failure was detected).  ``fail_streams``
+    pins specific streams: an iterable of labels that *always* fail, or a
+    mapping ``label -> n`` failing that stream's first ``n`` attempts —
+    the lever for reproducing a specific scenario (a stream that recovers
+    on the third try, a stream that never recovers and must be degraded).
+
+    The policy is frozen and stateless: the decision for ``(label,
+    fingerprint, attempt)`` is a pure function of the seed, which is what
+    makes concurrent dispatch, retries, and degradation re-planning
+    replayable.  Fault draws follow the stream *label*, so a degraded
+    re-plan whose root stream keeps the failing label keeps failing —
+    by design (the finer plan still opens the same logical stream) — while
+    its differently-labeled siblings draw fresh outcomes.
+    """
+
+    seed: int = 0
+    error_rate: float = 0.0
+    latency_ms: float = 0.0
+    #: tuple of ``(label, limit)`` pairs; ``limit`` None means every
+    #: attempt fails (normalized from the iterable/mapping forms).
+    fail_streams: tuple = ()
+
+    def __post_init__(self):
+        pairs = self.fail_streams
+        if isinstance(pairs, dict):
+            pairs = tuple(sorted(pairs.items()))
+        else:
+            normalized = []
+            for entry in pairs:
+                if isinstance(entry, str):
+                    normalized.append((entry, None))
+                else:
+                    label, limit = entry
+                    normalized.append((label, limit))
+            pairs = tuple(sorted(normalized, key=lambda p: p[0]))
+        object.__setattr__(self, "fail_streams", pairs)
+
+    def _pinned_limit(self, label):
+        for pinned, limit in self.fail_streams:
+            if pinned == label:
+                return True, limit
+        return False, None
+
+    def decide(self, label, fingerprint, attempt):
+        """The deterministic :class:`FaultDecision` for one submission."""
+        rng = _rng(self.seed, label, fingerprint, attempt)
+        # Draw order is fixed so latency values are comparable across
+        # configurations that only change the failure rule.
+        error_draw = rng.random()
+        latency = 0.0
+        if self.latency_ms:
+            latency = self.latency_ms * (0.5 + rng.random())
+        pinned, limit = self._pinned_limit(label)
+        if pinned:
+            fail = limit is None or attempt <= limit
+        else:
+            fail = error_draw < self.error_rate
+        return FaultDecision(fail=fail, latency_ms=latency)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and a deadline.
+
+    A stream execution is attempted at most ``max_attempts`` times.  The
+    wait before retry *k* (1-based failure count) is ``base_ms *
+    multiplier**(k-1)``, jittered by ``±jitter`` (a fraction, drawn
+    deterministically per ``(seed, label, k)``).  All waits are *simulated*
+    milliseconds: they are charged to the report's ``backoff_ms`` and the
+    elapsed makespans, never slept for.
+
+    ``deadline_ms`` bounds the simulated time a stream may burn on failed
+    attempts (wasted connection latency) plus backoff; when None, the
+    plan-level ``budget_ms`` is used.  A retry whose backoff would cross
+    the deadline is abandoned — the stream is treated as exhausted.
+    """
+
+    max_attempts: int = 4
+    base_ms: float = 50.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    deadline_ms: float = None
+
+    def backoff_for(self, label, failure_index, seed=0):
+        """Simulated wait after the ``failure_index``-th failure (1-based);
+        0 when no further attempt is allowed."""
+        if failure_index >= self.max_attempts:
+            return 0.0
+        backoff = self.base_ms * self.multiplier ** (failure_index - 1)
+        if self.jitter:
+            u = _rng(seed, "backoff", label, failure_index).random()
+            backoff *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return backoff
+
+
+#: A policy that never retries: one attempt, no backoff.
+NO_RETRY = RetryPolicy(max_attempts=1, base_ms=0.0, jitter=0.0)
+
+
+class CircuitBreaker:
+    """Per-key (plan fingerprint) consecutive-failure breaker.
+
+    ``record_failure`` counts a stream that exhausted its retries; once a
+    key accumulates ``threshold`` consecutive exhaustions, :meth:`allow`
+    returns False and the dispatcher fails that plan fast instead of
+    hammering it.  ``record_success`` closes the circuit again.  Thread
+    safe — one breaker serves a concurrent dispatch.
+    """
+
+    def __init__(self, threshold=3):
+        self.threshold = threshold
+        self._failures = {}
+        self._lock = threading.Lock()
+        self.trips = 0
+        self.fast_failures = 0
+
+    def allow(self, key):
+        with self._lock:
+            open_ = self._failures.get(key, 0) >= self.threshold
+            if open_:
+                self.fast_failures += 1
+            return not open_
+
+    def record_failure(self, key):
+        with self._lock:
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            if count == self.threshold:
+                self.trips += 1
+
+    def record_success(self, key):
+        with self._lock:
+            self._failures.pop(key, None)
+
+    def reset(self):
+        with self._lock:
+            self._failures.clear()
+
+
+@dataclass
+class StreamAttemptStats:
+    """Resilience accounting for one stream's execution.
+
+    ``attempts`` counts submissions to the (possibly faulty) source — a
+    result served from the plan cache records zero attempts, because a
+    replay never touches the source.  ``fault_latency_ms`` is the
+    simulated connection time wasted by failed attempts; together with
+    ``backoff_ms`` it is what retrying charged to the simulated clock on
+    top of the fault-free execution.
+    """
+
+    label: str
+    attempts: int = 0
+    retries: int = 0
+    faults: int = 0
+    backoff_ms: float = 0.0
+    fault_latency_ms: float = 0.0
+    from_cache: bool = False

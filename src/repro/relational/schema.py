@@ -7,7 +7,7 @@ keys (with a ``not_null`` flag on the referencing columns: a non-null,
 enforced foreign key is what makes the inclusion dependency C2 hold).
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import SchemaError
 from repro.relational.types import SqlType

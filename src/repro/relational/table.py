@@ -1,7 +1,6 @@
 """In-memory table storage with key enforcement and hash indexes."""
 
 from repro.common.errors import SchemaError
-from repro.relational.types import SqlType
 
 
 class Table:

@@ -3,13 +3,7 @@
 import pytest
 
 from repro.common.errors import PlanError, TimeoutExceeded
-from repro.relational.algebra import (
-    ColumnRef,
-    Project,
-    ProjectItem,
-    Scan,
-    Sort,
-)
+from repro.relational.algebra import Scan
 from repro.relational.connection import Connection, SourceDescription, TransferModel
 from repro.relational.engine import CostModel
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.common.errors import TimeoutExceeded
 from repro.relational.algebra import (
-    And,
     ColumnRef,
     Comparison,
     ConstantColumn,

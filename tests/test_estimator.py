@@ -8,7 +8,6 @@ from repro.relational.algebra import (
     Distinct,
     Filter,
     InnerJoin,
-    JoinBranch,
     LeftOuterJoin,
     Literal,
     OuterUnion,

@@ -1,0 +1,451 @@
+"""Fault injection, retry/backoff, circuit breaking, and adaptive plan
+degradation (repro.relational.faults + the resilient dispatch and facade).
+
+The load-bearing invariants:
+
+* fault draws are deterministic and order-independent — a seed replays
+  bit-identically, sequentially or concurrently;
+* the document produced under faults + retries is byte-identical to the
+  fault-free run, and the paper's ``query_ms``/``transfer_ms`` figures are
+  untouched (resilience overhead is charged to the elapsed makespan only);
+* fault outcomes are never stored in the plan-result cache, and a cache
+  hit never counts as an attempt;
+* a stream that exhausts its retries degrades into finer streams when a
+  finer split exists, and otherwise propagates a
+  ``TransientConnectionError`` carrying the stream label and the partial
+  report.
+"""
+
+import io
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.queries import QUERY_1
+from repro.bench.sweep import sweep_partitions
+from repro.common.errors import TransientConnectionError
+from repro.core.options import ExecutionOptions
+from repro.core.silkroute import SilkRoute
+from repro.relational.cache import PlanResultCache, resolve_cache
+from repro.relational.connection import Connection
+from repro.relational.engine import CostModel
+from repro.relational.faults import (
+    NO_RETRY,
+    CircuitBreaker,
+    FaultPolicy,
+    RetryPolicy,
+)
+
+
+@pytest.fixture
+def silk(tiny_db, tiny_estimator):
+    # A fresh connection per test: fault policies and caches installed
+    # here must not leak into the shared session connection.
+    connection = Connection(tiny_db, CostModel())
+    return SilkRoute(connection, estimator=tiny_estimator)
+
+
+@pytest.fixture
+def view(silk):
+    return silk.define_view(QUERY_1)
+
+
+class TestFaultPolicy:
+    def test_draws_are_deterministic(self):
+        policy = FaultPolicy(seed=11, error_rate=0.5, latency_ms=20.0)
+        first = [policy.decide("S1", "fp", attempt) for attempt in (1, 2, 3)]
+        second = [policy.decide("S1", "fp", attempt) for attempt in (1, 2, 3)]
+        assert first == second
+
+    def test_draws_vary_by_label_fingerprint_attempt(self):
+        policy = FaultPolicy(seed=11, error_rate=0.5)
+        draws = {
+            (label, fp, attempt): policy.decide(label, fp, attempt).fail
+            for label in ("S1", "S2")
+            for fp in ("fpA", "fpB")
+            for attempt in (1, 2, 3, 4)
+        }
+        # Not all identical: the key actually feeds the PRNG.
+        assert len(set(draws.values())) == 2
+
+    def test_zero_rate_never_fails(self):
+        policy = FaultPolicy(seed=3, error_rate=0.0)
+        assert not any(
+            policy.decide("S1", "fp", attempt).fail for attempt in range(1, 50)
+        )
+
+    def test_pinned_stream_fails_up_to_limit(self):
+        policy = FaultPolicy(seed=0, fail_streams={"S1": 2})
+        assert policy.decide("S1", "fp", 1).fail
+        assert policy.decide("S1", "fp", 2).fail
+        assert not policy.decide("S1", "fp", 3).fail
+        assert not policy.decide("S2", "fp", 1).fail
+
+    def test_backoff_is_exponential_and_deterministic(self):
+        retry = RetryPolicy(base_ms=100.0, multiplier=2.0, jitter=0.0)
+        assert retry.backoff_for("S1", 1) == 100.0
+        assert retry.backoff_for("S1", 2) == 200.0
+        assert retry.backoff_for("S1", 3) == 400.0
+        jittered = RetryPolicy(base_ms=100.0, multiplier=2.0, jitter=0.25)
+        first = jittered.backoff_for("S1", 1, seed=5)
+        assert first == jittered.backoff_for("S1", 1, seed=5)
+        assert 75.0 <= first <= 125.0
+
+    def test_circuit_breaker_trips_and_resets(self):
+        breaker = CircuitBreaker(threshold=2)
+        assert breaker.allow("fp")
+        breaker.record_failure("fp")
+        assert breaker.allow("fp")
+        breaker.record_failure("fp")
+        assert not breaker.allow("fp")
+        assert breaker.trips == 1
+        breaker.reset()
+        assert breaker.allow("fp")
+
+
+class TestByteIdentity:
+    def test_faulted_run_is_byte_identical(self, view):
+        baseline = view.materialize("fully-partitioned")
+        result = view.materialize(
+            "fully-partitioned",
+            retry=RetryPolicy(max_attempts=6),
+            faults=FaultPolicy(seed=7, error_rate=0.4),
+        )
+        assert result.xml == baseline.xml
+        assert result.report.faults_injected > 0
+        assert result.report.retries > 0
+        assert result.report.backoff_ms > 0
+        # The paper's figures are untouched by resilience overhead.
+        assert result.report.query_ms == baseline.report.query_ms
+        assert result.report.transfer_ms == baseline.report.transfer_ms
+
+    def test_acceptance_seed_both_styles(self, view):
+        # ISSUE acceptance: error_rate=0.2 with the default RetryPolicy
+        # materializes byte-identically under both plan styles.
+        for style in ("outer-join", "outer-union"):
+            from repro.core.sqlgen import PlanStyle
+
+            plan_style = (
+                PlanStyle.OUTER_JOIN
+                if style == "outer-join"
+                else PlanStyle.OUTER_UNION
+            )
+            baseline = view.materialize("fully-partitioned", style=plan_style)
+            injected = 0
+            for seed in range(20):
+                result = view.materialize(
+                    "fully-partitioned",
+                    style=plan_style,
+                    retry=RetryPolicy(),
+                    faults=FaultPolicy(seed=seed, error_rate=0.2),
+                )
+                assert result.xml == baseline.xml
+                injected += result.report.faults_injected
+            assert injected > 0
+
+    def test_concurrent_dispatch_draws_identically(self, view):
+        opts = ExecutionOptions(
+            retry=RetryPolicy(max_attempts=6),
+            faults=FaultPolicy(seed=7, error_rate=0.4),
+        )
+        serial = view.materialize("fully-partitioned", options=opts)
+        concurrent = view.materialize(
+            "fully-partitioned", options=opts.replace(workers=4)
+        )
+        assert concurrent.xml == serial.xml
+        assert concurrent.report.faults_injected == serial.report.faults_injected
+        assert concurrent.report.retries == serial.report.retries
+        assert concurrent.report.backoff_ms == serial.report.backoff_ms
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        error_rate=st.floats(min_value=0.05, max_value=0.45),
+    )
+    def test_materialize_byte_identity_property(
+        self, tiny_db, tiny_estimator, seed, error_rate
+    ):
+        connection = Connection(tiny_db, CostModel())
+        silk = SilkRoute(connection, estimator=tiny_estimator)
+        view = silk.define_view(QUERY_1)
+        baseline = view.materialize("fully-partitioned")
+        try:
+            result = view.materialize(
+                "fully-partitioned",
+                retry=RetryPolicy(max_attempts=8),
+                faults=FaultPolicy(seed=seed, error_rate=error_rate),
+            )
+        except TransientConnectionError as exc:
+            # Exhaustion is legitimate at high rates; the partial report
+            # must still identify the failing stream.
+            assert exc.stream_label
+            assert exc.report is not None
+            return
+        assert result.xml == baseline.xml
+        assert result.report.query_ms == baseline.report.query_ms
+
+
+class TestNoRetry:
+    def test_same_seed_raises_deterministically(self, view):
+        faults = FaultPolicy(seed=7, error_rate=1.0)
+        labels = []
+        for _ in range(2):
+            with pytest.raises(TransientConnectionError) as excinfo:
+                view.materialize("fully-partitioned", faults=faults)
+            exc = excinfo.value
+            labels.append(exc.stream_label)
+            assert exc.report is not None
+            assert exc.report.streams == []
+            assert exc.attempts == 1
+        assert labels[0] == labels[1] == "S1"
+
+    def test_partial_report_lists_completed_streams(self, view):
+        # Pin a mid-plan stream so earlier siblings complete first.
+        faults = FaultPolicy(seed=0, fail_streams={"S1.4": None})
+        with pytest.raises(TransientConnectionError) as excinfo:
+            view.materialize("fully-partitioned", faults=faults)
+        exc = excinfo.value
+        assert exc.stream_label == "S1.4"
+        completed = [s.label for s in exc.report.streams]
+        assert completed  # the streams before S1.4 in document order
+        assert "S1.4" not in completed
+
+    def test_no_retry_policy_constant(self, view):
+        baseline = view.materialize("fully-partitioned")
+        result = view.materialize(
+            "fully-partitioned",
+            retry=NO_RETRY,
+            faults=FaultPolicy(seed=0, error_rate=0.0),
+        )
+        assert result.xml == baseline.xml
+        assert result.report.retries == 0
+
+
+class TestCacheInterplay:
+    def test_fault_outcomes_never_cached(self, silk, view):
+        silk.cache = True
+        with pytest.raises(TransientConnectionError):
+            view.materialize(
+                "fully-partitioned", faults=FaultPolicy(seed=0, error_rate=1.0)
+            )
+        assert len(silk.cache) == 0
+
+    def test_cache_hit_never_counts_as_attempt(self, silk, view):
+        silk.cache = True
+        baseline = view.materialize("fully-partitioned")
+        # Every stream is now cached: even a certain-failure policy cannot
+        # touch the run, because cached plans never contact the source.
+        result = view.materialize(
+            "fully-partitioned", faults=FaultPolicy(seed=0, error_rate=1.0)
+        )
+        assert result.xml == baseline.xml
+        assert result.report.attempts == 0
+        assert result.report.faults_injected == 0
+        assert all(s.from_cache for s in result.report.streams)
+
+    def test_successful_retry_is_cached_cleanly(self, silk, view):
+        silk.cache = True
+        result = view.materialize(
+            "fully-partitioned",
+            retry=RetryPolicy(max_attempts=6),
+            faults=FaultPolicy(seed=7, error_rate=0.4),
+        )
+        assert result.report.faults_injected > 0
+        # The stored entries are the clean executions: replaying them is
+        # attempt-free and byte-identical.
+        replay = view.materialize(
+            "fully-partitioned", faults=FaultPolicy(seed=7, error_rate=1.0)
+        )
+        assert replay.xml == result.xml
+        assert replay.report.attempts == 0
+
+
+class TestDegradation:
+    def test_unified_plan_degrades_to_finer_streams(self, view):
+        baseline = view.materialize("unified")
+        result = view.materialize(
+            "unified",
+            retry=RetryPolicy(max_attempts=2),
+            faults=FaultPolicy(seed=7, error_rate=0.4),
+        )
+        assert result.xml == baseline.xml
+        assert result.report.degraded_streams == ("S1'",)
+        assert result.report.n_streams > 1
+
+    def test_single_node_stream_propagates(self, view):
+        faults = FaultPolicy(seed=0, fail_streams={"S1": None})
+        with pytest.raises(TransientConnectionError) as excinfo:
+            view.materialize(
+                "fully-partitioned",
+                retry=RetryPolicy(max_attempts=2),
+                faults=faults,
+            )
+        exc = excinfo.value
+        assert exc.stream_label == "S1"
+        assert exc.report is not None
+        assert exc.report.degraded_streams == ()
+
+    def test_degradation_accounts_spent_attempts(self, view):
+        result = view.materialize(
+            "unified",
+            retry=RetryPolicy(max_attempts=2),
+            faults=FaultPolicy(seed=7, error_rate=0.4),
+        )
+        # The degraded-away coarse stream burned two attempts that must
+        # appear in the plan totals even though it produced no stream.
+        assert result.report.attempts > result.report.n_streams
+
+
+class TestExecutionOptions:
+    def test_explicit_kwargs_override_options(self, view):
+        opts = ExecutionOptions(budget_ms=1.0)
+        baseline = view.materialize("fully-partitioned")
+        # budget_ms=None explicitly disables the option's tiny budget.
+        result = view.materialize(
+            "fully-partitioned", options=opts, budget_ms=None
+        )
+        assert result.xml == baseline.xml
+
+    def test_options_flow_through_facade(self, view):
+        from repro.core.sqlgen import PlanStyle
+
+        opts = ExecutionOptions(style=PlanStyle.OUTER_UNION, workers=2)
+        result = view.materialize("fully-partitioned", options=opts)
+        assert result.report.n_streams == 10
+        assert result.report.workers == 2
+
+    def test_unknown_option_rejected(self):
+        from repro.core.options import resolve_options
+
+        with pytest.raises(TypeError):
+            resolve_options(None, bogus=1)
+
+    def test_frozen_and_replace(self):
+        opts = ExecutionOptions(workers=2)
+        with pytest.raises(Exception):
+            opts.workers = 3
+        assert opts.replace(workers=4).workers == 4
+        assert opts.workers == 2
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.ExecutionOptions is ExecutionOptions
+        assert repro.FaultPolicy is FaultPolicy
+        assert repro.RetryPolicy is RetryPolicy
+        assert repro.TransientConnectionError is TransientConnectionError
+
+
+class TestCacheWiring:
+    def test_connection_true_installs_fresh(self, tiny_db):
+        connection = Connection(tiny_db, CostModel(), cache=True)
+        assert isinstance(connection.cache, PlanResultCache)
+
+    def test_silkroute_shares_instance(self, tiny_db, tiny_estimator):
+        shared = PlanResultCache()
+        connection = Connection(tiny_db, CostModel())
+        silk = SilkRoute(connection, estimator=tiny_estimator, cache=shared)
+        assert silk.cache is shared
+        assert connection.cache is shared
+
+    def test_false_uninstalls(self, tiny_db, tiny_estimator):
+        connection = Connection(tiny_db, CostModel(), cache=True)
+        silk = SilkRoute(connection, estimator=tiny_estimator)
+        silk.cache = False
+        assert connection.cache is None
+
+    def test_resolve_cache_contract(self):
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        assert isinstance(resolve_cache(True), PlanResultCache)
+        shared = PlanResultCache()
+        assert resolve_cache(shared) is shared
+
+
+class TestCursorClose:
+    def test_context_manager_closes(self, tiny_conn):
+        from repro.relational.sqlparse import parse_sql
+
+        plan = parse_sql(
+            "SELECT s.suppkey AS k FROM Supplier s", tiny_conn.database.schema
+        )
+        cursor = tiny_conn.execute_iter(plan)
+        with cursor:
+            next(iter(cursor))
+        assert cursor.closed
+        assert list(cursor) == []
+        cursor.close()  # idempotent
+
+    def test_materialize_to_closes_cursors_on_error(self, view):
+        sink = io.StringIO()
+        with pytest.raises(TransientConnectionError):
+            view.materialize_to(
+                sink, "fully-partitioned",
+                faults=FaultPolicy(seed=0, fail_streams={"S1.4": None}),
+            )
+
+
+class TestSweepFaults:
+    def test_sweep_records_failures_without_degrading(
+        self, q1_tree, tiny_db, tiny_estimator
+    ):
+        from repro.core.partition import fully_partitioned
+
+        connection = Connection(tiny_db, CostModel())
+        result = sweep_partitions(
+            q1_tree, tiny_db.schema, connection,
+            partitions=[fully_partitioned(q1_tree)],
+            cache=False,
+            retry=RetryPolicy(max_attempts=2),
+            faults=FaultPolicy(seed=0, fail_streams={"S1": None}),
+        )
+        assert len(result.failed()) == 1
+        timing = result.failed()[0]
+        assert timing.failed and not timing.timed_out
+        assert timing.total_ms is None
+        assert timing.attempts >= 2
+
+    def test_sweep_options_bundle(self, q1_tree, tiny_db):
+        from repro.core.partition import unified_partition
+
+        connection = Connection(tiny_db, CostModel())
+        opts = ExecutionOptions(faults=FaultPolicy(seed=7, error_rate=0.4),
+                                retry=RetryPolicy(max_attempts=6))
+        result = sweep_partitions(
+            q1_tree, tiny_db.schema, connection,
+            partitions=[unified_partition(q1_tree)],
+            cache=False, options=opts,
+        )
+        assert len(result.completed()) == 1
+
+
+class TestCliFlags:
+    def test_materialize_with_fault_flags(self):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            [
+                "materialize", "--strategy", "fully-partitioned",
+                "--fault-seed", "7", "--fault-rate", "0.4", "--retries", "6",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "-- resilience:" in out.getvalue()
+
+    def test_parser_accepts_execution_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "--workers", "2", "--budget-ms", "1000",
+             "--retries", "3", "--fault-seed", "1"]
+        )
+        assert args.workers == 2
+        assert args.budget_ms == 1000.0
+        assert args.retries == 3
+        assert args.fault_seed == 1

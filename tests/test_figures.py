@@ -1,6 +1,5 @@
 """Tests for ASCII figure rendering (repro.bench.figures)."""
 
-import pytest
 
 from repro.bench.figures import scatter_plot
 from repro.bench.sweep import PlanTiming, SweepResult

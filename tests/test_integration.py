@@ -12,7 +12,6 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.partition import (
     Partition,
-    enumerate_partitions,
     fully_partitioned,
     unified_partition,
 )

@@ -1,12 +1,10 @@
 """Tests for edge multiplicity labeling (repro.core.labeling)."""
 
-import pytest
 
 from repro.core.labeling import body_fds, edge_label, label_view_tree
 from repro.core.viewtree import build_view_tree
 from repro.relational.dependencies import attribute_closure
 from repro.rxl.parser import parse_rxl
-from repro.bench.queries import QUERY_1, QUERY_2
 
 
 class TestQuery1Labels:

@@ -1,6 +1,5 @@
 """Tests for NULLS FIRST total ordering (repro.common.ordering)."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.ordering import NONE_FIRST, NoneFirst, compare, sort_key

@@ -1,6 +1,5 @@
 """Tests for source-capability plan filtering (repro.core.permissible)."""
 
-import pytest
 
 from repro.core.partition import (
     Partition,

@@ -11,13 +11,12 @@ For any (schema-valid) random RXL view:
   outer-join blowups the cost oracle prices in.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.greedy import GreedyPlanner
 from repro.core.labeling import label_view_tree
 from repro.core.partition import unified_partition
-from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.core.sqlgen import SqlGenerator
 from repro.core.viewtree import build_view_tree
 from repro.relational.estimator import CostEstimator
 from repro.relational.engine import CostModel

@@ -9,7 +9,6 @@ Region/Nation tables, then checks:
   round trip: plan → SQL → RDBMS plan).
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.common.ordering import sort_key

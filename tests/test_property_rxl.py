@@ -7,7 +7,6 @@ SQL style, reduced or not, materializes the identical XML document, with
 no implicit opens and a depth-bounded tagger stack.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.labeling import label_view_tree

@@ -14,7 +14,6 @@ from repro.relational.algebra import (
     count_operators,
     outer_join_nesting,
 )
-from repro.relational.engine import CostModel, QueryEngine
 
 
 @pytest.fixture

@@ -13,7 +13,6 @@ from repro.core.partition import (
 from repro.core.sqlgen import PlanStyle, SqlGenerator
 from repro.relational.engine import CostModel, QueryEngine
 from repro.relational.sqlparse import parse_sql
-from repro.relational.sqltext import render_sql
 
 
 @pytest.fixture

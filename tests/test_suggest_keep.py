@@ -1,6 +1,5 @@
 """Tests for the Sec. 3.5 data-size reduction-prohibition heuristic."""
 
-import pytest
 
 from repro.core.partition import unified_partition, partition_subtrees
 from repro.core.reduction import reduce_subtree, suggest_keep

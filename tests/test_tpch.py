@@ -1,9 +1,8 @@
 """Tests for the TPC-H substrate (repro.tpch)."""
 
-import pytest
 
 from repro.relational.engine import CONFIG_A_COST_MODEL, CONFIG_B_COST_MODEL
-from repro.tpch.configs import CONFIG_A, CONFIG_B, build_configuration, build_database
+from repro.tpch.configs import CONFIG_A, CONFIG_B, build_configuration
 from repro.tpch.generator import TpchGenerator, TpchScale
 from repro.tpch.schema import TPCH_TABLE_NAMES, tpch_schema
 

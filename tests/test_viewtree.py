@@ -5,7 +5,6 @@ import pytest
 from repro.common.errors import PlanError
 from repro.core.viewtree import build_view_tree
 from repro.rxl.parser import parse_rxl
-from repro.bench.queries import QUERY_1, QUERY_2
 
 
 class TestQuery1Shape:

@@ -4,15 +4,13 @@ import pytest
 
 from repro.common.errors import PlanError
 from repro.core.partition import (
-    Partition,
     fully_partitioned,
-    partition_subtrees,
     unified_partition,
 )
 from repro.core.sqlgen import PlanStyle, SqlGenerator
 from repro.xmlgen.serializer import XmlWriter, escape_text, format_value
 from repro.xmlgen.streams import ComparatorLayout, decode_stream, merge_streams
-from repro.xmlgen.tagger import XmlTagger, tag_streams
+from repro.xmlgen.tagger import tag_streams
 
 
 @pytest.fixture

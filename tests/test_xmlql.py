@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import PlanError, RxlSyntaxError
 from repro.relational.algebra import Scan, count_operators
-from repro.xmlql.ast import ConstructNode, PatternElement
+from repro.xmlql.ast import ConstructNode
 from repro.xmlql.compose import compose
 from repro.xmlql.executor import execute_xmlql
 from repro.xmlql.parser import parse_xmlql
