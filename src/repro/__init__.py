@@ -64,6 +64,15 @@ from repro.core import (
     label_view_tree,
     unified_partition,
 )
+from repro.obs import (
+    MetricsRegistry,
+    ObsOptions,
+    ObsSnapshot,
+    Tracer,
+    chrome_trace_json,
+    metrics_json,
+    profile_tree,
+)
 from repro.rxl import parse_rxl, validate_rxl
 from repro.xmlgen import parse_dtd, validate_document
 
@@ -113,6 +122,13 @@ __all__ = [
     "fully_partitioned",
     "label_view_tree",
     "unified_partition",
+    "ObsOptions",
+    "ObsSnapshot",
+    "Tracer",
+    "MetricsRegistry",
+    "chrome_trace_json",
+    "profile_tree",
+    "metrics_json",
     "parse_rxl",
     "validate_rxl",
     "parse_dtd",

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.core.options import UNSET, resolve_options
 from repro.core.partition import enumerate_partitions
 from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.obs import obs_parts
 from repro.relational.cache import PlanResultCache, resolve_cache
 from repro.relational.dispatch import execute_specs
 
@@ -100,7 +101,7 @@ class SweepResult:
 def run_single_partition(tree, schema, connection, partition,
                          style=PlanStyle.OUTER_JOIN, reduce=False,
                          budget_ms=None, generator=None, stream_workers=None,
-                         retry=None, faults=None):
+                         retry=None, faults=None, obs=None, span_parent=None):
     """Execute one plan; returns a :class:`PlanTiming`.
 
     Pass a prebuilt ``generator`` (one per sweep) to reuse its memoized
@@ -110,14 +111,35 @@ def run_single_partition(tree, schema, connection, partition,
     simulated timings and timeout behaviour are identical either way.
     ``retry``/``faults`` run the plan under the resilience regime: a
     stream that exhausts its retries marks the timing ``failed`` (sweeps
-    record, they do not degrade).
+    record, they do not degrade).  ``obs`` (an
+    :class:`~repro.obs.ObsOptions` session) wraps the run in a
+    ``partition`` span and records per-stream metrics.
     """
     if generator is None:
-        generator = SqlGenerator(tree, schema, style=style, reduce=reduce)
+        generator = SqlGenerator(tree, schema, style=style, reduce=reduce,
+                                 tracer=obs_parts(obs)[0])
+    tracer, _ = obs_parts(obs)
+    with tracer.span("partition", parent=span_parent) as partition_span:
+        timing = _run_single(
+            tree, schema, connection, partition, generator, budget_ms,
+            stream_workers, retry, faults, obs,
+        )
+        partition_span.set(n_streams=timing.n_streams)
+        if timing.timed_out:
+            partition_span.set(timed_out=True)
+        elif timing.failed:
+            partition_span.set(failed=True)
+        else:
+            partition_span.set_sim(timing.total_ms)
+        return timing
+
+
+def _run_single(tree, schema, connection, partition, generator, budget_ms,
+                stream_workers, retry, faults, obs):
     specs = generator.streams_for_partition(partition)
     result = execute_specs(
         connection, specs, budget_ms=budget_ms, workers=stream_workers,
-        retry=retry, faults=faults,
+        retry=retry, faults=faults, obs=obs,
     )
     all_stats = list(result.stats)
     failure_stats = getattr(result.failure, "stats", None)
@@ -191,10 +213,12 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
     )
     style, reduce = opts.style, opts.reduce
     budget_ms, workers = opts.budget_ms, opts.workers
+    tracer, metrics = obs_parts(opts.obs)
     if partitions is None:
         partitions = list(enumerate_partitions(tree))
     generator = SqlGenerator(
-        tree, schema, style=style, reduce=reduce, keep=opts.keep
+        tree, schema, style=style, reduce=reduce, keep=opts.keep,
+        tracer=tracer,
     )
     engine = connection.engine
     previous = engine.cache
@@ -205,27 +229,42 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
     else:
         engine.cache = resolve_cache(cache)
     try:
-        def run(partition):
-            return run_single_partition(
-                tree, schema, connection, partition,
-                style=style, reduce=reduce, budget_ms=budget_ms,
-                generator=generator, stream_workers=stream_workers,
-                retry=opts.retry, faults=opts.faults,
-            )
+        with tracer.span(
+            "sweep", style=style.value, plans=len(partitions),
+        ) as sweep_span:
+            # Captured in the submitting thread so worker-thread partition
+            # spans still hang under the sweep span.
+            parent = tracer.current()
 
-        timings = []
-        if workers is not None and workers > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                for i, timing in enumerate(pool.map(run, partitions)):
-                    timings.append(timing)
+            def run(partition):
+                return run_single_partition(
+                    tree, schema, connection, partition,
+                    style=style, reduce=reduce, budget_ms=budget_ms,
+                    generator=generator, stream_workers=stream_workers,
+                    retry=opts.retry, faults=opts.faults, obs=opts.obs,
+                    span_parent=parent,
+                )
+
+            timings = []
+            if workers is not None and workers > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    for i, timing in enumerate(pool.map(run, partitions)):
+                        timings.append(timing)
+                        if progress is not None:
+                            progress(i + 1, len(partitions))
+            else:
+                for i, partition in enumerate(partitions):
+                    timings.append(run(partition))
                     if progress is not None:
                         progress(i + 1, len(partitions))
-        else:
-            for i, partition in enumerate(partitions):
-                timings.append(run(partition))
-                if progress is not None:
-                    progress(i + 1, len(partitions))
+            completed = sum(
+                1 for t in timings if not t.timed_out and not t.failed
+            )
+            sweep_span.set(completed=completed)
+        metrics.inc("sweep.plans", len(partitions))
         stats = engine.cache.stats() if engine.cache is not None else None
+        if engine.cache is not None and metrics.enabled:
+            engine.cache.publish(metrics)
     finally:
         engine.cache = previous
     return SweepResult(

@@ -6,14 +6,19 @@
     python -m repro materialize --query q1 --strategy greedy --indent 2
     python -m repro plan --query q2 --reduce
     python -m repro sweep --query q1 --reduce        # slow: 512 plans
+    python -m repro trace q1 --out trace.json        # Chrome-trace profile
 
 All commands run against a freshly generated Configuration-A TPC-H
-database (deterministic seed), so output is reproducible.
+database (deterministic seed), so output is reproducible.  ``--metrics``
+on the execution commands prints the observability counters as JSON;
+``trace`` runs a materialization under a full tracing session and writes
+the Chrome-trace file (load it in ``about:tracing`` or Perfetto).
 """
 
 import argparse
 import sys
 
+import repro
 from repro.bench.queries import QUERY_1, QUERY_2, load_view
 from repro.bench.report import format_series
 from repro.bench.sweep import sweep_partitions
@@ -21,6 +26,7 @@ from repro.core.greedy import GreedyPlanner
 from repro.core.options import ExecutionOptions
 from repro.core.silkroute import SilkRoute
 from repro.core.sqlgen import PlanStyle
+from repro.obs import ObsOptions, metrics_json
 from repro.relational.faults import FaultPolicy, RetryPolicy
 from repro.tpch.configs import CONFIG_A, build_configuration
 
@@ -31,7 +37,7 @@ _STYLES = {
 }
 
 
-def _execution_options(args, default_budget_ms=None):
+def _execution_options(args, default_budget_ms=None, obs=None):
     """The :class:`ExecutionOptions` described by the command line."""
     retry = None
     if args.retries is not None:
@@ -52,7 +58,16 @@ def _execution_options(args, default_budget_ms=None):
         workers=args.workers,
         retry=retry,
         faults=faults,
+        obs=obs,
     )
+
+
+def _obs_session(args):
+    """An :class:`~repro.obs.ObsOptions` session when the command asked
+    for one (``--metrics``, or the ``trace`` command), else None."""
+    if getattr(args, "command", None) == "trace" or getattr(args, "metrics", False):
+        return ObsOptions()
+    return None
 
 
 def build_parser():
@@ -60,6 +75,8 @@ def build_parser():
         prog="repro",
         description="SilkRoute reproduction (SIGMOD 2001) command line",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {repro.__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p):
@@ -82,6 +99,8 @@ def build_parser():
                        help="deterministic fault-injection seed")
         p.add_argument("--fault-rate", type=float, default=None,
                        help="per-attempt transient failure probability")
+        p.add_argument("--metrics", action="store_true",
+                       help="print observability counters as JSON afterwards")
 
     explain = sub.add_parser("explain", help="print the SQL a plan sends")
     add_common(explain)
@@ -109,6 +128,23 @@ def build_parser():
     add_execution(sweep)
     sweep.add_argument("--metric", choices=["query_ms", "total_ms"],
                        default="query_ms")
+
+    trace = sub.add_parser(
+        "trace",
+        help="materialize under a tracing session and export a Chrome trace",
+    )
+    trace.add_argument("query", nargs="?", choices=sorted(_QUERIES),
+                       default="q1", help="workload query (default: q1)")
+    trace.add_argument("--style", choices=sorted(_STYLES),
+                       default="outer-join", help="SQL generation style")
+    trace.add_argument("--reduce", action="store_true",
+                       help="apply view-tree reduction")
+    trace.add_argument("--strategy", default="greedy",
+                       choices=["unified", "fully-partitioned", "greedy"])
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome-trace JSON output file "
+                            "(default: trace.json)")
+    add_execution(trace)
 
     sub.add_parser("experiments",
                    help="list the paper's tables/figures and their benches")
@@ -171,8 +207,31 @@ def main(argv=None, out=sys.stdout):
 
     style = _STYLES[args.style]
 
+    if args.command == "trace":
+        obs = _obs_session(args)
+        options = _execution_options(args, obs=obs)
+        silk = SilkRoute(connection, estimator=estimator)
+        view = silk.define_view(rxl)
+        strategy = None if args.strategy == "greedy" else args.strategy
+        result = view.materialize(strategy, root_tag="view", options=options)
+        with open(args.out, "w") as sink:
+            sink.write(obs.chrome_trace_json())
+        print(obs.profile(), file=out)
+        print(
+            f"-- {result.report.n_streams} stream(s), simulated "
+            f"{result.report.query_ms:.0f}ms query + "
+            f"{result.report.transfer_ms:.0f}ms transfer",
+            file=out,
+        )
+        print(f"wrote Chrome trace ({len(obs.chrome_trace())} events) "
+              f"to {args.out}", file=out)
+        if args.metrics:
+            print(metrics_json(obs.metrics), file=out)
+        return 0
+
     if args.command in ("explain", "materialize"):
-        options = _execution_options(args)
+        obs = _obs_session(args)
+        options = _execution_options(args, obs=obs)
         silk = SilkRoute(connection, estimator=estimator)
         view = silk.define_view(rxl)
         strategy = None if args.strategy == "greedy" else args.strategy
@@ -181,6 +240,8 @@ def main(argv=None, out=sys.stdout):
             for i, sql in enumerate(sqls, 1):
                 print(f"-- query {i} " + "-" * 50, file=out)
                 print(sql, file=out)
+            if args.metrics:
+                print(metrics_json(obs.metrics), file=out)
             return 0
         result = view.materialize(
             strategy, indent=args.indent, root_tag="view", options=options,
@@ -206,6 +267,8 @@ def main(argv=None, out=sys.stdout):
                 f"{len(report.degraded_streams)} stream(s) degraded",
                 file=out,
             )
+        if args.metrics:
+            print(metrics_json(obs.metrics), file=out)
         return 0
 
     tree = load_view(rxl, database.schema)
@@ -223,8 +286,9 @@ def main(argv=None, out=sys.stdout):
         return 0
 
     if args.command == "sweep":
+        obs = _obs_session(args)
         options = _execution_options(
-            args, default_budget_ms=CONFIG_A.subquery_budget_ms
+            args, default_budget_ms=CONFIG_A.subquery_budget_ms, obs=obs,
         )
         sweep = sweep_partitions(
             tree, database.schema, connection, options=options,
@@ -237,6 +301,8 @@ def main(argv=None, out=sys.stdout):
             ),
             file=out,
         )
+        if args.metrics:
+            print(metrics_json(obs.metrics), file=out)
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")

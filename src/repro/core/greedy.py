@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.common.errors import PlanError
 from repro.core.partition import Partition, Subtree
 from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -98,7 +99,22 @@ class GreedyPlanner:
         self.oracle_requests = 0
         self.oracle_cache_hits = 0
 
-    def plan(self, params=None):
+    def plan(self, params=None, tracer=None):
+        """Run genPlan; ``tracer`` (an observability tracer) records the
+        run as a ``plan`` span with the chosen edge counts and the oracle
+        traffic as attributes."""
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span("plan", style=self.generator.style.value) as span:
+            plan = self._plan(params)
+            span.set(
+                mandatory=len(plan.mandatory),
+                optional=len(plan.optional),
+                oracle_requests=plan.oracle_requests,
+                oracle_cache_hits=plan.oracle_cache_hits,
+            )
+            return plan
+
+    def _plan(self, params=None):
         params = params or GreedyParameters()
         components = {node.index: frozenset([node.index]) for node in self.tree.nodes}
         edges = {child.index: (parent.index, child.index)

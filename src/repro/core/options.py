@@ -47,11 +47,14 @@ class ExecutionOptions:
 
     ``style``/``reduce``/``keep`` select and reduce the SQL generation,
     ``budget_ms`` is the per-subquery simulated timeout, ``workers``
-    dispatches subqueries (or sweep partitions) concurrently, and
+    dispatches subqueries (or sweep partitions) concurrently,
     ``retry``/``faults`` are the resilience policies
     (:class:`~repro.relational.faults.RetryPolicy` /
-    :class:`~repro.relational.faults.FaultPolicy`).  Hashable as long as
-    its fields are, so it can key plan caches.
+    :class:`~repro.relational.faults.FaultPolicy`), and ``obs`` is an
+    optional :class:`~repro.obs.ObsOptions` observability session
+    (tracing/metrics; None — the default — keeps the no-op fast path).
+    Hashable as long as its fields are, so it can key plan caches
+    (``ObsOptions`` hashes by identity).
     """
 
     style: PlanStyle = PlanStyle.OUTER_JOIN
@@ -61,6 +64,7 @@ class ExecutionOptions:
     workers: int = None
     retry: object = None
     faults: object = None
+    obs: object = None
 
     def __post_init__(self):
         object.__setattr__(self, "keep", tuple(self.keep))

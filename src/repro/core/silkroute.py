@@ -46,6 +46,7 @@ from repro.core.partition import (
 )
 from repro.core.sqlgen import SqlGenerator
 from repro.core.viewtree import build_view_tree
+from repro.obs import obs_parts
 from repro.relational.cache import resolve_cache
 from repro.relational.dispatch import execute_specs, simulated_makespan
 from repro.relational.estimator import CostEstimator
@@ -100,6 +101,13 @@ class PlanReport:
     ``fault_latency_ms``, and ``degraded_streams`` — the labels of
     streams that exhausted their retries and were re-planned into the
     finer streams found in ``streams``.
+
+    ``obs`` is the :class:`~repro.obs.ObsOptions` observability session
+    the execution ran under (None when tracing/metrics were off) — the
+    *live* session object, so its trace and metrics snapshot are one
+    attribute away from the report (``report.obs.profile()``,
+    ``report.obs.metrics_snapshot()``); sessions reused across executions
+    accumulate.
     """
 
     partition: Partition
@@ -122,6 +130,7 @@ class PlanReport:
     backoff_ms: float = 0.0
     fault_latency_ms: float = 0.0
     degraded_streams: tuple = ()
+    obs: object = None
 
     @property
     def total_ms(self):
@@ -156,6 +165,7 @@ class _DispatchOutcome:
     degraded: tuple
     spent_stats: list       # stats burned by degraded-away streams
     timeout: object = None
+    span: object = None     # the dispatch trace span (None when tracing off)
 
 
 class XmlView:
@@ -180,7 +190,7 @@ class XmlView:
         return enumerate_partitions(self.tree)
 
     def greedy_plan(self, params=None, style=UNSET, reduce=UNSET, keep=UNSET,
-                    options=None):
+                    options=None, obs=UNSET):
         """Run the Sec. 5 algorithm; returns a
         :class:`repro.core.greedy.GreedyPlan`.
 
@@ -193,7 +203,9 @@ class XmlView:
         remembered: adaptive degradation consults it to re-plan a failing
         subtree along the family's optional edges.
         """
-        opts = resolve_options(options, style=style, reduce=reduce, keep=keep)
+        opts = resolve_options(
+            options, style=style, reduce=reduce, keep=keep, obs=obs
+        )
         key = (opts.style, bool(opts.reduce), tuple(opts.keep))
         planner = self._planners.get(key)
         if planner is None:
@@ -206,7 +218,7 @@ class XmlView:
                 keep=opts.keep,
             )
             self._planners[key] = planner
-        plan = planner.plan(params)
+        plan = planner.plan(params, tracer=obs_parts(opts.obs)[0])
         self._greedy_plans[key] = plan
         return plan
 
@@ -226,6 +238,7 @@ class XmlView:
         generator = SqlGenerator(
             self.tree, self.silkroute.schema, style=opts.style,
             reduce=opts.reduce, keep=opts.keep,
+            tracer=obs_parts(opts.obs)[0],
         )
         specs = generator.streams_for_partition(partition)
         if use_with:
@@ -267,11 +280,14 @@ class XmlView:
             options, defaults={"reduce": False}, style=style, reduce=reduce,
             budget_ms=budget_ms, workers=workers, retry=retry, faults=faults,
         )
+        tracer, _ = obs_parts(opts.obs)
         generator = SqlGenerator(
             self.tree, self.silkroute.schema, style=opts.style,
-            reduce=opts.reduce, keep=opts.keep,
+            reduce=opts.reduce, keep=opts.keep, tracer=tracer,
         )
-        specs = generator.streams_for_partition(partition)
+        with tracer.span("sqlgen", style=opts.style.value) as sqlgen_span:
+            specs = generator.streams_for_partition(partition)
+            sqlgen_span.set(streams=len(specs))
         self._check_source(specs)
         start = time.perf_counter()
         try:
@@ -315,47 +331,64 @@ class XmlView:
         pending = list(zip(specs, partition_subtrees(self.tree, partition)))
         done_specs, done_streams, done_stats = [], [], []
         degraded, spent_stats = [], []
+        tracer, _ = obs_parts(opts.obs)
+        dispatch_span = tracer.span(
+            "dispatch", streams=len(specs), workers=max(opts.workers or 1, 1),
+        )
 
         def outcome(timeout=None):
             return _DispatchOutcome(
                 specs=done_specs, streams=done_streams, stats=done_stats,
                 degraded=tuple(degraded), spent_stats=spent_stats,
                 timeout=timeout,
+                span=dispatch_span if tracer.enabled else None,
             )
 
-        while True:
-            result = execute_specs(
-                connection, [spec for spec, _ in pending],
-                budget_ms=opts.budget_ms, workers=opts.workers,
-                retry=opts.retry, faults=opts.faults, breaker=breaker,
-            )
-            completed = len(result.streams)
-            done_specs.extend(spec for spec, _ in pending[:completed])
-            done_streams.extend(result.streams)
-            done_stats.extend(result.stats)
-            if result.timeout is not None:
-                return outcome(timeout=result.timeout)
-            if result.failure is None:
-                return outcome()
-            failure = result.failure
-            failing_spec, failing_subtree = pending[result.failed_index]
-            stats = getattr(failure, "stats", None)
-            if stats is not None:
-                spent_stats.append(stats)
-            finer = (
-                self._finer_subtrees(failing_subtree, opts)
-                if opts.retry is not None else None
-            )
-            if finer is None:
-                failure.partial_outcome = outcome()
-                raise failure
-            degraded.append(failing_spec.label)
-            finer_specs = [generator.stream_for_subtree(s) for s in finer]
-            self._check_source(finer_specs)
-            pending = (
-                list(zip(finer_specs, finer))
-                + pending[result.failed_index + 1:]
-            )
+        with dispatch_span:
+            while True:
+                result = execute_specs(
+                    connection, [spec for spec, _ in pending],
+                    budget_ms=opts.budget_ms, workers=opts.workers,
+                    retry=opts.retry, faults=opts.faults, breaker=breaker,
+                    obs=opts.obs,
+                )
+                completed = len(result.streams)
+                done_specs.extend(spec for spec, _ in pending[:completed])
+                done_streams.extend(result.streams)
+                done_stats.extend(result.stats)
+                if result.timeout is not None:
+                    dispatch_span.set(
+                        timed_out=True,
+                        timed_out_label=result.timeout.stream_label,
+                    )
+                    return outcome(timeout=result.timeout)
+                if result.failure is None:
+                    if degraded:
+                        dispatch_span.set(degraded=tuple(degraded))
+                    return outcome()
+                failure = result.failure
+                failing_spec, failing_subtree = pending[result.failed_index]
+                stats = getattr(failure, "stats", None)
+                if stats is not None:
+                    spent_stats.append(stats)
+                finer = (
+                    self._finer_subtrees(failing_subtree, opts)
+                    if opts.retry is not None else None
+                )
+                if finer is None:
+                    failure.partial_outcome = outcome()
+                    raise failure
+                degraded.append(failing_spec.label)
+                finer_specs = [generator.stream_for_subtree(s) for s in finer]
+                dispatch_span.event(
+                    "degrade", label=failing_spec.label,
+                    finer_streams=len(finer_specs),
+                )
+                self._check_source(finer_specs)
+                pending = (
+                    list(zip(finer_specs, finer))
+                    + pending[result.failed_index + 1:]
+                )
 
     def _finer_subtrees(self, subtree, opts):
         """The failing subtree re-planned into finer streams, or None when
@@ -427,7 +460,7 @@ class XmlView:
         )
         if outcome.timeout is not None:
             nan = float("nan")
-            return PlanReport(
+            return self._published_report(PlanReport(
                 partition=partition,
                 n_streams=len(outcome.specs) or len(outcome.streams),
                 query_ms=nan,
@@ -439,8 +472,9 @@ class XmlView:
                 elapsed_query_ms=nan,
                 elapsed_total_ms=nan,
                 wall_s=wall_s,
+                obs=opts.obs,
                 **resilience,
-            )
+            ))
         streams = outcome.streams
         # Resilience overhead (backoff, wasted fault latency — including
         # the submissions burned by degraded-away streams) is charged to
@@ -459,7 +493,7 @@ class XmlView:
             stream.server_ms + stream.transfer_ms + extra
             for stream, extra in zip(streams, overhead)
         ] + overhead[len(streams):]
-        return PlanReport(
+        report = PlanReport(
             partition=partition,
             n_streams=len(outcome.specs),
             query_ms=sum(s.server_ms for s in streams),
@@ -469,8 +503,24 @@ class XmlView:
             elapsed_query_ms=simulated_makespan(query_durations, n_workers),
             elapsed_total_ms=simulated_makespan(total_durations, n_workers),
             wall_s=wall_s,
+            obs=opts.obs,
             **resilience,
         )
+        if outcome.span is not None:
+            # The dispatch span learns its simulated makespan only now that
+            # the report is assembled (Span.set_sim is legal after close).
+            outcome.span.set_sim(report.elapsed_total_ms)
+        return self._published_report(report)
+
+    def _published_report(self, report):
+        """Attach point-in-time cache gauges to the report's observability
+        session, if any — keeping the metrics snapshot consistent with the
+        cache the execution actually saw."""
+        if report.obs is not None:
+            cache = self.silkroute.connection.cache
+            if cache is not None:
+                cache.publish(obs_parts(report.obs)[1])
+        return report
 
     def materialize(self, partition=None, style=UNSET, reduce=UNSET,
                     root_tag="view", indent=None, budget_ms=UNSET,
@@ -503,20 +553,25 @@ class XmlView:
             options, style=style, reduce=reduce, budget_ms=budget_ms,
             workers=workers, retry=retry, faults=faults,
         )
-        partition = self._resolve_partition(
-            partition, opts.style, opts.reduce, greedy_params, keep=opts.keep
-        )
-        specs, streams, report = self.execute_partition(
-            partition, options=opts
-        )
-        if streams is None:
-            raise TimeoutExceeded(
-                opts.budget_ms, float("nan"),
-                stream_label=report.timed_out_label, report=report,
+        tracer, _ = obs_parts(opts.obs)
+        with tracer.span("materialize") as root_span:
+            partition = self._resolve_partition(
+                partition, opts.style, opts.reduce, greedy_params,
+                keep=opts.keep, obs=opts.obs,
             )
-        xml, tagger = tag_streams(
-            self.tree, specs, streams, root_tag=root_tag, indent=indent
-        )
+            specs, streams, report = self.execute_partition(
+                partition, options=opts
+            )
+            if streams is None:
+                raise TimeoutExceeded(
+                    opts.budget_ms, float("nan"),
+                    stream_label=report.timed_out_label, report=report,
+                )
+            xml, tagger = tag_streams(
+                self.tree, specs, streams, root_tag=root_tag, indent=indent,
+                obs=opts.obs,
+            )
+            root_span.set(streams=len(specs), chars=len(xml))
         return MaterializedView(xml=xml, report=report, tagger=tagger)
 
     def materialize_to(self, sink, partition=None, style=UNSET, reduce=UNSET,
@@ -554,55 +609,73 @@ class XmlView:
             options, style=style, reduce=reduce, budget_ms=budget_ms,
             faults=faults,
         )
-        partition = self._resolve_partition(
-            partition, opts.style, opts.reduce, greedy_params, keep=opts.keep
-        )
-        generator = SqlGenerator(
-            self.tree, self.silkroute.schema, style=opts.style,
-            reduce=opts.reduce, keep=opts.keep,
-        )
-        specs = generator.streams_for_partition(partition)
-        self._check_source(specs)
-        connection = self.silkroute.connection
-        writer = XmlWriter(sink=sink, indent=indent)
-        start = time.perf_counter()
-        cursors = []
-        try:
-            for spec in specs:
-                cursors.append(
-                    connection.execute_iter(
-                        spec.plan,
-                        compact_rows=spec.compact,
-                        budget_ms=opts.budget_ms,
-                        sql=spec.sql,
-                        label=spec.label,
-                        faults=opts.faults if opts.faults is not None else None,
-                    )
+        tracer, _ = obs_parts(opts.obs)
+        with tracer.span("materialize_to") as root_span:
+            partition = self._resolve_partition(
+                partition, opts.style, opts.reduce, greedy_params,
+                keep=opts.keep, obs=opts.obs,
+            )
+            generator = SqlGenerator(
+                self.tree, self.silkroute.schema, style=opts.style,
+                reduce=opts.reduce, keep=opts.keep, tracer=tracer,
+            )
+            with tracer.span("sqlgen", style=opts.style.value) as sqlgen_span:
+                specs = generator.streams_for_partition(partition)
+                sqlgen_span.set(streams=len(specs))
+            self._check_source(specs)
+            connection = self.silkroute.connection
+            writer = XmlWriter(sink=sink, indent=indent)
+            start = time.perf_counter()
+            cursors = []
+            try:
+                # The dispatch span brackets cursor *opening* only: on the
+                # streaming path the subqueries execute lazily, inside the
+                # merge/tag spans that drain them.
+                with tracer.span(
+                    "dispatch", streams=len(specs), streaming=True,
+                ):
+                    for spec in specs:
+                        cursors.append(
+                            connection.execute_iter(
+                                spec.plan,
+                                compact_rows=spec.compact,
+                                budget_ms=opts.budget_ms,
+                                sql=spec.sql,
+                                label=spec.label,
+                                faults=(
+                                    opts.faults
+                                    if opts.faults is not None else None
+                                ),
+                                obs=opts.obs,
+                            )
+                        )
+                _, tagger = tag_streams(
+                    self.tree, specs, cursors, root_tag=root_tag,
+                    writer=writer, obs=opts.obs,
                 )
-            _, tagger = tag_streams(
-                self.tree, specs, cursors, root_tag=root_tag, writer=writer
+            except TimeoutExceeded as exc:
+                exc.report = self._cursor_report(
+                    partition, specs, cursors, timed_out=True,
+                    timed_out_label=exc.stream_label,
+                    wall_s=time.perf_counter() - start, obs=opts.obs,
+                )
+                for cursor in cursors:
+                    cursor.close()
+                raise
+            except Exception:
+                for cursor in cursors:
+                    cursor.close()
+                raise
+            report = self._cursor_report(
+                partition, specs, cursors, timed_out=False,
+                timed_out_label=None, wall_s=time.perf_counter() - start,
+                obs=opts.obs,
             )
-        except TimeoutExceeded as exc:
-            exc.report = self._cursor_report(
-                partition, specs, cursors, timed_out=True,
-                timed_out_label=exc.stream_label,
-                wall_s=time.perf_counter() - start,
-            )
-            for cursor in cursors:
-                cursor.close()
-            raise
-        except Exception:
-            for cursor in cursors:
-                cursor.close()
-            raise
-        report = self._cursor_report(
-            partition, specs, cursors, timed_out=False, timed_out_label=None,
-            wall_s=time.perf_counter() - start,
-        )
+            root_span.set(streams=len(specs))
         return MaterializedView(xml=None, report=report, tagger=tagger)
 
     def _cursor_report(self, partition, specs, cursors, timed_out,
-                       timed_out_label, wall_s):
+                       timed_out_label, wall_s, obs=None):
         reports = [
             StreamReport(
                 label=spec.label,
@@ -613,8 +686,15 @@ class XmlView:
             )
             for spec, cursor in zip(specs, cursors)
         ]
+        metrics = obs_parts(obs)[1]
+        for cursor in cursors:
+            metrics.inc("dispatch.attempts")
+            metrics.inc("streams.executed")
+            metrics.inc("tuples.transferred", cursor.rows_read)
+            metrics.observe("stream.query_ms", cursor.server_ms)
+            metrics.observe("stream.transfer_ms", cursor.transfer_ms)
         nan = float("nan")
-        return PlanReport(
+        return self._published_report(PlanReport(
             partition=partition,
             n_streams=len(specs),
             query_ms=nan if timed_out else sum(c.server_ms for c in cursors),
@@ -632,7 +712,8 @@ class XmlView:
             ),
             wall_s=wall_s,
             attempts=len(cursors),
-        )
+            obs=obs,
+        ))
 
     def query(self, xmlql_text, root_tag="result", indent=None):
         """Run an XML-QL query against this view *virtually* (Sec. 7):
@@ -647,10 +728,10 @@ class XmlView:
         )
 
     def _resolve_partition(self, partition, style, reduce, greedy_params=None,
-                           keep=()):
+                           keep=(), obs=None):
         if partition is None:
             return self.greedy_plan(
-                greedy_params, style=style, reduce=reduce, keep=keep
+                greedy_params, style=style, reduce=reduce, keep=keep, obs=obs
             ).recommended()
         if isinstance(partition, str):
             named = {

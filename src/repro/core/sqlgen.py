@@ -44,6 +44,7 @@ from repro.relational.algebra import (
     Scan,
     Sort,
 )
+from repro.obs.tracer import NULL_TRACER
 from repro.relational.sqltext import render_sql, render_sql_with
 from repro.relational.types import SqlType
 from repro.core.partition import partition_subtrees
@@ -114,12 +115,15 @@ class SqlGenerator:
     """Generates one :class:`StreamSpec` per subtree of a partition."""
 
     def __init__(self, tree, schema, style=PlanStyle.OUTER_JOIN,
-                 reduce=False, keep=()):
+                 reduce=False, keep=(), tracer=None):
         self.tree = tree
         self.schema = schema
         self.style = style
         self.reduce = reduce
         self.keep = tuple(keep)
+        #: Observability tracer; ``reduce`` work is recorded as a span per
+        #: subtree actually reduced (cache misses only).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # One generator serves many partitions (a sweep visits 2^|E| of
         # them) but the same subtree — the same node set — recurs across
         # most, so specs are memoized by node-index set.  StreamSpecs are
@@ -135,7 +139,15 @@ class SqlGenerator:
         key = tuple(node.index for node in subtree.nodes)
         spec = self._stream_cache.get(key)
         if spec is None:
-            unit_tree = reduce_subtree(subtree, reduce=self.reduce, keep=self.keep)
+            if self.reduce and self.tracer.enabled:
+                with self.tracer.span("reduce", nodes=len(subtree.nodes)):
+                    unit_tree = reduce_subtree(
+                        subtree, reduce=self.reduce, keep=self.keep
+                    )
+            else:
+                unit_tree = reduce_subtree(
+                    subtree, reduce=self.reduce, keep=self.keep
+                )
             spec = self._build_stream(unit_tree)
             self._stream_cache[key] = spec
         return spec

@@ -1,0 +1,132 @@
+"""Exporters: Chrome-trace JSON, a human-readable profile tree, metrics JSON.
+
+Three ways out of an observability session:
+
+* :func:`chrome_trace` / :func:`chrome_trace_json` — the Chrome Trace
+  Event Format (JSON array of ``ph: "X"`` complete events plus ``ph: "i"``
+  instants and thread-name metadata), loadable in ``about:tracing`` or
+  https://ui.perfetto.dev.  Spans are laid out on the wall clock (the only
+  clock a timeline viewer can render); each event's ``args`` carry the
+  span's attributes plus its simulated duration (``sim_ms``), so the
+  deterministic accounting is one click away on every slice.
+* :func:`profile_tree` — an indented text rendering of the span forest
+  with wall and simulated durations, for terminals and logs.
+* :func:`metrics_json` — the registry snapshot as a JSON document.
+"""
+
+import json
+
+
+def chrome_trace(tracer, pid=0):
+    """The tracer's span forest as a list of Chrome Trace Event dicts.
+
+    Wall times become microsecond ``ts``/``dur`` relative to the earliest
+    recorded span; each OS thread that recorded spans gets its own ``tid``
+    (numbered in order of first appearance) and a thread-name metadata
+    event.  Span events are emitted as instant events on the same thread.
+    A still-open span is exported with the forest's latest known timestamp
+    as its end.
+    """
+    spans = list(tracer.walk())
+    if not spans:
+        return []
+    t0 = min(s.wall_start_s for s in spans)
+    latest = max(
+        s.wall_end_s if s.wall_end_s is not None else s.wall_start_s
+        for s in spans
+    )
+    tids = {}
+    events = []
+    for span in spans:
+        tid = tids.setdefault(span.thread_id, len(tids))
+        end = span.wall_end_s if span.wall_end_s is not None else latest
+        args = dict(span.attrs)
+        if span.sim_ms is not None:
+            args["sim_ms"] = round(span.sim_ms, 3)
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(":", 1)[0],
+            "ph": "X",
+            "ts": round((span.wall_start_s - t0) * 1e6, 3),
+            "dur": round(max(end - span.wall_start_s, 0.0) * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+        for event in span.events:
+            events.append({
+                "name": f"{span.name}/{event.name}",
+                "cat": event.name,
+                "ph": "i",
+                "s": "t",
+                "ts": round((event.wall_s - t0) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": dict(event.attrs),
+            })
+    for thread_id, tid in tids.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": f"thread-{tid} (ident {thread_id})"},
+        })
+    return events
+
+
+def chrome_trace_json(tracer, pid=0):
+    """:func:`chrome_trace` serialized as a JSON array string."""
+    return json.dumps(chrome_trace(tracer, pid=pid), default=_jsonable)
+
+
+def profile_tree(tracer, attr_limit=4):
+    """The span forest as indented text: one line per span with wall and
+    simulated durations, leading attributes, and event summaries."""
+    lines = []
+    for root in tracer.roots:
+        _render(root, "", lines, attr_limit)
+    return "\n".join(lines)
+
+
+def _render(span, indent, lines, attr_limit):
+    parts = [f"{indent}{span.name}"]
+    parts.append(f"wall {span.wall_ms:.1f}ms")
+    if span.sim_ms is not None:
+        parts.append(f"sim {span.sim_ms:.1f}ms")
+    if span.attrs:
+        shown = list(span.attrs.items())[:attr_limit]
+        rendered = ", ".join(f"{k}={_short(v)}" for k, v in shown)
+        if len(span.attrs) > attr_limit:
+            rendered += ", ..."
+        parts.append(f"[{rendered}]")
+    if span.events:
+        names = {}
+        for event in span.events:
+            names[event.name] = names.get(event.name, 0) + 1
+        parts.append(
+            "events: " + ", ".join(
+                f"{name} x{n}" if n > 1 else name
+                for name, n in names.items()
+            )
+        )
+    lines.append("  ".join(parts))
+    for child in span.children:
+        _render(child, indent + "  ", lines, attr_limit)
+
+
+def metrics_json(registry, indent=2):
+    """The registry snapshot as a JSON document string."""
+    return json.dumps(registry.snapshot(), indent=indent, default=_jsonable)
+
+
+def _short(value):
+    text = str(value)
+    if len(text) > 40:
+        text = text[:37] + "..."
+    return text
+
+
+def _jsonable(value):
+    """Fallback serializer for attribute values that are not JSON types."""
+    return str(value)

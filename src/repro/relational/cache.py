@@ -64,6 +64,22 @@ class CacheStats:
             return 0.0
         return self.hits / self.requests
 
+    def as_dict(self):
+        """The snapshot as a plain (JSON-dumpable) dict, derived fields
+        included — the shape the observability exporters publish."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "oversize_rejections": self.oversize_rejections,
+            "entries": self.entries,
+            "current_bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+        }
+
     def __str__(self):
         return (
             f"{self.hits}/{self.requests} hits ({self.hit_rate:.1%}), "
@@ -235,6 +251,14 @@ class PlanResultCache:
         with self._lock:
             self._entries.clear()
             self._current_bytes = 0.0
+
+    def publish(self, metrics, prefix="plan_cache"):
+        """Publish a :meth:`stats` snapshot as ``<prefix>.<field>`` gauges
+        into an observability metrics registry (gauges, not counters: the
+        cache keeps its own lifetime totals and a snapshot is
+        last-write-wins)."""
+        for name, value in self.stats().as_dict().items():
+            metrics.gauge(f"{prefix}.{name}", value)
 
     def stats(self):
         """A :class:`CacheStats` snapshot."""

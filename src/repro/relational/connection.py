@@ -25,6 +25,7 @@ from repro.common.errors import (
     TimeoutExceeded,
     TransientConnectionError,
 )
+from repro.obs import obs_parts
 from repro.relational.cache import resolve_cache
 from repro.relational.engine import QueryEngine
 from repro.relational.types import width_function
@@ -263,7 +264,7 @@ class Connection:
         return self.execute(plan, sql=text, label=label, budget_ms=budget_ms)
 
     def execute(self, plan, compact_rows=False, budget_ms=None, sql=None,
-                label=None, attempt=1, faults=None):
+                label=None, attempt=1, faults=None, obs=None):
         """Execute ``plan`` and return a :class:`TupleStream`.
 
         ``compact_rows`` marks union-shaped results whose driver-side row
@@ -277,9 +278,14 @@ class Connection:
         *before* the engine (and its result cache) is touched, so fault
         outcomes are never cached.  ``faults=False`` disables injection
         for this call.
+
+        ``obs`` (an :class:`~repro.obs.ObsOptions` session) forwards the
+        metrics registry to the engine's plan-cache hit/miss counters.
         """
         latency_ms = self._fault_check(plan, label, attempt, faults)
-        result = self.engine.execute(plan, budget_ms=budget_ms)
+        metrics = obs_parts(obs)[1] if obs is not None else None
+        result = self.engine.execute(plan, budget_ms=budget_ms,
+                                     metrics=metrics)
         transfer_ms = self._transfer_cost(result.columns, result.rows, compact_rows)
         stream = TupleStream(
             columns=result.columns,
@@ -293,7 +299,7 @@ class Connection:
         return stream
 
     def execute_iter(self, plan, compact_rows=False, budget_ms=None, sql=None,
-                     label=None, attempt=1, faults=None):
+                     label=None, attempt=1, faults=None, obs=None):
         """Execute ``plan`` streaming; return a :class:`TupleCursor`.
 
         An installed :class:`~repro.relational.faults.FaultPolicy` draws
@@ -314,8 +320,10 @@ class Connection:
         materializing).
         """
         self._fault_check(plan, label, attempt, faults)
+        metrics = obs_parts(obs)[1] if obs is not None else None
         try:
-            iter_result = self.engine.execute_iter(plan, budget_ms=budget_ms)
+            iter_result = self.engine.execute_iter(plan, budget_ms=budget_ms,
+                                                   metrics=metrics)
         except TimeoutExceeded as exc:
             # The startup charge alone blew the budget — the cursor was
             # never built, so label the error here.

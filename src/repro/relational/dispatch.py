@@ -34,6 +34,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.common.errors import TimeoutExceeded, TransientConnectionError
+from repro.obs import obs_parts
+from repro.obs.metrics import NULL_METRICS
 from repro.relational.faults import StreamAttemptStats
 
 
@@ -90,7 +92,7 @@ class DispatchResult:
 
 
 def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
-                        faults=None, breaker=None):
+                        faults=None, breaker=None, obs=None):
     """Execute one spec under the retry/backoff/breaker regime; return
     ``(stream, stats)``.
 
@@ -117,6 +119,7 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
     ``TransientConnectionError`` carries ``stats`` (as ``exc.stats``) and
     the total ``attempts``.
     """
+    tracer, _ = obs_parts(obs)
     policy = faults if faults is not None else getattr(connection, "faults", None)
     stats = StreamAttemptStats(label=spec.label)
     fingerprint = spec.plan.fingerprint() if breaker is not None else None
@@ -129,10 +132,11 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
         raise exc
     if policy and connection.is_cached(spec.plan):
         stats.from_cache = True
-        stream = connection.execute(
-            spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
-            sql=spec.sql, label=spec.label, faults=False,
-        )
+        with tracer.span("cache", label=spec.label, replay=True):
+            stream = connection.execute(
+                spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
+                sql=spec.sql, label=spec.label, faults=False, obs=obs,
+            )
         return stream, stats
     max_attempts = retry.max_attempts if retry is not None else 1
     deadline = budget_ms
@@ -146,7 +150,7 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
             stream = connection.execute(
                 spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
                 sql=spec.sql, label=spec.label, attempt=stats.attempts,
-                faults=policy if policy is not None else False,
+                faults=policy if policy is not None else False, obs=obs,
             )
             stats.fault_latency_ms += stream.fault_latency_ms
             if breaker is not None:
@@ -156,6 +160,10 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
             stats.faults += 1
             stats.fault_latency_ms += exc.latency_ms
             spent_ms += exc.latency_ms
+            tracer.event(
+                "fault", label=spec.label, attempt=stats.attempts,
+                latency_ms=round(exc.latency_ms, 3),
+            )
             exhausted = stats.attempts >= max_attempts
             backoff = 0.0
             if not exhausted:
@@ -173,10 +181,14 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
             spent_ms += backoff
             stats.backoff_ms += backoff
             stats.retries += 1
+            with tracer.span(
+                "retry", label=spec.label, failure=stats.faults,
+            ) as retry_span:
+                retry_span.set_sim(backoff)
 
 
 def execute_specs(connection, specs, budget_ms=None, workers=None,
-                  retry=None, faults=None, breaker=None):
+                  retry=None, faults=None, breaker=None, obs=None):
     """Execute every :class:`~repro.core.sqlgen.StreamSpec`'s plan; return
     a :class:`DispatchResult` (unpacks as the ``(streams, timeout)``
     pair).
@@ -201,12 +213,41 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
     can degrade the plan.  Fault draws are keyed by ``(label, plan,
     attempt)``: sequential and concurrent dispatch of the same specs see
     identical faults, retries, and results.
+
+    With an observability session (``obs``), each stream is wrapped in a
+    ``stream:<label>`` span; the submitting thread's current span is
+    captured *before* the fan-out and passed as the explicit span parent,
+    so worker-thread spans still hang under the ``dispatch`` span that
+    scheduled them.  Stream metrics are recorded once per completed stream
+    (and once for a terminally-failed stream's burned attempts), from the
+    same :class:`~repro.relational.faults.StreamAttemptStats` the plan
+    report sums.
     """
+    tracer, metrics = obs_parts(obs)
+    parent = tracer.current()
+
     def run(spec):
-        return run_spec_with_retry(
-            connection, spec, budget_ms=budget_ms, retry=retry,
-            faults=faults, breaker=breaker,
-        )
+        with tracer.span("stream:" + spec.label, parent=parent) as span:
+            stream, stats = run_spec_with_retry(
+                connection, spec, budget_ms=budget_ms, retry=retry,
+                faults=faults, breaker=breaker, obs=obs,
+            )
+            span.set(
+                rows=len(stream), attempts=stats.attempts,
+                retries=stats.retries, from_cache=stats.from_cache,
+            )
+            span.set_sim(
+                stream.server_ms + stream.transfer_ms
+                + stats.backoff_ms + stats.fault_latency_ms
+            )
+            return stream, stats
+
+    def record(stream, stats):
+        stats.record(metrics)
+        metrics.inc("streams.executed")
+        metrics.inc("tuples.transferred", len(stream))
+        metrics.observe("stream.query_ms", stream.server_ms)
+        metrics.observe("stream.transfer_ms", stream.transfer_ms)
 
     result = DispatchResult(streams=[])
     if workers is not None and workers > 1 and len(specs) > 1:
@@ -225,23 +266,25 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
                     # drained by the executor's shutdown otherwise.
                     for later in futures[i + 1:]:
                         later.cancel()
-                    _record_failure(result, exc, specs[i], i)
+                    _record_failure(result, exc, specs[i], i, metrics)
                     return result
                 result.streams.append(stream)
                 result.stats.append(stats)
+                record(stream, stats)
         return result
     for i, spec in enumerate(specs):
         try:
             stream, stats = run(spec)
         except (TimeoutExceeded, TransientConnectionError) as exc:
-            _record_failure(result, exc, spec, i)
+            _record_failure(result, exc, spec, i, metrics)
             return result
         result.streams.append(stream)
         result.stats.append(stats)
+        record(stream, stats)
     return result
 
 
-def _record_failure(result, exc, spec, index):
+def _record_failure(result, exc, spec, index, metrics=NULL_METRICS):
     if exc.stream_label is None:
         exc.stream_label = spec.label
     if isinstance(exc, TimeoutExceeded):
@@ -249,3 +292,10 @@ def _record_failure(result, exc, spec, index):
     else:
         result.failure = exc
     result.failed_index = index
+    # The attempts a terminally-failed stream burned enter the metrics here
+    # — once — mirroring the report's ``spent_stats`` accounting.  A
+    # timeout carries no stats (its interrupted attempt is not counted by
+    # the report either).
+    stats = getattr(exc, "stats", None)
+    if stats is not None:
+        stats.record(metrics)

@@ -251,7 +251,8 @@ class QueryEngine:
         entry = self.cache.peek(self.cache_key_for(plan, include_startup))
         return entry is not None and entry.complete
 
-    def execute(self, plan, budget_ms=None, include_startup=True):
+    def execute(self, plan, budget_ms=None, include_startup=True,
+                metrics=None):
         """Run ``plan``; return an :class:`ExecutionResult`.
 
         ``budget_ms`` is a simulated-time budget (the paper's 5-minute
@@ -264,6 +265,11 @@ class QueryEngine:
         byte-identical, only the wall-clock cost disappears.  Result rows
         may then be shared between callers and must be treated as
         immutable.
+
+        ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) counts
+        each execution once as a ``plan_cache.hits`` (served by replay) or
+        ``plan_cache.misses`` (evaluated fresh, including single-flight
+        leaders); executions with no cache installed count neither.
         """
         charges = _Charges(self.cost_model, budget_ms)
         if include_startup:
@@ -282,6 +288,8 @@ class QueryEngine:
                 key, spent_ms=charges.total_ms, budget_ms=budget_ms
             )
             if entry is not None:
+                if metrics is not None:
+                    metrics.inc("plan_cache.hits")
                 charges.replay(entry.charge_log)
                 # An incomplete entry is only served when the replay is
                 # guaranteed to raise, so reaching here means the entry is
@@ -291,6 +299,8 @@ class QueryEngine:
             # misses on the same plan run it once; the waiters loop back
             # and replay the leader's entry bit-identically.
             if cache.begin(key):
+                if metrics is not None:
+                    metrics.inc("plan_cache.misses")
                 break
         try:
             charges.log = []
@@ -320,7 +330,8 @@ class QueryEngine:
             cache.finish(key)
         return self._result(plan, rows, charges)
 
-    def execute_iter(self, plan, budget_ms=None, include_startup=True):
+    def execute_iter(self, plan, budget_ms=None, include_startup=True,
+                     metrics=None):
         """Run ``plan`` Volcano-style; return an :class:`IterResult`.
 
         Rows are produced by a generator pipeline instead of materialized
@@ -361,11 +372,16 @@ class QueryEngine:
                 key, spent_ms=charges.total_ms, budget_ms=budget_ms
             )
             if entry is not None:
+                if metrics is not None:
+                    metrics.inc("plan_cache.hits")
+
                 def replay_rows():
                     charges.replay(entry.charge_log)
                     yield from entry.rows
                 result._attach(replay_rows())
                 return result
+            if metrics is not None:
+                metrics.inc("plan_cache.misses")
 
         def stream_rows():
             shared = _shared_fingerprints(plan)

@@ -216,3 +216,25 @@ class StreamAttemptStats:
     backoff_ms: float = 0.0
     fault_latency_ms: float = 0.0
     from_cache: bool = False
+
+    def record(self, metrics):
+        """Record this stream's accounting into a metrics registry.
+
+        The single point where resilience counters enter observability:
+        the dispatcher calls it exactly once per stream outcome (success
+        or failure) on the *same* stats object the
+        :class:`~repro.core.silkroute.PlanReport` sums, so the metrics
+        snapshot reconciles with the report by construction.
+        """
+        if self.attempts:
+            metrics.inc("dispatch.attempts", self.attempts)
+        if self.retries:
+            metrics.inc("dispatch.retries", self.retries)
+        if self.faults:
+            metrics.inc("faults.injected", self.faults)
+        if self.backoff_ms:
+            metrics.inc("retry.backoff_ms", self.backoff_ms)
+        if self.fault_latency_ms:
+            metrics.inc("faults.latency_ms", self.fault_latency_ms)
+        if self.from_cache:
+            metrics.inc("cache.replays")

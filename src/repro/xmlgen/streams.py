@@ -150,6 +150,30 @@ def merge_streams(instance_iterables):
     return heapq.merge(*instance_iterables, key=lambda inst: inst.key)
 
 
+class CountingIterator:
+    """Wrap an iterator and count the items that pass through.
+
+    The observability layer's per-stream-free way to report how many
+    merged instances the tagger consumed: wrapping costs one integer
+    increment per instance and is only installed when tracing or metrics
+    are enabled, keeping the default path untouched.
+    """
+
+    __slots__ = ("_it", "count")
+
+    def __init__(self, iterable):
+        self._it = iter(iterable)
+        self.count = 0
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        item = next(self._it)
+        self.count += 1
+        return item
+
+
 def iter_instances(tree, specs, row_sources, layout=None):
     """The merged document-order instance iterator of a set of streams.
 

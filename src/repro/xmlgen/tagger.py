@@ -15,8 +15,9 @@ streams do not cover some node).
 """
 
 from repro.core.viewtree import Stv
+from repro.obs import obs_parts
 from repro.xmlgen.serializer import XmlWriter
-from repro.xmlgen.streams import iter_instances
+from repro.xmlgen.streams import CountingIterator, iter_instances
 
 
 class XmlTagger:
@@ -107,7 +108,8 @@ class XmlTagger:
                 self.writer.text(content)
 
 
-def tag_streams(tree, specs, streams, root_tag="view", indent=None, writer=None):
+def tag_streams(tree, specs, streams, root_tag="view", indent=None,
+                writer=None, obs=None):
     """Decode, merge, and tag a set of executed streams.
 
     ``specs`` are the :class:`~repro.core.sqlgen.StreamSpec` objects and
@@ -116,11 +118,60 @@ def tag_streams(tree, specs, streams, root_tag="view", indent=None, writer=None)
     with cursors and a sink-backed ``writer`` the whole
     decode→merge→tag→serialize path runs in constant memory).
     Returns ``(xml_text_or_writer, tagger)``.
+
+    ``obs`` (an :class:`~repro.obs.ObsOptions` session) records the
+    integration as a ``merge`` span containing a ``tag`` span — the two
+    stages interleave (the tagger pulls the merge), so the merge span
+    brackets both and carries the merged instance count — plus
+    ``merge.instances`` / ``tag.elements`` / ``tag.bytes`` counters (bytes
+    best-effort: the characters the writer's sink received, when the sink
+    can tell).
     """
     writer = writer or XmlWriter(indent=indent)
     tagger = XmlTagger(tree, writer, root_tag=root_tag)
-    tagger.run(iter_instances(tree, specs, streams))
+    instances = iter_instances(tree, specs, streams)
+    tracer, metrics = obs_parts(obs)
+    if not (tracer.enabled or metrics.enabled):
+        tagger.run(instances)
+    else:
+        counted = CountingIterator(instances)
+        chars_before = _chars_written(writer)
+        with tracer.span("merge", streams=len(specs)) as merge_span:
+            with tracer.span("tag", root_tag=root_tag) as tag_span:
+                tagger.run(counted)
+            tag_span.set(
+                elements=tagger.elements_written,
+                max_stack_depth=tagger.max_stack_depth,
+            )
+            merge_span.set(instances=counted.count)
+        metrics.inc("merge.instances", counted.count)
+        metrics.inc("tag.elements", tagger.elements_written)
+        chars_after = _chars_written(writer)
+        if chars_before is not None and chars_after is not None:
+            written = chars_after - chars_before
+            metrics.inc("tag.bytes", written)
+            tag_span.set(bytes=written)
     try:
         return writer.getvalue(), tagger
     except TypeError:
         return writer, tagger
+
+
+def _chars_written(writer):
+    """How many characters ``writer`` has emitted so far, or None when its
+    sink cannot say (an opaque external stream)."""
+    try:
+        return len(writer.getvalue())
+    except TypeError:
+        pass
+    sink = getattr(writer, "sink", None)
+    chars = getattr(sink, "chars", None)
+    if chars is not None:
+        return chars
+    tell = getattr(sink, "tell", None)
+    if tell is not None:
+        try:
+            return tell()
+        except (OSError, ValueError):
+            return None
+    return None

@@ -138,3 +138,65 @@ class TestExperiments:
         for entry in EXPERIMENTS:
             path = entry.bench.split("::")[0]
             assert (root / path).exists(), path
+
+
+class TestVersion:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as info:
+            build_parser().parse_args(["--version"])
+        assert info.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_writes_chrome_trace_and_profile(self, tmp_path):
+        import json
+
+        target = tmp_path / "trace.json"
+        code, output = run_cli("trace", "q1", "--out", str(target))
+        assert code == 0
+        events = json.loads(target.read_text())
+        assert isinstance(events, list) and events
+        names = {e["name"] for e in events}
+        for required in ("materialize", "sqlgen", "dispatch", "merge", "tag"):
+            assert required in names
+        assert any(n.startswith("stream:") for n in names)
+        # The profile tree and the summary land on stdout.
+        assert "materialize" in output
+        assert "wrote Chrome trace" in output
+        assert "stream(s), simulated" in output
+
+    def test_default_query_and_out(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, _ = run_cli("trace")
+        assert code == 0
+        assert (tmp_path / "trace.json").exists()
+
+    def test_trace_with_metrics(self, tmp_path):
+        import json
+
+        code, output = run_cli(
+            "trace", "q1", "--out", str(tmp_path / "t.json"), "--metrics"
+        )
+        assert code == 0
+        snap = json.loads(output[output.index("{"):])
+        assert snap["counters"]["streams.executed"] >= 1
+
+
+class TestMetricsFlag:
+    def test_materialize_metrics(self):
+        import json
+
+        code, output = run_cli(
+            "materialize", "--strategy", "fully-partitioned", "--metrics"
+        )
+        assert code == 0
+        snap = json.loads(output[output.index("{"):])
+        assert snap["counters"]["dispatch.attempts"] >= 1
+        assert "stream.query_ms" in snap["histograms"]
+
+    def test_materialize_without_metrics_prints_no_json(self):
+        _, output = run_cli("materialize", "--strategy", "fully-partitioned")
+        assert '"counters"' not in output

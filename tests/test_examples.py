@@ -1,0 +1,39 @@
+"""Smoke tests: every script in examples/ must run to completion.
+
+The examples double as executable documentation; these tests keep them
+from drifting as the API grows.  Each is imported as its own module and
+its ``main()`` run with stdout captured (the examples print their
+results) and the working directory pointed at a tmp dir so an example
+that grows a file output later cannot litter the repo.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    assert EXAMPLE_SCRIPTS, f"no examples found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[p.stem for p in EXAMPLE_SCRIPTS]
+)
+def test_example_runs(script, capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    module = _load(script)
+    assert hasattr(module, "main"), f"{script.name} has no main()"
+    module.main()
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{script.name} printed nothing"

@@ -1,0 +1,535 @@
+"""Observability (repro.obs): tracing, metrics, and exporters.
+
+The load-bearing invariants:
+
+* **observation never perturbs the simulation** — with a full tracing
+  session attached, the XML document is byte-identical and every
+  simulated figure (``query_ms``, ``transfer_ms``, the elapsed
+  makespans) is identical to the tracing-off run, over random
+  partitions, sequentially and with concurrent dispatch;
+* the Chrome-trace export is valid Trace Event JSON and covers the whole
+  pipeline — plan, sqlgen, per-stream dispatch (including retries under
+  injected faults), merge, tag;
+* the metrics snapshot reconciles with the :class:`PlanReport` resilience
+  fields — attempts, retries, injected faults, backoff, cache replays —
+  with no double counting;
+* tracing defaults *off*: the null tracer/metrics are shared singletons
+  that allocate nothing.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.queries import QUERY_1
+from repro.bench.sweep import sweep_partitions
+from repro.core.options import ExecutionOptions
+from repro.core.partition import enumerate_partitions
+from repro.core.silkroute import SilkRoute
+from repro.obs import (
+    NULL_METRICS,
+    NULL_SPAN,
+    NULL_TRACER,
+    MetricsRegistry,
+    ObsOptions,
+    Tracer,
+    chrome_trace,
+    chrome_trace_json,
+    metrics_json,
+    obs_parts,
+    profile_tree,
+)
+from repro.relational.cache import PlanResultCache
+from repro.relational.connection import Connection
+from repro.relational.engine import CostModel
+from repro.relational.faults import FaultPolicy, RetryPolicy
+
+
+def fresh_view(tiny_db, tiny_estimator, **silk_kwargs):
+    connection = Connection(tiny_db, CostModel())
+    silk = SilkRoute(connection, estimator=tiny_estimator, **silk_kwargs)
+    return silk.define_view(QUERY_1)
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+
+
+class TestTracer:
+    def test_spans_nest_and_record(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test") as outer:
+            with tracer.span("inner") as inner:
+                inner.set(rows=3)
+        assert [s.name for s in tracer.roots] == ["outer"]
+        assert outer.children == [inner]
+        assert outer.attrs["kind"] == "test"
+        assert inner.attrs["rows"] == 3
+        assert outer.wall_end_s >= outer.wall_start_s
+        assert inner.wall_ms <= outer.wall_ms
+
+    def test_current_tracks_thread_local_stack(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("a") as a:
+            assert tracer.current() is a
+            with tracer.span("b") as b:
+                assert tracer.current() is b
+            assert tracer.current() is a
+        assert tracer.current() is None
+
+    def test_explicit_parent_attaches_across_threads(self):
+        import threading
+
+        tracer = Tracer()
+        with tracer.span("dispatch") as dispatch:
+            parent = tracer.current()
+
+            def worker():
+                with tracer.span("stream:S1", parent=parent):
+                    pass
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert [c.name for c in dispatch.children] == ["stream:S1"]
+
+    def test_set_after_close_and_set_sim(self):
+        tracer = Tracer()
+        with tracer.span("dispatch") as span:
+            pass
+        span.set(makespan=True)
+        span.set_sim(123.5)
+        assert span.attrs["makespan"] is True
+        assert span.sim_ms == 123.5
+
+    def test_events_attach_to_current_span(self):
+        tracer = Tracer()
+        with tracer.span("stream:S1") as span:
+            tracer.event("fault", label="S1", attempt=1)
+        assert [e.name for e in span.events] == ["fault"]
+        assert span.events[0].attrs["attempt"] == 1
+
+    def test_find_matches_name_and_prefix(self):
+        tracer = Tracer()
+        with tracer.span("dispatch"):
+            with tracer.span("stream:S1"):
+                pass
+            with tracer.span("stream:S2"):
+                pass
+        assert len(tracer.find("stream")) == 2
+        assert len(tracer.find("stream:S1")) == 1
+        assert len(tracer.find("dispatch")) == 1
+        assert tracer.find("nonexistent") == []
+
+    def test_exception_marks_span_and_unwinds(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("x")
+        assert span.attrs["error"] == "ValueError"
+        assert span.wall_end_s is not None
+        assert tracer.current() is None
+
+
+class TestNullObjects:
+    def test_null_tracer_is_a_shared_noop(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("anything", attr=1)
+        assert span is NULL_SPAN
+        with span as s:
+            s.set(rows=1)
+            s.set_sim(5.0)
+            s.event("x")
+        assert NULL_TRACER.roots == ()
+        assert NULL_TRACER.current() is None
+
+    def test_null_metrics_is_a_shared_noop(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.inc("c")
+        NULL_METRICS.gauge("g", 1)
+        NULL_METRICS.observe("h", 1.0)
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_obs_parts_resolves_none_to_singletons(self):
+        assert obs_parts(None) == (NULL_TRACER, NULL_METRICS)
+        obs = ObsOptions()
+        assert obs_parts(obs) == (obs.tracer, obs.metrics)
+
+    def test_disabled_halves_use_singletons(self):
+        obs = ObsOptions(trace=False, metrics=False)
+        assert obs.tracer is NULL_TRACER
+        assert obs.metrics is NULL_METRICS
+        assert obs.enabled is False
+        assert ObsOptions(trace=True, metrics=False).enabled is True
+
+
+class TestMetrics:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.inc("c", 2)
+        reg.gauge("g", 1.0)
+        reg.gauge("g", 2.5)
+        reg.observe("h", 1.0)
+        reg.observe("h", 3.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 2.5
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 2
+        assert hist["sum"] == 4.0
+        assert hist["min"] == 1.0
+        assert hist["max"] == 3.0
+        assert hist["mean"] == 2.0
+
+    def test_snapshot_is_detached(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        snap = reg.snapshot()
+        reg.inc("c")
+        assert snap["counters"]["c"] == 1
+
+
+# ---------------------------------------------------------------------------
+# ExecutionOptions integration
+
+
+class TestOptionsIntegration:
+    def test_obs_options_embed_in_frozen_options(self):
+        obs = ObsOptions()
+        opts = ExecutionOptions(obs=obs)
+        assert opts.obs is obs
+        hash(opts)  # sessions hash by identity
+        assert ExecutionOptions(obs=obs) != ExecutionOptions(obs=ObsOptions())
+
+    def test_report_carries_the_live_session(self, tiny_db, tiny_estimator):
+        obs = ObsOptions()
+        view = fresh_view(tiny_db, tiny_estimator)
+        result = view.materialize(options=ExecutionOptions(obs=obs))
+        assert result.report.obs is obs
+        assert result.report.obs.profile()
+        assert obs.tracer.find("materialize")
+
+    def test_default_execution_attaches_nothing(self, tiny_db, tiny_estimator):
+        view = fresh_view(tiny_db, tiny_estimator)
+        result = view.materialize()
+        assert result.report.obs is None
+
+
+# ---------------------------------------------------------------------------
+# The identity contract: observation never perturbs the simulation
+
+
+class TestObservationIdentity:
+    @settings(
+        max_examples=12, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_tracing_on_changes_nothing(self, data, tiny_db, tiny_estimator,
+                                        q1_tree):
+        partitions = list(enumerate_partitions(q1_tree))
+        partition = data.draw(st.sampled_from(partitions), label="partition")
+        workers = data.draw(st.sampled_from([None, 2, 4]), label="workers")
+
+        baseline = fresh_view(tiny_db, tiny_estimator).materialize(
+            partition, workers=workers,
+        )
+        obs = ObsOptions()
+        traced = fresh_view(tiny_db, tiny_estimator).materialize(
+            partition, workers=workers, options=ExecutionOptions(obs=obs),
+        )
+
+        assert traced.xml == baseline.xml
+        assert traced.report.query_ms == baseline.report.query_ms
+        assert traced.report.transfer_ms == baseline.report.transfer_ms
+        assert (
+            traced.report.elapsed_query_ms == baseline.report.elapsed_query_ms
+        )
+        assert (
+            traced.report.elapsed_total_ms == baseline.report.elapsed_total_ms
+        )
+        # And the trace actually recorded the run.
+        assert obs.tracer.find("materialize")
+        assert len(obs.tracer.find("stream")) == traced.report.n_streams
+
+    def test_identity_holds_under_faults(self, tiny_db, tiny_estimator):
+        knobs = dict(
+            faults=FaultPolicy(seed=7, error_rate=0.3),
+            retry=RetryPolicy(max_attempts=5),
+            workers=3,
+        )
+        baseline = fresh_view(tiny_db, tiny_estimator).materialize(
+            "fully-partitioned", **knobs,
+        )
+        obs = ObsOptions()
+        traced = fresh_view(tiny_db, tiny_estimator).materialize(
+            "fully-partitioned", options=ExecutionOptions(obs=obs), **knobs,
+        )
+        assert traced.xml == baseline.xml
+        assert traced.report.query_ms == baseline.report.query_ms
+        assert traced.report.transfer_ms == baseline.report.transfer_ms
+        assert (
+            traced.report.elapsed_total_ms == baseline.report.elapsed_total_ms
+        )
+        assert traced.report.backoff_ms == baseline.report.backoff_ms
+
+    def test_sweep_timings_identical_under_obs(self, tiny_db, tiny_estimator,
+                                               q1_tree, schema):
+        partitions = list(enumerate_partitions(q1_tree))[:16]
+        # Both runs pass an options object: an explicit ExecutionOptions
+        # supplies its own reduce default, overriding the sweep's
+        # per-method reduce=False.
+        baseline = sweep_partitions(
+            q1_tree, schema, Connection(tiny_db, CostModel()),
+            partitions=partitions, options=ExecutionOptions(),
+        )
+        obs = ObsOptions()
+        traced = sweep_partitions(
+            q1_tree, schema, Connection(tiny_db, CostModel()),
+            partitions=partitions, options=ExecutionOptions(obs=obs),
+        )
+        assert (
+            [t.total_ms for t in traced.timings]
+            == [t.total_ms for t in baseline.timings]
+        )
+        assert len(obs.tracer.find("partition")) == len(partitions)
+        sweep_span = obs.tracer.find("sweep")[0]
+        assert sweep_span.attrs["plans"] == len(partitions)
+        assert obs.metrics.snapshot()["counters"]["sweep.plans"] == len(
+            partitions
+        )
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace export
+
+
+class TestChromeTrace:
+    @pytest.fixture
+    def traced_run(self, tiny_db, tiny_estimator):
+        """A materialization under faults, so the trace includes a retry."""
+        obs = ObsOptions()
+        view = fresh_view(tiny_db, tiny_estimator)
+        result = view.materialize(
+            "fully-partitioned",
+            options=ExecutionOptions(
+                obs=obs,
+                faults=FaultPolicy(seed=0, fail_streams={"S1": 1}),
+                retry=RetryPolicy(max_attempts=3),
+            ),
+        )
+        return obs, result
+
+    def test_json_is_valid_and_covers_the_pipeline(self, traced_run):
+        obs, result = traced_run
+        events = json.loads(obs.chrome_trace_json())
+        assert isinstance(events, list) and events
+        names = {e["name"] for e in events}
+        # Full pipeline coverage: sqlgen, per-stream dispatch, merge, tag.
+        for required in ("materialize", "sqlgen", "dispatch", "merge", "tag"):
+            assert required in names, f"missing {required} span"
+        assert any(n.startswith("stream:") for n in names)
+        # The injected fault produced a retry span and a fault instant.
+        assert "retry" in names
+        assert any(
+            e["ph"] == "i" and e["name"].endswith("fault") for e in events
+        )
+
+    def test_events_are_well_formed(self, traced_run):
+        obs, _ = traced_run
+        events = obs.chrome_trace()
+        for event in events:
+            assert event["ph"] in ("X", "i", "M")
+            if event["ph"] == "M":
+                continue
+            assert isinstance(event["ts"], (int, float))
+            assert event["ts"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+        # Complete events for every recorded span.
+        spans = list(obs.tracer.walk())
+        assert len([e for e in events if e["ph"] == "X"]) == len(spans)
+        # Thread-name metadata for every tid used.
+        tids = {e["tid"] for e in events if e["ph"] != "M"}
+        named = {e["tid"] for e in events if e["ph"] == "M"}
+        assert tids <= named
+
+    def test_sim_ms_rides_in_args(self, traced_run):
+        obs, result = traced_run
+        events = obs.chrome_trace()
+        stream_events = [
+            e for e in events
+            if e["ph"] == "X" and e["name"].startswith("stream:")
+        ]
+        assert stream_events
+        assert all("sim_ms" in e["args"] for e in stream_events)
+
+    def test_greedy_trace_includes_plan_span(self, tiny_db, tiny_estimator):
+        obs = ObsOptions()
+        view = fresh_view(tiny_db, tiny_estimator)
+        view.materialize(options=ExecutionOptions(obs=obs))
+        names = {e["name"] for e in chrome_trace(obs.tracer)}
+        assert "plan" in names
+
+    def test_profile_tree_renders(self, traced_run):
+        obs, _ = traced_run
+        text = obs.profile()
+        assert "materialize" in text
+        assert "stream:" in text
+        assert "sim" in text  # simulated durations are shown
+
+    def test_metrics_json_round_trips(self, traced_run):
+        obs, _ = traced_run
+        snap = json.loads(metrics_json(obs.metrics))
+        assert set(snap) == {"counters", "gauges", "histograms"}
+
+
+# ---------------------------------------------------------------------------
+# Metrics reconciliation with PlanReport — no double counting
+
+
+class TestMetricsReconciliation:
+    def _counters(self, obs):
+        return obs.metrics.snapshot()["counters"]
+
+    def test_fault_run_reconciles(self, tiny_db, tiny_estimator):
+        obs = ObsOptions()
+        view = fresh_view(tiny_db, tiny_estimator)
+        result = view.materialize(
+            "fully-partitioned",
+            options=ExecutionOptions(
+                obs=obs,
+                faults=FaultPolicy(seed=3, error_rate=0.4),
+                retry=RetryPolicy(max_attempts=6),
+            ),
+        )
+        report = result.report
+        counters = self._counters(obs)
+        assert counters["dispatch.attempts"] == report.attempts
+        assert counters.get("dispatch.retries", 0) == report.retries
+        assert counters.get("faults.injected", 0) == report.faults_injected
+        assert math.isclose(
+            counters.get("retry.backoff_ms", 0.0), report.backoff_ms
+        )
+        assert math.isclose(
+            counters.get("faults.latency_ms", 0.0), report.fault_latency_ms
+        )
+        assert counters["streams.executed"] == report.n_streams
+        assert counters["tuples.transferred"] == sum(
+            s.rows for s in result.report.streams
+        )
+
+    def test_clean_run_reconciles(self, tiny_db, tiny_estimator):
+        obs = ObsOptions()
+        view = fresh_view(tiny_db, tiny_estimator)
+        result = view.materialize(
+            "fully-partitioned", workers=4,
+            options=ExecutionOptions(obs=obs),
+        )
+        counters = self._counters(obs)
+        assert counters["dispatch.attempts"] == result.report.attempts
+        assert "dispatch.retries" not in counters
+        assert "faults.injected" not in counters
+        hist = obs.metrics.snapshot()["histograms"]
+        assert hist["stream.query_ms"]["count"] == result.report.n_streams
+        assert math.isclose(
+            hist["stream.query_ms"]["sum"], result.report.query_ms
+        )
+        assert math.isclose(
+            hist["stream.transfer_ms"]["sum"], result.report.transfer_ms
+        )
+
+    def test_cache_hits_reconcile(self, tiny_db, tiny_estimator):
+        cache = PlanResultCache()
+        view = fresh_view(tiny_db, tiny_estimator, cache=cache)
+        obs = ObsOptions()
+        opts = ExecutionOptions(obs=obs)
+        first = view.materialize("fully-partitioned", options=opts)
+        second = view.materialize("fully-partitioned", options=opts)
+        assert second.xml == first.xml
+        counters = self._counters(obs)
+        gauges = obs.metrics.snapshot()["gauges"]
+        stats = cache.stats()
+        # Published gauges mirror the cache's own lifetime counters.
+        assert gauges["plan_cache.hits"] == stats.hits
+        assert gauges["plan_cache.misses"] == stats.misses
+        assert gauges["plan_cache.hit_rate"] == stats.hit_rate
+        # Engine-level hit/miss counters match exactly — each execution is
+        # counted once, as a hit or a miss, never both.
+        assert counters["plan_cache.hits"] == stats.hits
+        assert counters["plan_cache.misses"] == stats.misses
+        assert stats.hits == second.report.n_streams
+        assert (
+            counters["dispatch.attempts"]
+            == first.report.attempts + second.report.attempts
+        )
+
+    def test_cache_replays_shield_a_faulty_source(self, tiny_db,
+                                                  tiny_estimator):
+        cache = PlanResultCache()
+        view = fresh_view(tiny_db, tiny_estimator, cache=cache)
+        obs = ObsOptions()
+        warm = view.materialize(
+            "fully-partitioned", options=ExecutionOptions(obs=obs),
+        )
+        # With the cache warm, a source failing on every attempt is never
+        # contacted: the resilient dispatcher short-circuits to replay.
+        shielded = view.materialize(
+            "fully-partitioned",
+            options=ExecutionOptions(
+                obs=obs, faults=FaultPolicy(seed=1, error_rate=1.0),
+            ),
+        )
+        assert shielded.xml == warm.xml
+        counters = self._counters(obs)
+        # Replays are counted as replays, not as source attempts, and no
+        # faults fired — the report agrees.
+        assert counters["cache.replays"] == shielded.report.n_streams
+        assert shielded.report.attempts == 0
+        assert shielded.report.faults_injected == 0
+        assert "faults.injected" not in counters
+        assert (
+            counters["dispatch.attempts"]
+            == warm.report.attempts + shielded.report.attempts
+        )
+
+    def test_timeout_counts_no_phantom_attempts(self, tiny_db, tiny_estimator):
+        from repro.common.errors import TimeoutExceeded
+
+        obs = ObsOptions()
+        view = fresh_view(tiny_db, tiny_estimator)
+        with pytest.raises(TimeoutExceeded) as info:
+            view.materialize(
+                "fully-partitioned",
+                options=ExecutionOptions(obs=obs, budget_ms=0.01),
+            )
+        report = info.value.report
+        counters = self._counters(obs)
+        # The interrupted attempt appears in neither the report nor the
+        # metrics — they agree exactly.
+        assert counters.get("dispatch.attempts", 0) == report.attempts
+        dispatch = obs.tracer.find("dispatch")[0]
+        assert dispatch.attrs.get("timed_out") is True
+
+
+# ---------------------------------------------------------------------------
+# Export helpers on empty sessions
+
+
+class TestEmptySession:
+    def test_exports_work_before_any_run(self):
+        obs = ObsOptions()
+        assert json.loads(obs.chrome_trace_json()) == []
+        assert profile_tree(obs.tracer) == ""
+        assert chrome_trace_json(obs.tracer) == "[]"
+        snap = obs.snapshot()
+        assert snap.trace == ()
+        assert snap.metrics["counters"] == {}
