@@ -25,11 +25,14 @@ from repro.common.errors import (
     ExecutionError,
     TimeoutExceeded,
     TransientConnectionError,
+    OverloadError,
     DtdError,
     ValidationError,
 )
 from repro.relational import (
     NO_RETRY,
+    AdmissionController,
+    AdmissionPolicy,
     CircuitBreaker,
     Column,
     Connection,
@@ -41,6 +44,8 @@ from repro.relational import (
     DatabaseSchema,
     ForeignKey,
     QueryEngine,
+    ReplicaPool,
+    ReplicaSet,
     RetryPolicy,
     SourceDescription,
     SqlType,
@@ -88,12 +93,17 @@ __all__ = [
     "ExecutionError",
     "TimeoutExceeded",
     "TransientConnectionError",
+    "OverloadError",
     "DtdError",
     "ValidationError",
     "FaultPolicy",
     "RetryPolicy",
     "NO_RETRY",
     "CircuitBreaker",
+    "ReplicaSet",
+    "ReplicaPool",
+    "AdmissionPolicy",
+    "AdmissionController",
     "ExecutionOptions",
     "Column",
     "Connection",

@@ -24,6 +24,7 @@ from repro.core.sqlgen import PlanStyle, SqlGenerator
 from repro.obs import obs_parts
 from repro.relational.cache import PlanResultCache, resolve_cache
 from repro.relational.dispatch import execute_specs
+from repro.relational.replicas import resolve_admission, resolve_pool
 
 
 @dataclass(frozen=True)
@@ -33,8 +34,11 @@ class PlanTiming:
     ``failed`` marks a plan whose stream exhausted its retries under fault
     injection (sweeps record the failure instead of degrading the plan —
     degradation is :meth:`repro.core.silkroute.XmlView.execute_partition`'s
-    job).  ``attempts``/``retries``/``faults_injected``/``backoff_ms``
-    total the resilience accounting over the plan's streams.
+    job); ``shed`` marks a plan the admission controller refused or cut
+    short (:class:`~repro.common.errors.OverloadError`).
+    ``attempts``/``retries``/``faults_injected``/``backoff_ms`` and the
+    replica counters (``failovers``/``hedges``/``hedge_wins``) total the
+    resilience accounting over the plan's streams.
     """
 
     partition: object
@@ -43,14 +47,18 @@ class PlanTiming:
     transfer_ms: float = None
     timed_out: bool = False
     failed: bool = False
+    shed: bool = False
     attempts: int = 0
     retries: int = 0
     faults_injected: int = 0
     backoff_ms: float = 0.0
+    failovers: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
 
     @property
     def total_ms(self):
-        if self.timed_out or self.failed:
+        if self.timed_out or self.failed or self.shed:
             return None
         return self.query_ms + self.transfer_ms
 
@@ -70,13 +78,19 @@ class SweepResult:
         self._by_partition = {t.partition: t for t in self.timings}
 
     def completed(self):
-        return [t for t in self.timings if not t.timed_out and not t.failed]
+        return [
+            t for t in self.timings
+            if not t.timed_out and not t.failed and not t.shed
+        ]
 
     def timed_out(self):
         return [t for t in self.timings if t.timed_out]
 
     def failed(self):
         return [t for t in self.timings if t.failed]
+
+    def shed(self):
+        return [t for t in self.timings if t.shed]
 
     def fastest(self, n=1, key="query_ms"):
         ranked = sorted(self.completed(), key=lambda t: getattr(t, key))
@@ -101,7 +115,9 @@ class SweepResult:
 def run_single_partition(tree, schema, connection, partition,
                          style=PlanStyle.OUTER_JOIN, reduce=False,
                          budget_ms=None, generator=None, stream_workers=None,
-                         retry=None, faults=None, obs=None, span_parent=None):
+                         retry=None, faults=None, obs=None, span_parent=None,
+                         pool=None, hedge_ms=None, admission=None,
+                         epoch=None):
     """Execute one plan; returns a :class:`PlanTiming`.
 
     Pass a prebuilt ``generator`` (one per sweep) to reuse its memoized
@@ -111,7 +127,11 @@ def run_single_partition(tree, schema, connection, partition,
     simulated timings and timeout behaviour are identical either way.
     ``retry``/``faults`` run the plan under the resilience regime: a
     stream that exhausts its retries marks the timing ``failed`` (sweeps
-    record, they do not degrade).  ``obs`` (an
+    record, they do not degrade).  ``pool``/``hedge_ms``/``epoch`` route
+    the streams over a :class:`~repro.relational.replicas.ReplicaPool`
+    (a sweep pins one ``epoch`` for all partitions so routing stays
+    deterministic under partition-level concurrency); ``admission``
+    sheds overloaded plans, marking the timing ``shed``.  ``obs`` (an
     :class:`~repro.obs.ObsOptions` session) wraps the run in a
     ``partition`` span and records per-stream metrics.
     """
@@ -122,24 +142,29 @@ def run_single_partition(tree, schema, connection, partition,
     with tracer.span("partition", parent=span_parent) as partition_span:
         timing = _run_single(
             tree, schema, connection, partition, generator, budget_ms,
-            stream_workers, retry, faults, obs,
+            stream_workers, retry, faults, obs, pool, hedge_ms, admission,
+            epoch,
         )
         partition_span.set(n_streams=timing.n_streams)
         if timing.timed_out:
             partition_span.set(timed_out=True)
         elif timing.failed:
             partition_span.set(failed=True)
+        elif timing.shed:
+            partition_span.set(shed=True)
         else:
             partition_span.set_sim(timing.total_ms)
         return timing
 
 
 def _run_single(tree, schema, connection, partition, generator, budget_ms,
-                stream_workers, retry, faults, obs):
+                stream_workers, retry, faults, obs, pool=None, hedge_ms=None,
+                admission=None, epoch=None):
     specs = generator.streams_for_partition(partition)
     result = execute_specs(
         connection, specs, budget_ms=budget_ms, workers=stream_workers,
-        retry=retry, faults=faults, obs=obs,
+        retry=retry, faults=faults, obs=obs, pool=pool, hedge_ms=hedge_ms,
+        admission=admission, epoch=epoch,
     )
     all_stats = list(result.stats)
     failure_stats = getattr(result.failure, "stats", None)
@@ -150,12 +175,17 @@ def _run_single(tree, schema, connection, partition, generator, budget_ms,
         retries=sum(s.retries for s in all_stats),
         faults_injected=sum(s.faults for s in all_stats),
         backoff_ms=sum(s.backoff_ms for s in all_stats),
+        failovers=sum(s.failovers for s in all_stats),
+        hedges=sum(s.hedges for s in all_stats),
+        hedge_wins=sum(s.hedge_wins for s in all_stats),
     )
-    if result.timeout is not None or result.failure is not None:
+    if (result.timeout is not None or result.failure is not None
+            or result.overload is not None):
         return PlanTiming(
             partition=partition, n_streams=len(specs),
             timed_out=result.timeout is not None,
             failed=result.failure is not None,
+            shed=result.overload is not None,
             **resilience,
         )
     query_ms = 0.0
@@ -176,6 +206,7 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
                      reduce=UNSET, budget_ms=UNSET, partitions=None,
                      progress=None, cache=True, workers=UNSET,
                      stream_workers=None, retry=UNSET, faults=UNSET,
+                     replicas=UNSET, hedge_ms=UNSET, max_concurrent=UNSET,
                      options=None):
     """Execute every plan (or the given ``partitions``); returns a
     :class:`SweepResult`.
@@ -206,10 +237,18 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
     ``stream_workers`` additionally dispatches each plan's subqueries
     concurrently (usually redundant when ``workers`` already saturates the
     pool).
+
+    ``replicas``/``hedge_ms`` route every plan's streams over one
+    :class:`~repro.relational.replicas.ReplicaPool` whose routing epoch
+    spans the whole sweep (health folds once, at the end — partition
+    order and partition-level concurrency cannot change the routing).
+    ``max_concurrent`` applies admission control per plan: an overloaded
+    plan is recorded ``shed``, not raised.
     """
     opts = resolve_options(
         options, defaults={"reduce": False}, style=style, reduce=reduce,
         budget_ms=budget_ms, workers=workers, retry=retry, faults=faults,
+        replicas=replicas, hedge_ms=hedge_ms, max_concurrent=max_concurrent,
     )
     style, reduce = opts.style, opts.reduce
     budget_ms, workers = opts.budget_ms, opts.workers
@@ -228,6 +267,13 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
         engine.cache = previous if previous is not None else PlanResultCache()
     else:
         engine.cache = resolve_cache(cache)
+    # Resolved after the cache swap so a freshly built replica set shares
+    # the cache the sweep actually runs under.
+    replica_pool = resolve_pool(opts.replicas, connection)
+    admission = resolve_admission(opts.max_concurrent)
+    if admission is not None:
+        stream_workers = admission.clamp_workers(stream_workers)
+    epoch = replica_pool.begin_epoch() if replica_pool is not None else None
     try:
         with tracer.span(
             "sweep", style=style.value, plans=len(partitions),
@@ -242,7 +288,8 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
                     style=style, reduce=reduce, budget_ms=budget_ms,
                     generator=generator, stream_workers=stream_workers,
                     retry=opts.retry, faults=opts.faults, obs=opts.obs,
-                    span_parent=parent,
+                    span_parent=parent, pool=replica_pool,
+                    hedge_ms=opts.hedge_ms, admission=admission, epoch=epoch,
                 )
 
             timings = []
@@ -258,7 +305,8 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
                     if progress is not None:
                         progress(i + 1, len(partitions))
             completed = sum(
-                1 for t in timings if not t.timed_out and not t.failed
+                1 for t in timings
+                if not t.timed_out and not t.failed and not t.shed
             )
             sweep_span.set(completed=completed)
         metrics.inc("sweep.plans", len(partitions))
@@ -266,6 +314,8 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
         if engine.cache is not None and metrics.enabled:
             engine.cache.publish(metrics)
     finally:
+        if replica_pool is not None:
+            replica_pool.finish_epoch(epoch)
         engine.cache = previous
     return SweepResult(
         timings=timings, style=style, reduced=reduce, cache_stats=stats

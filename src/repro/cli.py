@@ -37,6 +37,40 @@ _STYLES = {
 }
 
 
+def _probability(text):
+    """argparse type: a float in [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"{value} is not a probability (must be between 0 and 1)")
+    return value
+
+
+def _positive_int(text):
+    """argparse type: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"{value} must be at least 1")
+    return value
+
+
+def _positive_float(text):
+    """argparse type: a float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(f"{value} must be positive")
+    return value
+
+
 def _execution_options(args, default_budget_ms=None, obs=None):
     """The :class:`ExecutionOptions` described by the command line."""
     retry = None
@@ -59,6 +93,9 @@ def _execution_options(args, default_budget_ms=None, obs=None):
         retry=retry,
         faults=faults,
         obs=obs,
+        replicas=args.replicas,
+        hedge_ms=args.hedge_ms,
+        max_concurrent=args.max_concurrent,
     )
 
 
@@ -88,17 +125,26 @@ def build_parser():
                        help="apply view-tree reduction")
 
     def add_execution(p):
-        p.add_argument("--workers", type=int, default=None,
+        p.add_argument("--workers", type=_positive_int, default=None,
                        help="concurrent dispatch width (subqueries, or "
                             "partitions for sweep)")
-        p.add_argument("--budget-ms", type=float, default=None,
+        p.add_argument("--budget-ms", type=_positive_float, default=None,
                        help="per-subquery simulated timeout")
-        p.add_argument("--retries", type=int, default=None,
+        p.add_argument("--retries", type=_positive_int, default=None,
                        help="max attempts per stream under fault injection")
         p.add_argument("--fault-seed", type=int, default=None,
                        help="deterministic fault-injection seed")
-        p.add_argument("--fault-rate", type=float, default=None,
-                       help="per-attempt transient failure probability")
+        p.add_argument("--fault-rate", type=_probability, default=None,
+                       help="per-attempt transient failure probability "
+                            "(between 0 and 1)")
+        p.add_argument("--replicas", type=_positive_int, default=None,
+                       help="serve streams from N simulated replicas with "
+                            "health-checked routing and failover")
+        p.add_argument("--hedge-ms", type=_positive_float, default=None,
+                       help="hedge a backup request on a second replica when "
+                            "a stream exceeds this simulated latency")
+        p.add_argument("--max-concurrent", type=_positive_int, default=None,
+                       help="admission-control cap on concurrent streams")
         p.add_argument("--metrics", action="store_true",
                        help="print observability counters as JSON afterwards")
 
@@ -258,7 +304,7 @@ def main(argv=None, out=sys.stdout):
             f"{result.report.transfer_ms:.0f}ms transfer",
             file=out,
         )
-        if options.faults is not None:
+        if options.faults is not None or options.replicas is not None:
             report = result.report
             print(
                 f"-- resilience: {report.attempts} attempt(s), "
@@ -267,6 +313,13 @@ def main(argv=None, out=sys.stdout):
                 f"{len(report.degraded_streams)} stream(s) degraded",
                 file=out,
             )
+            if options.replicas is not None:
+                print(
+                    f"-- replicas: {report.failovers} failover(s), "
+                    f"{report.hedges} hedge(s), {report.hedge_wins} hedge "
+                    f"win(s), {report.hedge_wait_ms:.0f}ms hedge wait",
+                    file=out,
+                )
         if args.metrics:
             print(metrics_json(obs.metrics), file=out)
         return 0

@@ -108,6 +108,34 @@ class TransientConnectionError(ExecutionError):
         )
 
 
+class OverloadError(ExecutionError):
+    """The admission controller refused or shed work to protect the system.
+
+    Raised by the :class:`~repro.relational.replicas.AdmissionController`
+    when a dispatch would exceed the configured capacity: either the plan's
+    stream count overflows ``max_concurrent_streams`` plus the queue bound
+    up front, or the deterministic simulated schedule shows a stream would
+    *start* past the per-query ``deadline_ms``.  Shedding is load
+    protection, not a failure of the shed work itself — the same plan
+    succeeds under a laxer policy.
+
+    ``reason`` is ``"queue"`` or ``"deadline"``; ``shed`` holds the labels
+    of the streams that were not executed (in spec order) and
+    ``stream_label`` the first of them.  When the error is raised on
+    behalf of a whole plan, ``report`` carries the partial
+    :class:`~repro.core.silkroute.PlanReport` of the streams completed
+    before shedding began.
+    """
+
+    def __init__(self, message, reason="queue", shed=(), stream_label=None,
+                 report=None):
+        self.reason = reason
+        self.shed = tuple(shed)
+        self.stream_label = stream_label
+        self.report = report
+        super().__init__(message)
+
+
 class DtdError(ReproError):
     """A DTD could not be parsed."""
 

@@ -53,6 +53,18 @@ class ExecutionOptions:
     :class:`~repro.relational.faults.FaultPolicy`), and ``obs`` is an
     optional :class:`~repro.obs.ObsOptions` observability session
     (tracing/metrics; None — the default — keeps the no-op fast path).
+
+    The replica serving layer adds three knobs, normalized by
+    :func:`~repro.relational.replicas.resolve_pool` /
+    :func:`~repro.relational.replicas.resolve_admission`: ``replicas``
+    (an integer replica count, a
+    :class:`~repro.relational.replicas.ReplicaSet`, or a
+    :class:`~repro.relational.replicas.ReplicaPool`), ``hedge_ms`` (the
+    simulated latency past which a backup request is hedged on a second
+    replica), and ``max_concurrent`` (an integer stream cap, an
+    :class:`~repro.relational.replicas.AdmissionPolicy`, or an
+    :class:`~repro.relational.replicas.AdmissionController`).
+
     Hashable as long as its fields are, so it can key plan caches
     (``ObsOptions`` hashes by identity).
     """
@@ -65,6 +77,9 @@ class ExecutionOptions:
     retry: object = None
     faults: object = None
     obs: object = None
+    replicas: object = None
+    hedge_ms: float = None
+    max_concurrent: object = None
 
     def __post_init__(self):
         object.__setattr__(self, "keep", tuple(self.keep))

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.common.errors import PlanError, TimeoutExceeded
+from repro.relational.replicas import resolve_admission, resolve_pool
 from repro.core.greedy import GreedyPlanner
 from repro.core.labeling import label_view_tree
 from repro.core.options import UNSET, resolve_options
@@ -66,6 +67,13 @@ class StreamReport:
     resilience overhead, in simulated ms, on top of the fault-free
     ``server_ms``/``transfer_ms`` (which are unchanged by fault
     injection).
+
+    Under a :class:`~repro.relational.replicas.ReplicaPool` dispatch,
+    ``replica`` is the id that served the winning result, ``failovers``
+    counts retries that moved to a different replica, and ``hedges`` /
+    ``hedge_wins`` / ``hedge_wait_ms`` account the backup requests (a
+    hedge loser charges nothing — see
+    :class:`~repro.relational.faults.StreamAttemptStats`).
     """
 
     label: str
@@ -79,6 +87,11 @@ class StreamReport:
     backoff_ms: float = 0.0
     fault_latency_ms: float = 0.0
     from_cache: bool = False
+    replica: int = None
+    failovers: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_wait_ms: float = 0.0
 
 
 @dataclass
@@ -100,7 +113,11 @@ class PlanReport:
     excluded), ``retries``, ``faults_injected``, ``backoff_ms``,
     ``fault_latency_ms``, and ``degraded_streams`` — the labels of
     streams that exhausted their retries and were re-planned into the
-    finer streams found in ``streams``.
+    finer streams found in ``streams``.  Replica totals: ``failovers``,
+    ``hedges``, ``hedge_wins``, ``hedge_wait_ms`` (summed over the same
+    per-stream stats, so they reconcile with the
+    ``dispatch.failovers/hedges/hedge_wins`` metrics counters), and
+    ``shed_streams`` — labels the admission controller refused to run.
 
     ``obs`` is the :class:`~repro.obs.ObsOptions` observability session
     the execution ran under (None when tracing/metrics were off) — the
@@ -130,6 +147,11 @@ class PlanReport:
     backoff_ms: float = 0.0
     fault_latency_ms: float = 0.0
     degraded_streams: tuple = ()
+    failovers: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_wait_ms: float = 0.0
+    shed_streams: tuple = ()
     obs: object = None
 
     @property
@@ -165,6 +187,7 @@ class _DispatchOutcome:
     degraded: tuple
     spent_stats: list       # stats burned by degraded-away streams
     timeout: object = None
+    shed: tuple = ()        # labels the admission controller shed
     span: object = None     # the dispatch trace span (None when tracing off)
 
 
@@ -247,7 +270,8 @@ class XmlView:
 
     def execute_partition(self, partition, style=UNSET, reduce=UNSET,
                           budget_ms=UNSET, workers=UNSET, retry=UNSET,
-                          faults=UNSET, options=None):
+                          faults=UNSET, replicas=UNSET, hedge_ms=UNSET,
+                          max_concurrent=UNSET, options=None):
         """Execute one plan; returns ``(specs, streams, report)``.
 
         A subquery exceeding ``budget_ms`` (simulated server time) marks the
@@ -275,11 +299,24 @@ class XmlView:
         :class:`~repro.common.errors.TransientConnectionError` propagates
         with the partial report attached (``exc.report``).  Without
         ``retry``, the first transient failure propagates the same way.
+
+        ``replicas``/``hedge_ms`` route the plan's streams over a
+        health-checked :class:`~repro.relational.replicas.ReplicaPool`
+        with failover and hedged backup requests; ``max_concurrent``
+        puts an admission controller in front (clamping ``workers``,
+        bounding the stream queue, and shedding streams past the
+        per-query deadline with an
+        :class:`~repro.common.errors.OverloadError` carrying the partial
+        report).  Pooled runs produce byte-identical XML and identical
+        ``query_ms``/``transfer_ms`` to the single-connection run.
         """
         opts = resolve_options(
             options, defaults={"reduce": False}, style=style, reduce=reduce,
             budget_ms=budget_ms, workers=workers, retry=retry, faults=faults,
+            replicas=replicas, hedge_ms=hedge_ms,
+            max_concurrent=max_concurrent,
         )
+        opts = self._resolve_resilience(opts)
         tracer, _ = obs_parts(opts.obs)
         generator = SqlGenerator(
             self.tree, self.silkroute.schema, style=opts.style,
@@ -318,6 +355,26 @@ class XmlView:
                     spec.uses_outer_join(), spec.uses_union()
                 )
 
+    def _resolve_resilience(self, opts):
+        """Normalize ``opts.replicas``/``opts.max_concurrent`` to live
+        :class:`~repro.relational.replicas.ReplicaPool` /
+        :class:`~repro.relational.replicas.AdmissionController` objects
+        (idempotent — resolved instances pass through) and clamp
+        ``workers`` to the admission policy so the dispatch width, the
+        deadline schedule, and the report's makespans all agree."""
+        pool = resolve_pool(opts.replicas, self.silkroute.connection)
+        admission = resolve_admission(opts.max_concurrent)
+        overrides = {}
+        if pool is not opts.replicas:
+            overrides["replicas"] = pool
+        if admission is not opts.max_concurrent:
+            overrides["max_concurrent"] = admission
+        if admission is not None:
+            clamped = admission.clamp_workers(opts.workers)
+            if clamped != opts.workers:
+                overrides["workers"] = clamped
+        return opts.replace(**overrides) if overrides else opts
+
     def _dispatch_resilient(self, generator, partition, specs, opts):
         """Dispatch ``specs``, degrading failing subtrees until the plan
         completes, times out, or a stream fails undegradably.
@@ -328,19 +385,23 @@ class XmlView:
         partial report)."""
         connection = self.silkroute.connection
         breaker = CircuitBreaker() if opts.retry is not None else None
+        pool = opts.replicas          # resolved by _resolve_resilience
+        admission = opts.max_concurrent
         pending = list(zip(specs, partition_subtrees(self.tree, partition)))
         done_specs, done_streams, done_stats = [], [], []
         degraded, spent_stats = [], []
+        elapsed_rounds_ms = 0.0       # earlier rounds' makespan (deadline)
+        n_workers = max(opts.workers or 1, 1)
         tracer, _ = obs_parts(opts.obs)
         dispatch_span = tracer.span(
-            "dispatch", streams=len(specs), workers=max(opts.workers or 1, 1),
+            "dispatch", streams=len(specs), workers=n_workers,
         )
 
-        def outcome(timeout=None):
+        def outcome(timeout=None, shed=()):
             return _DispatchOutcome(
                 specs=done_specs, streams=done_streams, stats=done_stats,
                 degraded=tuple(degraded), spent_stats=spent_stats,
-                timeout=timeout,
+                timeout=timeout, shed=tuple(shed),
                 span=dispatch_span if tracer.enabled else None,
             )
 
@@ -350,18 +411,41 @@ class XmlView:
                     connection, [spec for spec, _ in pending],
                     budget_ms=opts.budget_ms, workers=opts.workers,
                     retry=opts.retry, faults=opts.faults, breaker=breaker,
-                    obs=opts.obs,
+                    obs=opts.obs, pool=pool, hedge_ms=opts.hedge_ms,
+                    admission=admission,
+                    admission_elapsed_ms=elapsed_rounds_ms,
                 )
                 completed = len(result.streams)
                 done_specs.extend(spec for spec, _ in pending[:completed])
                 done_streams.extend(result.streams)
                 done_stats.extend(result.stats)
+                if (admission is not None
+                        and admission.policy.deadline_ms is not None):
+                    # Degradation re-dispatches count against the same
+                    # per-query deadline: carry this round's simulated
+                    # makespan into the next round's schedule offset.
+                    elapsed_rounds_ms += simulated_makespan(
+                        [
+                            stream.server_ms + stream.transfer_ms
+                            + st.backoff_ms + st.fault_latency_ms
+                            + st.hedge_wait_ms
+                            for stream, st in zip(
+                                result.streams, result.stats
+                            )
+                        ],
+                        n_workers,
+                    )
                 if result.timeout is not None:
                     dispatch_span.set(
                         timed_out=True,
                         timed_out_label=result.timeout.stream_label,
                     )
                     return outcome(timeout=result.timeout)
+                if result.overload is not None:
+                    dispatch_span.set(shed=result.shed)
+                    overload = result.overload
+                    overload.partial_outcome = outcome(shed=result.shed)
+                    raise overload
                 if result.failure is None:
                     if degraded:
                         dispatch_span.set(degraded=tuple(degraded))
@@ -443,6 +527,11 @@ class XmlView:
                 backoff_ms=st.backoff_ms,
                 fault_latency_ms=st.fault_latency_ms,
                 from_cache=st.from_cache,
+                replica=st.replica,
+                failovers=st.failovers,
+                hedges=st.hedges,
+                hedge_wins=st.hedge_wins,
+                hedge_wait_ms=st.hedge_wait_ms,
             )
             for spec, stream, st in zip(
                 outcome.specs, outcome.streams, stats
@@ -457,6 +546,11 @@ class XmlView:
             backoff_ms=sum(s.backoff_ms for s in every_stats),
             fault_latency_ms=sum(s.fault_latency_ms for s in every_stats),
             degraded_streams=tuple(outcome.degraded),
+            failovers=sum(s.failovers for s in every_stats),
+            hedges=sum(s.hedges for s in every_stats),
+            hedge_wins=sum(s.hedge_wins for s in every_stats),
+            hedge_wait_ms=sum(s.hedge_wait_ms for s in every_stats),
+            shed_streams=tuple(outcome.shed),
         )
         if outcome.timeout is not None:
             nan = float("nan")
@@ -476,14 +570,16 @@ class XmlView:
                 **resilience,
             ))
         streams = outcome.streams
-        # Resilience overhead (backoff, wasted fault latency — including
-        # the submissions burned by degraded-away streams) is charged to
-        # the simulated elapsed clock, never to the paper's query/transfer
-        # sums.
+        # Resilience overhead (backoff, wasted fault latency, hedge wait —
+        # including the submissions burned by degraded-away streams) is
+        # charged to the simulated elapsed clock, never to the paper's
+        # query/transfer sums.
         overhead = [
-            s.backoff_ms + s.fault_latency_ms for s in stats
+            s.backoff_ms + s.fault_latency_ms + s.hedge_wait_ms
+            for s in stats
         ] + [
-            s.backoff_ms + s.fault_latency_ms for s in outcome.spent_stats
+            s.backoff_ms + s.fault_latency_ms + s.hedge_wait_ms
+            for s in outcome.spent_stats
         ]
         query_durations = [
             stream.server_ms + extra
@@ -525,7 +621,8 @@ class XmlView:
     def materialize(self, partition=None, style=UNSET, reduce=UNSET,
                     root_tag="view", indent=None, budget_ms=UNSET,
                     greedy_params=None, workers=UNSET, retry=UNSET,
-                    faults=UNSET, options=None):
+                    faults=UNSET, replicas=UNSET, hedge_ms=UNSET,
+                    max_concurrent=UNSET, options=None):
         """Materialize the view as XML.
 
         Without an explicit ``partition``, the greedy algorithm chooses the
@@ -542,16 +639,22 @@ class XmlView:
         report records ``attempts``/``retries``/``faults_injected``/
         ``backoff_ms``/``degraded_streams``.
 
+        ``replicas``/``hedge_ms``/``max_concurrent`` run the plan over a
+        replica pool under admission control (see
+        :meth:`execute_partition`); the document stays byte-identical.
+
         On a budget overrun the raised
         :class:`~repro.common.errors.TimeoutExceeded` carries the partial
         :class:`PlanReport` (``exc.report``) and the label of the offending
         stream (``exc.stream_label``); an unrecoverable transient failure
         raises :class:`~repro.common.errors.TransientConnectionError` the
-        same way.
+        same way, and admission shedding raises
+        :class:`~repro.common.errors.OverloadError` likewise.
         """
         opts = resolve_options(
             options, style=style, reduce=reduce, budget_ms=budget_ms,
-            workers=workers, retry=retry, faults=faults,
+            workers=workers, retry=retry, faults=faults, replicas=replicas,
+            hedge_ms=hedge_ms, max_concurrent=max_concurrent,
         )
         tracer, _ = obs_parts(opts.obs)
         with tracer.span("materialize") as root_span:
@@ -576,7 +679,8 @@ class XmlView:
 
     def materialize_to(self, sink, partition=None, style=UNSET, reduce=UNSET,
                        root_tag="view", indent=None, budget_ms=UNSET,
-                       greedy_params=None, faults=UNSET, options=None):
+                       greedy_params=None, faults=UNSET, replicas=UNSET,
+                       max_concurrent=UNSET, options=None):
         """Stream the view's XML into a file-like ``sink`` in bounded memory.
 
         The full pipeline runs lazily: each subquery executes through the
@@ -603,12 +707,18 @@ class XmlView:
         play, a drawn failure raises
         :class:`~repro.common.errors.TransientConnectionError` directly —
         use :meth:`materialize` when resilience matters more than constant
-        memory.
+        memory.  ``replicas`` routes cursor *opening* to the pool's
+        best-ranked replica (no hedging or failover, for the same
+        reason); ``max_concurrent`` applies the admission queue bound —
+        an overflowing plan raises
+        :class:`~repro.common.errors.OverloadError` before any cursor
+        opens.
         """
         opts = resolve_options(
             options, style=style, reduce=reduce, budget_ms=budget_ms,
-            faults=faults,
+            faults=faults, replicas=replicas, max_concurrent=max_concurrent,
         )
+        opts = self._resolve_resilience(opts)
         tracer, _ = obs_parts(opts.obs)
         with tracer.span("materialize_to") as root_span:
             partition = self._resolve_partition(
@@ -624,6 +734,16 @@ class XmlView:
                 sqlgen_span.set(streams=len(specs))
             self._check_source(specs)
             connection = self.silkroute.connection
+            pool = opts.replicas          # resolved by _resolve_resilience
+            admission = opts.max_concurrent
+            if admission is not None:
+                overload = admission.admit_queue(specs)
+                if overload is not None:
+                    tracer.event(
+                        "shed", reason="queue", streams=len(overload.shed),
+                    )
+                    raise overload
+            epoch = pool.begin_epoch() if pool is not None else None
             writer = XmlWriter(sink=sink, indent=indent)
             start = time.perf_counter()
             cursors = []
@@ -635,17 +755,26 @@ class XmlView:
                     "dispatch", streams=len(specs), streaming=True,
                 ):
                     for spec in specs:
+                        if pool is not None:
+                            replica = epoch.pick()
+                            cursor_conn = pool.connections[replica]
+                            cursor_faults = pool.policy_for(
+                                replica, opts.faults
+                            )
+                        else:
+                            cursor_conn = connection
+                            cursor_faults = (
+                                opts.faults
+                                if opts.faults is not None else None
+                            )
                         cursors.append(
-                            connection.execute_iter(
+                            cursor_conn.execute_iter(
                                 spec.plan,
                                 compact_rows=spec.compact,
                                 budget_ms=opts.budget_ms,
                                 sql=spec.sql,
                                 label=spec.label,
-                                faults=(
-                                    opts.faults
-                                    if opts.faults is not None else None
-                                ),
+                                faults=cursor_faults,
                                 obs=opts.obs,
                             )
                         )

@@ -69,6 +69,16 @@ from repro.relational.dispatch import (
     run_spec_with_retry,
     simulated_makespan,
 )
+from repro.relational.replicas import (
+    AdmissionController,
+    AdmissionPolicy,
+    ReplicaHealth,
+    ReplicaPool,
+    ReplicaSet,
+    replica_fault_policy,
+    resolve_admission,
+    resolve_pool,
+)
 
 __all__ = [
     "SqlType",
@@ -117,6 +127,14 @@ __all__ = [
     "execute_specs",
     "run_spec_with_retry",
     "simulated_makespan",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ReplicaHealth",
+    "ReplicaPool",
+    "ReplicaSet",
+    "replica_fault_policy",
+    "resolve_admission",
+    "resolve_pool",
     "SourceDescription",
     "explain_plan",
     "parse_sql",

@@ -33,7 +33,11 @@ import heapq
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.common.errors import TimeoutExceeded, TransientConnectionError
+from repro.common.errors import (
+    OverloadError,
+    TimeoutExceeded,
+    TransientConnectionError,
+)
 from repro.obs import obs_parts
 from repro.obs.metrics import NULL_METRICS
 from repro.relational.faults import StreamAttemptStats
@@ -75,7 +79,11 @@ class DispatchResult:
       :class:`~repro.common.errors.TransientConnectionError`;
       ``failure.stats`` carries the attempts it burned and
       ``failed_index`` its position, so a caller can degrade that spec
-      and re-dispatch the remainder.
+      and re-dispatch the remainder,
+    * ``overload`` — the admission controller refused or shed part of the
+      dispatch with an :class:`~repro.common.errors.OverloadError`;
+      ``shed`` lists the labels of the streams that did not run
+      (``streams``/``stats`` hold the ones completed before shedding).
 
     Unpacks as the historical ``streams, timeout = execute_specs(...)``
     pair.
@@ -86,17 +94,27 @@ class DispatchResult:
     failure: object = None
     failed_index: int = None
     stats: list = field(default_factory=list)
+    overload: object = None
+    shed: tuple = ()
 
     def __iter__(self):
         return iter((self.streams, self.timeout))
 
 
 def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
-                        faults=None, breaker=None, obs=None):
+                        faults=None, breaker=None, obs=None, pool=None,
+                        epoch=None, hedge_ms=None):
     """Execute one spec under the retry/backoff/breaker regime; return
     ``(stream, stats)``.
 
-    The loop around :meth:`Connection.execute
+    With a ``pool`` (a :class:`~repro.relational.replicas.ReplicaPool`),
+    execution is delegated to :meth:`ReplicaPool.run_spec
+    <repro.relational.replicas.ReplicaPool.run_spec>` — same retry,
+    deadline, and breaker semantics, plus replica routing, failover, and
+    hedging (``hedge_ms``).  ``epoch`` pins the routing snapshot; when
+    None, a single-spec epoch is opened and folded around the call.
+
+    Otherwise, the loop around :meth:`Connection.execute
     <repro.relational.connection.Connection.execute>`:
 
     * **cache short-circuit** — a plan the engine would replay from its
@@ -119,6 +137,18 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
     ``TransientConnectionError`` carries ``stats`` (as ``exc.stats``) and
     the total ``attempts``.
     """
+    if pool is not None:
+        own_epoch = epoch is None
+        if own_epoch:
+            epoch = pool.begin_epoch()
+        try:
+            return pool.run_spec(
+                spec, epoch, budget_ms=budget_ms, retry=retry,
+                breaker=breaker, faults=faults, obs=obs, hedge_ms=hedge_ms,
+            )
+        finally:
+            if own_epoch:
+                pool.finish_epoch(epoch)
     tracer, _ = obs_parts(obs)
     policy = faults if faults is not None else getattr(connection, "faults", None)
     stats = StreamAttemptStats(label=spec.label)
@@ -188,7 +218,9 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
 
 
 def execute_specs(connection, specs, budget_ms=None, workers=None,
-                  retry=None, faults=None, breaker=None, obs=None):
+                  retry=None, faults=None, breaker=None, obs=None,
+                  pool=None, hedge_ms=None, admission=None, epoch=None,
+                  admission_elapsed_ms=0.0):
     """Execute every :class:`~repro.core.sqlgen.StreamSpec`'s plan; return
     a :class:`DispatchResult` (unpacks as the ``(streams, timeout)``
     pair).
@@ -214,6 +246,27 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
     attempt)``: sequential and concurrent dispatch of the same specs see
     identical faults, retries, and results.
 
+    A :class:`~repro.relational.replicas.ReplicaPool` (``pool``) routes
+    each spec to the best healthy replica, failing over and hedging
+    (``hedge_ms``) per :meth:`ReplicaPool.run_spec
+    <repro.relational.replicas.ReplicaPool.run_spec>`.  Routing is frozen
+    for the duration of the call: unless the caller pins an ``epoch``
+    (e.g. one per sweep), a fresh one is opened here and its health
+    observations folded back when the call returns — so sequential and
+    concurrent dispatch route identically.
+
+    An :class:`~repro.relational.replicas.AdmissionController`
+    (``admission``) protects the dispatch: a plan whose stream count
+    overflows the slots + queue capacity is refused up front, and with a
+    ``deadline_ms`` each stream's deterministic scheduled start (the same
+    heap schedule as :func:`simulated_makespan`, offset by
+    ``admission_elapsed_ms`` already spent by earlier rounds) is checked
+    against the deadline — streams that would start too late are shed.
+    Either way ``result.overload`` carries the
+    :class:`~repro.common.errors.OverloadError` and ``result.shed`` the
+    unexecuted labels; completed earlier streams are kept.  The caller is
+    responsible for clamping ``workers`` to the admission policy.
+
     With an observability session (``obs``), each stream is wrapped in a
     ``stream:<label>`` span; the submitting thread's current span is
     captured *before* the fan-out and passed as the explicit span parent,
@@ -231,15 +284,15 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
             stream, stats = run_spec_with_retry(
                 connection, spec, budget_ms=budget_ms, retry=retry,
                 faults=faults, breaker=breaker, obs=obs,
+                pool=pool, epoch=epoch, hedge_ms=hedge_ms,
             )
             span.set(
                 rows=len(stream), attempts=stats.attempts,
                 retries=stats.retries, from_cache=stats.from_cache,
             )
-            span.set_sim(
-                stream.server_ms + stream.transfer_ms
-                + stats.backoff_ms + stats.fault_latency_ms
-            )
+            if stats.replica is not None:
+                span.set(replica=stats.replica, hedges=stats.hedges)
+            span.set_sim(_stream_cost(stream, stats))
             return stream, stats
 
     def record(stream, stats):
@@ -250,38 +303,111 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
         metrics.observe("stream.transfer_ms", stream.transfer_ms)
 
     result = DispatchResult(streams=[])
-    if workers is not None and workers > 1 and len(specs) > 1:
-        # Render SQL text up front: StreamSpec renders lazily and the specs
-        # are shared across threads.
-        for spec in specs:
-            spec.sql
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(run, spec) for spec in specs]
-            for i, future in enumerate(futures):
-                try:
-                    stream, stats = future.result()
-                except (TimeoutExceeded, TransientConnectionError) as exc:
-                    # First terminally-failed spec in spec order wins;
-                    # later futures are cancelled if not yet running and
-                    # drained by the executor's shutdown otherwise.
-                    for later in futures[i + 1:]:
-                        later.cancel()
-                    _record_failure(result, exc, specs[i], i, metrics)
-                    return result
-                result.streams.append(stream)
-                result.stats.append(stats)
-                record(stream, stats)
-        return result
-    for i, spec in enumerate(specs):
-        try:
-            stream, stats = run(spec)
-        except (TimeoutExceeded, TransientConnectionError) as exc:
-            _record_failure(result, exc, spec, i, metrics)
+    if admission is not None:
+        overload = admission.admit_queue(specs)
+        if overload is not None:
+            result.overload = overload
+            result.shed = overload.shed
+            metrics.inc("dispatch.shed", len(overload.shed))
+            tracer.event(
+                "shed", reason="queue", streams=len(overload.shed),
+            )
             return result
-        result.streams.append(stream)
-        result.stats.append(stats)
-        record(stream, stats)
-    return result
+    deadline = admission.policy.deadline_ms if admission is not None else None
+    free_at = None
+    if deadline is not None and specs:
+        free_at = [0.0] * min(max(workers or 1, 1), len(specs))
+
+    def shed_deadline(index, start_ms):
+        labels = tuple(spec.label for spec in specs[index:])
+        overload = OverloadError(
+            f"stream {specs[index].label} would start at simulated "
+            f"{start_ms:.0f}ms, past the {deadline:.0f}ms admission "
+            f"deadline",
+            reason="deadline", shed=labels, stream_label=labels[0],
+        )
+        admission.note_shed(len(labels))
+        result.overload = overload
+        result.shed = labels
+        metrics.inc("dispatch.shed", len(labels))
+        tracer.event(
+            "shed", reason="deadline", streams=len(labels), first=labels[0],
+        )
+
+    own_epoch = False
+    if pool is not None and epoch is None:
+        epoch = pool.begin_epoch()
+        own_epoch = True
+    try:
+        if workers is not None and workers > 1 and len(specs) > 1:
+            # Render SQL text up front: StreamSpec renders lazily and the
+            # specs are shared across threads.
+            for spec in specs:
+                spec.sql
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                futures = [executor.submit(run, spec) for spec in specs]
+                for i, future in enumerate(futures):
+                    if free_at is not None:
+                        start_ms = heapq.heappop(free_at)
+                        if admission_elapsed_ms + start_ms >= deadline:
+                            # Shed this and every later stream; work the
+                            # threads already started is discarded (the
+                            # simulated outcome matches the sequential
+                            # path, which never starts them).
+                            for later in futures[i:]:
+                                later.cancel()
+                            shed_deadline(i, admission_elapsed_ms + start_ms)
+                            return result
+                    try:
+                        stream, stats = future.result()
+                    except (TimeoutExceeded, TransientConnectionError) as exc:
+                        # First terminally-failed spec in spec order wins;
+                        # later futures are cancelled if not yet running
+                        # and drained by the executor's shutdown otherwise.
+                        for later in futures[i + 1:]:
+                            later.cancel()
+                        _record_failure(result, exc, specs[i], i, metrics)
+                        return result
+                    if free_at is not None:
+                        heapq.heappush(
+                            free_at, start_ms + _stream_cost(stream, stats)
+                        )
+                    result.streams.append(stream)
+                    result.stats.append(stats)
+                    record(stream, stats)
+            return result
+        for i, spec in enumerate(specs):
+            if free_at is not None:
+                start_ms = heapq.heappop(free_at)
+                if admission_elapsed_ms + start_ms >= deadline:
+                    shed_deadline(i, admission_elapsed_ms + start_ms)
+                    return result
+            try:
+                stream, stats = run(spec)
+            except (TimeoutExceeded, TransientConnectionError) as exc:
+                _record_failure(result, exc, spec, i, metrics)
+                return result
+            if free_at is not None:
+                heapq.heappush(
+                    free_at, start_ms + _stream_cost(stream, stats)
+                )
+            result.streams.append(stream)
+            result.stats.append(stats)
+            record(stream, stats)
+        return result
+    finally:
+        if own_epoch:
+            pool.finish_epoch(epoch)
+
+
+def _stream_cost(stream, stats):
+    """One stream's simulated elapsed cost: fault-free execution plus the
+    resilience overhead charged to the elapsed clock (backoff, wasted
+    fault latency, hedge wait) — the duration the makespan schedules."""
+    return (
+        stream.server_ms + stream.transfer_ms + stats.backoff_ms
+        + stats.fault_latency_ms + stats.hedge_wait_ms
+    )
 
 
 def _record_failure(result, exc, spec, index, metrics=NULL_METRICS):

@@ -158,43 +158,79 @@ NO_RETRY = RetryPolicy(max_attempts=1, base_ms=0.0, jitter=0.0)
 
 
 class CircuitBreaker:
-    """Per-key (plan fingerprint) consecutive-failure breaker.
+    """Per-key consecutive-failure breaker with an optional half-open probe.
 
+    The key is whatever the caller counts by — historically a plan
+    fingerprint, and since the replica layer also a replica id.
     ``record_failure`` counts a stream that exhausted its retries; once a
     key accumulates ``threshold`` consecutive exhaustions, :meth:`allow`
     returns False and the dispatcher fails that plan fast instead of
-    hammering it.  ``record_success`` closes the circuit again.  Thread
+    hammering it.  ``record_success`` closes the circuit again.
+
+    ``cooldown`` (None by default, preserving the legacy always-open
+    behaviour) enables the classic third state: after an open key has been
+    *denied* ``cooldown`` times, the next :meth:`allow` admits a single
+    probe.  A successful probe (``record_success``) closes the circuit; a
+    failed one (``record_failure``) re-opens it and the denial count starts
+    over.  Denials stand in for elapsed time, so the state machine is a
+    deterministic function of the call sequence — no wall clock.
+
+    :meth:`state` reports ``"closed"`` / ``"open"`` / ``"half-open"``
+    without side effects (the replica pool ranks replicas by it).  Thread
     safe — one breaker serves a concurrent dispatch.
     """
 
-    def __init__(self, threshold=3):
+    def __init__(self, threshold=3, cooldown=None):
         self.threshold = threshold
+        self.cooldown = cooldown
         self._failures = {}
+        self._denials = {}
         self._lock = threading.Lock()
         self.trips = 0
         self.fast_failures = 0
 
+    def state(self, key):
+        """``"closed"``, ``"open"``, or ``"half-open"`` — no side effects."""
+        with self._lock:
+            if self._failures.get(key, 0) < self.threshold:
+                return "closed"
+            if (self.cooldown is not None
+                    and self._denials.get(key, 0) >= self.cooldown):
+                return "half-open"
+            return "open"
+
     def allow(self, key):
         with self._lock:
-            open_ = self._failures.get(key, 0) >= self.threshold
-            if open_:
-                self.fast_failures += 1
-            return not open_
+            if self._failures.get(key, 0) < self.threshold:
+                return True
+            if self.cooldown is not None:
+                denials = self._denials.get(key, 0)
+                if denials >= self.cooldown:
+                    # Half-open: admit one probe; the denial count restarts
+                    # so a failed probe must sit out another cooldown.
+                    self._denials[key] = 0
+                    return True
+                self._denials[key] = denials + 1
+            self.fast_failures += 1
+            return False
 
     def record_failure(self, key):
         with self._lock:
             count = self._failures.get(key, 0) + 1
             self._failures[key] = count
+            self._denials.pop(key, None)
             if count == self.threshold:
                 self.trips += 1
 
     def record_success(self, key):
         with self._lock:
             self._failures.pop(key, None)
+            self._denials.pop(key, None)
 
     def reset(self):
         with self._lock:
             self._failures.clear()
+            self._denials.clear()
 
 
 @dataclass
@@ -204,9 +240,21 @@ class StreamAttemptStats:
     ``attempts`` counts submissions to the (possibly faulty) source — a
     result served from the plan cache records zero attempts, because a
     replay never touches the source.  ``fault_latency_ms`` is the
-    simulated connection time wasted by failed attempts; together with
-    ``backoff_ms`` it is what retrying charged to the simulated clock on
-    top of the fault-free execution.
+    simulated connection time wasted by failed attempts plus the winning
+    attempt's injected connection latency; together with ``backoff_ms``
+    and ``hedge_wait_ms`` it is what resilience charged to the simulated
+    clock on top of the fault-free execution.
+
+    Replica accounting (zero outside a
+    :class:`~repro.relational.replicas.ReplicaPool` dispatch):
+    ``replica`` is the id that served the winning result, ``failovers``
+    counts retries that moved to a different replica, ``hedges`` counts
+    issued backup requests (each is also an attempt), ``hedge_wins``
+    those whose backup finished first in simulated time, and
+    ``hedge_wait_ms`` the hedge-trigger wait charged when a backup won.
+    The abandoned side of a hedge charges nothing here — its simulated
+    window is subsumed by the winner's — so ``server_ms`` is never
+    double-counted.
     """
 
     label: str
@@ -216,6 +264,11 @@ class StreamAttemptStats:
     backoff_ms: float = 0.0
     fault_latency_ms: float = 0.0
     from_cache: bool = False
+    replica: int = None
+    failovers: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_wait_ms: float = 0.0
 
     def record(self, metrics):
         """Record this stream's accounting into a metrics registry.
@@ -238,3 +291,11 @@ class StreamAttemptStats:
             metrics.inc("faults.latency_ms", self.fault_latency_ms)
         if self.from_cache:
             metrics.inc("cache.replays")
+        if self.failovers:
+            metrics.inc("dispatch.failovers", self.failovers)
+        if self.hedges:
+            metrics.inc("dispatch.hedges", self.hedges)
+        if self.hedge_wins:
+            metrics.inc("dispatch.hedge_wins", self.hedge_wins)
+        if self.hedge_wait_ms:
+            metrics.inc("hedge.wait_ms", self.hedge_wait_ms)

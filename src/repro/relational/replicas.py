@@ -1,0 +1,626 @@
+"""Replica-aware resilient dispatch: pools, hedging, failover, admission.
+
+SilkRoute is middle-ware over an RDBMS it does not control (Sec. 1); a
+production deployment would sit in front of *several* replicas of that
+database.  This module models that serving layer deterministically, on
+the same simulated clock as the rest of the system:
+
+* :class:`ReplicaSet` — N :class:`~repro.relational.connection.Connection`
+  objects over the *same* :class:`~repro.relational.database.Database`,
+  each with its own :class:`~repro.relational.faults.FaultPolicy` /
+  :class:`~repro.relational.connection.TransferModel`.  Replica 0 is the
+  original connection; derived replicas draw faults from a seed extended
+  with their id, so each replica fails independently but reproducibly.
+* :class:`ReplicaPool` — routes each stream spec to the best healthy
+  replica (EWMA latency, consecutive failures, a per-replica
+  :class:`~repro.relational.faults.CircuitBreaker` with half-open
+  probing), **fails over** to the next replica on
+  :class:`~repro.common.errors.TransientConnectionError`, and issues a
+  **hedged backup request** on a second replica when the first attempt's
+  simulated completion exceeds ``hedge_ms`` — first simulated completion
+  wins, the loser is cancelled and charges nothing (its window is
+  subsumed by the winner's, so ``server_ms`` is never double-counted).
+* :class:`AdmissionPolicy` / :class:`AdmissionController` — clamps the
+  dispatch width to ``max_concurrent_streams``, bounds the stream queue,
+  and enforces a per-query simulated deadline; excess work is shed with a
+  typed :class:`~repro.common.errors.OverloadError` instead of queueing
+  unboundedly.
+
+Determinism contract (the property every byte-identity test rides on):
+routing decisions are frozen per **epoch**.  :meth:`ReplicaPool.begin_epoch`
+snapshots the health ranking; every health observation made while the
+epoch is open is buffered and folded back in deterministically sorted
+order by :meth:`ReplicaPool.finish_epoch`.  Within an epoch, the replica
+chosen for a stream is a pure function of the snapshot and the stream's
+own failure history — never of wall-clock completion order — so
+sequential and concurrent dispatch route identically, draw identical
+faults, and produce byte-identical XML with identical simulated timings.
+Hedging preserves the invariant because the winner is chosen by comparing
+*simulated* completions, and both candidate streams carry identical
+``server_ms``/``transfer_ms`` (the engine is deterministic and replicas
+share one result cache).
+"""
+
+import threading
+from dataclasses import dataclass, replace
+
+from repro.common.errors import OverloadError, TransientConnectionError
+from repro.obs import obs_parts
+from repro.relational.connection import Connection
+from repro.relational.faults import CircuitBreaker, StreamAttemptStats
+
+
+def replica_fault_policy(policy, index):
+    """The fault policy replica ``index`` runs under, derived from a base
+    policy: replica 0 keeps the policy unchanged (so a 1-replica pool is
+    indistinguishable from the plain connection), replica *i* draws from
+    the seed extended with ``|r<i>`` — independent outcomes per replica,
+    reproducible across runs and dispatch orders."""
+    if policy is None or index == 0:
+        return policy
+    return replace(policy, seed=f"{policy.seed}|r{index}")
+
+
+class ReplicaSet:
+    """N connections over the same simulated database.
+
+    Build one explicitly from connections you configured yourself, or via
+    :meth:`from_connection` to clone an existing connection's engine
+    configuration N ways.  All replicas must share the *same*
+    :class:`~repro.relational.database.Database` instance — they are
+    replicas of one logical source, so any of them can serve any stream
+    with byte-identical rows.
+    """
+
+    def __init__(self, connections):
+        connections = list(connections)
+        if not connections:
+            raise ValueError("a ReplicaSet needs at least one connection")
+        database = connections[0].database
+        for i, conn in enumerate(connections):
+            if conn.database is not database:
+                raise ValueError(
+                    f"replica {i} serves a different Database instance; "
+                    "all replicas must share one logical source"
+                )
+        self.connections = connections
+
+    @classmethod
+    def from_connection(cls, connection, n, faults=None, transfer_models=None):
+        """Clone ``connection`` into an ``n``-replica set.
+
+        Replica 0 *is* the given connection (same engine, same cache);
+        replicas 1..n-1 are fresh connections over the same database and
+        cost model, sharing the result cache installed at build time.
+
+        ``faults`` selects the per-replica fault policies: None derives
+        them from the connection's installed policy via
+        :func:`replica_fault_policy`; a single
+        :class:`~repro.relational.faults.FaultPolicy` derives from that
+        instead; a sequence of length ``n`` pins each replica explicitly
+        (the lever for chaos scenarios — one hard-down replica, one slow
+        one).  ``transfer_models`` optionally does the same for transfer
+        coefficients; identical models keep hedged timings identical.
+        """
+        if n < 1:
+            raise ValueError(f"need at least 1 replica, got {n}")
+        if transfer_models is not None and len(transfer_models) != n:
+            raise ValueError(
+                f"transfer_models has {len(transfer_models)} entries "
+                f"for {n} replicas"
+            )
+        per_replica = cls._fault_plan(connection, n, faults)
+        connections = [connection]
+        connection.faults = per_replica[0]
+        for i in range(1, n):
+            transfer = None
+            if transfer_models is not None:
+                transfer = transfer_models[i]
+            conn = Connection(
+                connection.database,
+                connection.engine.cost_model,
+                transfer_model=transfer or connection.transfer_model,
+                faults=per_replica[i],
+            )
+            if connection.cache is not None:
+                conn.cache = connection.cache
+            connections.append(conn)
+        return cls(connections)
+
+    @staticmethod
+    def _fault_plan(connection, n, faults):
+        if faults is None or hasattr(faults, "decide"):
+            base = connection.faults if faults is None else faults
+            return [replica_fault_policy(base, i) for i in range(n)]
+        per_replica = list(faults)
+        if len(per_replica) != n:
+            raise ValueError(
+                f"faults has {len(per_replica)} entries for {n} replicas"
+            )
+        return per_replica
+
+    def __len__(self):
+        return len(self.connections)
+
+    def __iter__(self):
+        return iter(self.connections)
+
+    def __repr__(self):
+        return f"ReplicaSet({len(self.connections)} replicas)"
+
+
+@dataclass
+class ReplicaHealth:
+    """Rolling health of one replica, in simulated milliseconds.
+
+    ``ewma_latency_ms`` smooths the simulated completion cost of
+    successful attempts (fault latency + server + transfer);
+    ``consecutive_failures`` resets on success.  Both are folded from
+    epoch observations in deterministic order — see the module
+    docstring's determinism contract.
+    """
+
+    replica: int
+    ewma_latency_ms: float = None
+    consecutive_failures: int = 0
+    successes: int = 0
+    failures: int = 0
+
+    def record_success(self, cost_ms, alpha):
+        self.successes += 1
+        self.consecutive_failures = 0
+        if self.ewma_latency_ms is None:
+            self.ewma_latency_ms = cost_ms
+        else:
+            self.ewma_latency_ms += alpha * (cost_ms - self.ewma_latency_ms)
+
+    def record_failure(self):
+        self.failures += 1
+        self.consecutive_failures += 1
+
+
+class ReplicaEpoch:
+    """A frozen routing snapshot plus the observations made under it.
+
+    ``ranking`` orders replica ids best-first as of
+    :meth:`ReplicaPool.begin_epoch`; :meth:`pick` is a pure function of
+    it.  Observations buffer here (thread safe) until
+    :meth:`ReplicaPool.finish_epoch` folds them into the live health
+    state in sorted order.
+    """
+
+    def __init__(self, ranking):
+        self.ranking = tuple(ranking)
+        self._observations = []
+        self._lock = threading.Lock()
+
+    def pick(self, exclude=()):
+        """The best-ranked replica id not in ``exclude`` (None if every
+        replica is excluded)."""
+        for replica in self.ranking:
+            if replica not in exclude:
+                return replica
+        return None
+
+    def observe(self, label, attempt, replica, ok, cost_ms):
+        with self._lock:
+            self._observations.append((label, attempt, replica, ok, cost_ms))
+
+    def observations(self):
+        """The buffered observations in deterministic order."""
+        with self._lock:
+            return sorted(self._observations)
+
+
+class ReplicaPool:
+    """Health-tracked routing, failover, and hedging over a replica set.
+
+    ``replicas`` is a :class:`ReplicaSet` or an iterable of connections
+    over one database.  ``hedge_ms`` is the default hedge trigger (a
+    stream whose first attempt's simulated completion exceeds it gets a
+    backup request on the next-ranked replica); ``unhealthy_after`` /
+    ``cooldown`` configure the per-replica breaker (consecutive
+    stream-level failures to open; epochs of denial before a half-open
+    probe); ``ewma_alpha`` the latency smoothing.
+
+    A pool accumulates health across epochs, so reusing one instance
+    across materializations routes around a replica that went dark in an
+    earlier call.  A *fresh* pool (what ``ExecutionOptions(replicas=N)``
+    builds per call) starts with a clean slate — runs stay independent
+    and reproducible.
+    """
+
+    def __init__(self, replicas, hedge_ms=None, unhealthy_after=3,
+                 cooldown=2, ewma_alpha=0.25):
+        if isinstance(replicas, ReplicaSet):
+            connections = list(replicas.connections)
+        else:
+            connections = list(ReplicaSet(replicas).connections)
+        self.connections = connections
+        self.hedge_ms = hedge_ms
+        self.ewma_alpha = ewma_alpha
+        self.health = [ReplicaHealth(i) for i in range(len(connections))]
+        self.breaker = CircuitBreaker(
+            threshold=unhealthy_after, cooldown=cooldown
+        )
+
+    def __len__(self):
+        return len(self.connections)
+
+    def __repr__(self):
+        return (
+            f"ReplicaPool({len(self.connections)} replicas, "
+            f"hedge_ms={self.hedge_ms})"
+        )
+
+    def policy_for(self, replica, override=None):
+        """The fault policy replica ``replica`` runs under: the per-call
+        ``override`` re-derived for that replica, else its connection's
+        installed policy."""
+        if override is not None:
+            return replica_fault_policy(override, replica)
+        return self.connections[replica].faults
+
+    # -- epochs ------------------------------------------------------------------
+
+    def begin_epoch(self):
+        """Freeze the current health ranking into a :class:`ReplicaEpoch`.
+
+        Replicas the breaker admits (closed, or open-and-due for a
+        half-open probe) rank first, ordered by consecutive failures,
+        then EWMA latency, then id; denied replicas rank last (still
+        reachable as a stream's final wrap-around resort).  Also
+        re-shares replica 0's result cache across the set, so a cache
+        installed after the pool was built still serves every replica.
+        """
+        base_cache = self.connections[0].engine.cache
+        for conn in self.connections[1:]:
+            if conn.engine.cache is not base_cache:
+                conn.cache = base_cache
+        admitted, denied = [], []
+        for replica in range(len(self.connections)):
+            if self.breaker.allow(replica):
+                admitted.append(replica)
+            else:
+                denied.append(replica)
+
+        def health_key(replica):
+            health = self.health[replica]
+            ewma = health.ewma_latency_ms
+            return (
+                health.consecutive_failures,
+                ewma if ewma is not None else 0.0,
+                replica,
+            )
+
+        ranking = sorted(admitted, key=health_key)
+        ranking += sorted(denied, key=health_key)
+        return ReplicaEpoch(ranking)
+
+    def finish_epoch(self, epoch):
+        """Fold the epoch's buffered observations into the live health
+        state and per-replica breaker, in deterministic sorted order —
+        the reason concurrent dispatch leaves the same health trail as
+        sequential."""
+        for _label, _attempt, replica, ok, cost_ms in epoch.observations():
+            if ok:
+                self.health[replica].record_success(cost_ms, self.ewma_alpha)
+                self.breaker.record_success(replica)
+            else:
+                self.health[replica].record_failure()
+                self.breaker.record_failure(replica)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def run_spec(self, spec, epoch, budget_ms=None, retry=None, breaker=None,
+                 faults=None, obs=None, hedge_ms=None):
+        """Execute one stream spec with routing, failover, and hedging;
+        return ``(stream, stats)``.
+
+        The replica-aware twin of
+        :func:`~repro.relational.dispatch.run_spec_with_retry` — same
+        cache short-circuit, retry budget, deadline, and plan-fingerprint
+        ``breaker`` semantics, with three additions:
+
+        * **routing** — the first attempt goes to ``epoch``'s best-ranked
+          replica;
+        * **failover** — a
+          :class:`~repro.common.errors.TransientConnectionError` moves
+          the next attempt to the next-ranked replica *without* backoff
+          (a different backend needs no cool-off); only when every
+          replica has failed the stream once does the round wrap, with
+          the retry policy's backoff charged and the tried set cleared.
+          Failover consumes retry attempts — without a ``retry`` policy
+          the first fault is terminal, exactly as on a single connection;
+        * **hedging** — after a successful attempt whose simulated
+          completion exceeds ``hedge_ms`` (argument, else the pool
+          default), a backup executes on the next-ranked untried replica.
+          The backup's simulated completion is ``hedge_ms`` later than
+          the primary's start; whichever finishes first in simulated time
+          wins (ties favour the primary).  A winning backup charges
+          ``hedge_wait_ms`` plus its own fault latency; the loser charges
+          nothing — its window is subsumed by the winner's.
+
+        With a 1-replica pool every branch degenerates to the
+        single-connection behaviour bit-identically.
+        """
+        tracer, _ = obs_parts(obs)
+        if hedge_ms is None:
+            hedge_ms = self.hedge_ms
+        stats = StreamAttemptStats(label=spec.label)
+        fingerprint = spec.plan.fingerprint() if breaker is not None else None
+        if breaker is not None and not breaker.allow(fingerprint):
+            exc = TransientConnectionError(
+                stream_label=spec.label, attempt=0, attempts=0,
+                reason="circuit breaker open",
+            )
+            exc.stats = stats
+            raise exc
+        policies = [
+            self.policy_for(replica, faults)
+            for replica in range(len(self.connections))
+        ]
+        primary = epoch.pick()
+        stats.replica = primary
+        conn = self.connections[primary]
+        if any(policies) and conn.is_cached(spec.plan):
+            stats.from_cache = True
+            with tracer.span("cache", label=spec.label, replay=True):
+                stream = conn.execute(
+                    spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
+                    sql=spec.sql, label=spec.label, faults=False, obs=obs,
+                )
+            return stream, stats
+        max_attempts = retry.max_attempts if retry is not None else 1
+        deadline = budget_ms
+        if retry is not None and retry.deadline_ms is not None:
+            deadline = retry.deadline_ms
+        seed = next((p.seed for p in policies if p), 0)
+        spent_ms = 0.0
+        tried = set()
+        current = primary
+        while True:
+            stats.attempts += 1
+            conn = self.connections[current]
+            policy = policies[current]
+            try:
+                with tracer.span(
+                    f"replica:{current}", label=spec.label,
+                    attempt=stats.attempts,
+                ):
+                    stream = conn.execute(
+                        spec.plan, compact_rows=spec.compact,
+                        budget_ms=budget_ms, sql=spec.sql, label=spec.label,
+                        attempt=stats.attempts,
+                        faults=policy if policy is not None else False,
+                        obs=obs,
+                    )
+                break
+            except TransientConnectionError as exc:
+                stats.faults += 1
+                stats.fault_latency_ms += exc.latency_ms
+                spent_ms += exc.latency_ms
+                tried.add(current)
+                epoch.observe(
+                    spec.label, stats.attempts, current, False, exc.latency_ms
+                )
+                tracer.event(
+                    "fault", label=spec.label, attempt=stats.attempts,
+                    latency_ms=round(exc.latency_ms, 3), replica=current,
+                )
+                if stats.attempts >= max_attempts:
+                    self._exhaust(exc, stats, breaker, fingerprint)
+                nxt = epoch.pick(exclude=tried)
+                if nxt is None:
+                    # Every replica failed this stream once this round:
+                    # wrap to the best-ranked replica after a backoff.
+                    tried.clear()
+                    nxt = epoch.pick()
+                    backoff = retry.backoff_for(
+                        spec.label, stats.faults, seed=seed
+                    )
+                    if deadline is not None and spent_ms + backoff > deadline:
+                        self._exhaust(exc, stats, breaker, fingerprint)
+                    spent_ms += backoff
+                    stats.backoff_ms += backoff
+                    with tracer.span(
+                        "retry", label=spec.label, failure=stats.faults,
+                    ) as retry_span:
+                        retry_span.set_sim(backoff)
+                if nxt != current:
+                    stats.failovers += 1
+                    tracer.event(
+                        "failover", label=spec.label, from_replica=current,
+                        to_replica=nxt, attempt=stats.attempts,
+                    )
+                stats.retries += 1
+                current = nxt
+        primary_attempt = stats.attempts
+        primary_cost = (
+            stream.fault_latency_ms + stream.server_ms + stream.transfer_ms
+        )
+        epoch.observe(
+            spec.label, primary_attempt, current, True, primary_cost
+        )
+        winning_latency = stream.fault_latency_ms
+        winner = current
+        if (hedge_ms is not None and len(self.connections) > 1
+                and primary_cost > hedge_ms):
+            backup = epoch.pick(exclude=tried | {current})
+            if backup is not None:
+                stream, winner, winning_latency = self._hedge(
+                    spec, epoch, stats, tracer, obs, budget_ms, policies,
+                    hedge_ms, current, stream, primary_cost,
+                    backup, winning_latency,
+                )
+        stats.fault_latency_ms += winning_latency
+        stats.replica = winner
+        if breaker is not None:
+            breaker.record_success(fingerprint)
+        return stream, stats
+
+    def _hedge(self, spec, epoch, stats, tracer, obs, budget_ms, policies,
+               hedge_ms, primary, primary_stream, primary_cost,
+               backup, winning_latency):
+        """Issue the backup request; return the winning
+        ``(stream, replica, fault_latency)`` by simulated completion."""
+        stats.attempts += 1
+        stats.hedges += 1
+        policy = policies[backup]
+        with tracer.span(
+            "hedge", label=spec.label, primary=primary, backup=backup,
+            after_ms=hedge_ms,
+        ) as hedge_span:
+            try:
+                with tracer.span(
+                    f"replica:{backup}", label=spec.label,
+                    attempt=stats.attempts, hedged=True,
+                ):
+                    backup_stream = self.connections[backup].execute(
+                        spec.plan, compact_rows=spec.compact,
+                        budget_ms=budget_ms, sql=spec.sql, label=spec.label,
+                        attempt=stats.attempts,
+                        faults=policy if policy is not None else False,
+                        obs=obs,
+                    )
+            except TransientConnectionError as exc:
+                # A failed backup is abandoned: the primary already
+                # succeeded, so the fault costs nothing but the count.
+                stats.faults += 1
+                epoch.observe(
+                    spec.label, stats.attempts, backup, False, exc.latency_ms
+                )
+                hedge_span.set(won=False, backup_failed=True)
+                return primary_stream, primary, winning_latency
+            backup_cost = (
+                backup_stream.fault_latency_ms + backup_stream.server_ms
+                + backup_stream.transfer_ms
+            )
+            epoch.observe(
+                spec.label, stats.attempts, backup, True, backup_cost
+            )
+            if hedge_ms + backup_cost < primary_cost:
+                stats.hedge_wins += 1
+                stats.hedge_wait_ms += hedge_ms
+                hedge_span.set(
+                    won=True,
+                    saved_ms=round(primary_cost - hedge_ms - backup_cost, 3),
+                )
+                return backup_stream, backup, backup_stream.fault_latency_ms
+            hedge_span.set(won=False)
+            return primary_stream, primary, winning_latency
+
+    @staticmethod
+    def _exhaust(exc, stats, breaker, fingerprint):
+        if breaker is not None:
+            breaker.record_failure(fingerprint)
+        exc.attempts = stats.attempts
+        exc.stats = stats
+        raise exc
+
+
+def resolve_pool(replicas, connection):
+    """Normalize the ``replicas`` execution option to a
+    :class:`ReplicaPool` (or None).
+
+    ``None`` and ``1`` mean no pool (the plain single-connection path);
+    an integer ``n >= 2`` builds a fresh pool of ``n`` replicas derived
+    from ``connection`` (health state scoped to this call); a
+    :class:`ReplicaSet` is wrapped; a :class:`ReplicaPool` instance is
+    used as-is, health and all.
+    """
+    if replicas is None:
+        return None
+    if isinstance(replicas, ReplicaPool):
+        return replicas
+    if isinstance(replicas, ReplicaSet):
+        return ReplicaPool(replicas)
+    n = int(replicas)
+    if n <= 1:
+        return None
+    return ReplicaPool(ReplicaSet.from_connection(connection, n))
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Capacity limits the admission controller enforces.
+
+    ``max_concurrent_streams`` clamps the dispatch width (the thread-pool
+    ``workers`` never exceeds it) and, together with
+    ``max_queued_streams``, bounds how many streams one dispatch may
+    submit: a plan needing more than slots + queue is refused up front.
+    ``deadline_ms`` is a per-query simulated deadline — a stream whose
+    deterministic scheduled *start* falls on or past it is shed (work
+    already started is allowed to finish).  All limits are optional;
+    ``None`` disables that check.
+    """
+
+    max_concurrent_streams: int = None
+    max_queued_streams: int = None
+    deadline_ms: float = None
+
+
+class AdmissionController:
+    """Enforces an :class:`AdmissionPolicy`; counts admitted/shed streams.
+
+    Shedding decisions are functions of deterministic quantities only —
+    the spec count and the simulated schedule — never of wall-clock
+    concurrency, so an overloaded run sheds the same streams under
+    sequential and threaded dispatch.
+    """
+
+    def __init__(self, policy):
+        self.policy = policy
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.shed = 0
+
+    def clamp_workers(self, workers):
+        """``workers`` bounded by ``max_concurrent_streams``."""
+        limit = self.policy.max_concurrent_streams
+        if limit is None:
+            return workers
+        return min(max(workers or 1, 1), limit)
+
+    def admit_queue(self, specs):
+        """Admit the whole dispatch or return the :class:`OverloadError`
+        refusing it (streams beyond slots + queue would wait unboundedly)."""
+        slots = self.policy.max_concurrent_streams
+        queued = self.policy.max_queued_streams
+        if slots is None or queued is None:
+            with self._lock:
+                self.admitted += len(specs)
+            return None
+        capacity = slots + queued
+        if len(specs) > capacity:
+            labels = tuple(spec.label for spec in specs)
+            with self._lock:
+                self.shed += len(specs)
+            return OverloadError(
+                f"{len(specs)} streams exceed admission capacity "
+                f"{capacity} ({slots} concurrent + {queued} queued)",
+                reason="queue", shed=labels, stream_label=labels[0],
+            )
+        with self._lock:
+            self.admitted += len(specs)
+        return None
+
+    def note_shed(self, count):
+        with self._lock:
+            self.shed += count
+
+
+def resolve_admission(max_concurrent):
+    """Normalize the ``max_concurrent`` execution option to an
+    :class:`AdmissionController` (or None): an integer caps concurrent
+    streams, an :class:`AdmissionPolicy` is wrapped, a controller is used
+    as-is (sharing its admitted/shed counters across calls)."""
+    if max_concurrent is None:
+        return None
+    if isinstance(max_concurrent, AdmissionController):
+        return max_concurrent
+    if isinstance(max_concurrent, AdmissionPolicy):
+        return AdmissionController(max_concurrent)
+    return AdmissionController(
+        AdmissionPolicy(max_concurrent_streams=int(max_concurrent))
+    )

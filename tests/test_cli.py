@@ -23,6 +23,67 @@ class TestParser:
             build_parser().parse_args(["explain", "--query", "q9"])
 
 
+def reject(*argv):
+    """Parse expecting rejection; return (exit code, stderr text)."""
+    import contextlib
+
+    err = io.StringIO()
+    with contextlib.redirect_stderr(err):
+        with pytest.raises(SystemExit) as info:
+            build_parser().parse_args(list(argv))
+    return info.value.code, err.getvalue()
+
+
+class TestValidation:
+    """Bad flag values die with a one-line error and exit code 2."""
+
+    @pytest.mark.parametrize("rate", ["-0.1", "1.5", "2", "nan", "abc"])
+    def test_fault_rate_must_be_probability(self, rate):
+        code, err = reject("materialize", "--fault-rate", rate)
+        assert code == 2
+        assert "--fault-rate" in err
+
+    @pytest.mark.parametrize("flag", ["--workers", "--retries",
+                                      "--replicas", "--max-concurrent"])
+    @pytest.mark.parametrize("value", ["0", "-1", "x"])
+    def test_positive_int_flags(self, flag, value):
+        code, err = reject("materialize", flag, value)
+        assert code == 2
+        assert flag in err
+
+    @pytest.mark.parametrize("flag", ["--budget-ms", "--hedge-ms"])
+    @pytest.mark.parametrize("value", ["0", "-5", "oops"])
+    def test_positive_float_flags(self, flag, value):
+        code, err = reject("materialize", flag, value)
+        assert code == 2
+        assert flag in err
+
+    def test_unknown_query_exits_2(self):
+        code, err = reject("materialize", "--query", "nope")
+        assert code == 2
+        assert "--query" in err
+
+    def test_error_message_is_one_line(self):
+        _, err = reject("sweep", "--fault-rate", "7")
+        # argparse prints usage + a single error line; the error itself
+        # is one line naming the flag and the offending value.
+        error_lines = [l for l in err.splitlines() if "error:" in l]
+        assert len(error_lines) == 1
+        assert "7" in error_lines[0]
+
+    def test_valid_boundary_values_accepted(self):
+        args = build_parser().parse_args(
+            ["materialize", "--fault-rate", "0", "--workers", "1",
+             "--replicas", "2", "--hedge-ms", "0.5",
+             "--max-concurrent", "1", "--budget-ms", "0.1"])
+        assert args.fault_rate == 0.0
+        assert args.replicas == 2
+        assert args.hedge_ms == 0.5
+        assert args.max_concurrent == 1
+        args = build_parser().parse_args(["materialize", "--fault-rate", "1"])
+        assert args.fault_rate == 1.0
+
+
 class TestExplain:
     def test_unified(self):
         code, output = run_cli("explain", "--strategy", "unified")
@@ -200,3 +261,35 @@ class TestMetricsFlag:
     def test_materialize_without_metrics_prints_no_json(self):
         _, output = run_cli("materialize", "--strategy", "fully-partitioned")
         assert '"counters"' not in output
+
+
+class TestReplicaFlags:
+    def test_materialize_with_replicas(self):
+        code, output = run_cli(
+            "materialize", "--strategy", "fully-partitioned",
+            "--replicas", "3", "--hedge-ms", "5",
+            "--fault-rate", "0.3", "--fault-seed", "7", "--retries", "4",
+        )
+        assert code == 0
+        assert output.startswith("<view>")
+        assert "-- replicas:" in output
+        assert "failover(s)" in output and "hedge(s)" in output
+
+    def test_replica_run_matches_plain_run(self):
+        _, plain = run_cli("materialize", "--strategy", "fully-partitioned")
+        _, replicated = run_cli(
+            "materialize", "--strategy", "fully-partitioned",
+            "--replicas", "2", "--hedge-ms", "50",
+            "--fault-rate", "0.2", "--retries", "4",
+        )
+        plain_xml = plain[:plain.index("\n-- ")]
+        replicated_xml = replicated[:replicated.index("\n-- ")]
+        assert replicated_xml == plain_xml
+
+    def test_max_concurrent_accepted(self):
+        code, output = run_cli(
+            "materialize", "--strategy", "fully-partitioned",
+            "--max-concurrent", "4", "--workers", "8",
+        )
+        assert code == 0
+        assert output.startswith("<view>")

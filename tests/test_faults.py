@@ -103,6 +103,114 @@ class TestFaultPolicy:
         assert breaker.allow("fp")
 
 
+class TestCircuitBreakerStates:
+    def test_closed_open_half_open_closed(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=2)
+        assert breaker.state("fp") == "closed"
+        breaker.record_failure("fp")
+        assert breaker.state("fp") == "closed"
+        breaker.record_failure("fp")
+        assert breaker.state("fp") == "open"
+        # Two denials stand in for the cooldown period.
+        assert not breaker.allow("fp")
+        assert not breaker.allow("fp")
+        assert breaker.state("fp") == "half-open"
+        # Half-open admits exactly one probe; the denial count restarts.
+        assert breaker.allow("fp")
+        assert breaker.state("fp") == "open"
+        # A successful probe closes the circuit again.
+        breaker.record_success("fp")
+        assert breaker.state("fp") == "closed"
+        assert breaker.allow("fp")
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1)
+        breaker.record_failure("fp")
+        assert breaker.state("fp") == "open"
+        assert not breaker.allow("fp")
+        assert breaker.state("fp") == "half-open"
+        assert breaker.allow("fp")        # the probe
+        breaker.record_failure("fp")      # ...which fails
+        assert breaker.state("fp") == "open"
+        assert not breaker.allow("fp")    # sits out another cooldown
+        assert breaker.allow("fp")        # before the next probe
+
+    def test_no_cooldown_preserves_legacy_behaviour(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("fp")
+        assert breaker.state("fp") == "open"
+        assert not any(breaker.allow("fp") for _ in range(10))
+        assert breaker.fast_failures == 10
+
+    def test_state_has_no_side_effects(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=3)
+        breaker.record_failure("fp")
+        for _ in range(10):
+            assert breaker.state("fp") == "open"
+        # state() never advanced the denial count or counted fast failures.
+        assert breaker.fast_failures == 0
+        assert not breaker.allow("fp")
+
+
+class TestRetryDeadline:
+    """Budget exhaustion mid-backoff: a retry whose wait would cross the
+    deadline is abandoned; a wait landing *exactly on* it is allowed."""
+
+    @pytest.fixture
+    def spec(self, q1_tree, tiny_db):
+        from repro.core.partition import fully_partitioned
+        from repro.core.sqlgen import SqlGenerator
+
+        generator = SqlGenerator(q1_tree, tiny_db.schema)
+        return generator.streams_for_partition(fully_partitioned(q1_tree))[0]
+
+    def test_deadline_exactly_on_backoff_boundary_allows_retry(
+            self, spec, tiny_db):
+        from repro.relational.dispatch import run_spec_with_retry
+
+        connection = Connection(tiny_db, CostModel())
+        faults = FaultPolicy(seed=0, fail_streams={spec.label: 1})
+        retry = RetryPolicy(max_attempts=5, base_ms=100.0, jitter=0.0,
+                            deadline_ms=100.0)
+        stream, stats = run_spec_with_retry(
+            connection, spec, retry=retry, faults=faults,
+        )
+        # spent (0) + backoff (100) == deadline (100): not over — retried.
+        assert stats.attempts == 2
+        assert stats.retries == 1
+        assert stats.backoff_ms == 100.0
+
+    def test_deadline_just_below_backoff_exhausts(self, spec, tiny_db):
+        from repro.relational.dispatch import run_spec_with_retry
+
+        connection = Connection(tiny_db, CostModel())
+        faults = FaultPolicy(seed=0, fail_streams={spec.label: 1})
+        retry = RetryPolicy(max_attempts=5, base_ms=100.0, jitter=0.0,
+                            deadline_ms=99.0)
+        with pytest.raises(TransientConnectionError) as info:
+            run_spec_with_retry(connection, spec, retry=retry, faults=faults)
+        assert info.value.attempts == 1
+        # The abandoned wait is never charged: exhaustion happened before
+        # the backoff was spent.
+        assert info.value.stats.backoff_ms == 0.0
+
+    def test_budget_exhausts_mid_backoff_before_max_attempts(
+            self, spec, tiny_db):
+        from repro.relational.dispatch import run_spec_with_retry
+
+        connection = Connection(tiny_db, CostModel())
+        faults = FaultPolicy(seed=0, fail_streams=[spec.label])
+        retry = RetryPolicy(max_attempts=10, base_ms=100.0, multiplier=2.0,
+                            jitter=0.0, deadline_ms=500.0)
+        with pytest.raises(TransientConnectionError) as info:
+            run_spec_with_retry(connection, spec, retry=retry, faults=faults)
+        # Backoffs 100 + 200 fit under 500; the third (400) would cross it,
+        # so the stream exhausts at attempt 3 of an allowed 10.
+        assert info.value.attempts == 3
+        assert info.value.stats.retries == 2
+        assert info.value.stats.backoff_ms == 300.0
+
+
 class TestByteIdentity:
     def test_faulted_run_is_byte_identical(self, view):
         baseline = view.materialize("fully-partitioned")

@@ -501,6 +501,50 @@ class TestMetricsReconciliation:
             == warm.report.attempts + shielded.report.attempts
         )
 
+    def test_hedged_run_reconciles(self, tiny_db, tiny_estimator):
+        obs = ObsOptions()
+        view = fresh_view(tiny_db, tiny_estimator)
+        result = view.materialize(
+            "fully-partitioned",
+            options=ExecutionOptions(
+                obs=obs, replicas=3, hedge_ms=5.0,
+                faults=FaultPolicy(seed=3, error_rate=0.3, latency_ms=20.0),
+                retry=RetryPolicy(max_attempts=5),
+            ),
+        )
+        report = result.report
+        counters = self._counters(obs)
+        assert report.hedges > 0
+        assert counters["dispatch.attempts"] == report.attempts
+        assert counters.get("dispatch.retries", 0) == report.retries
+        assert counters.get("faults.injected", 0) == report.faults_injected
+        assert counters.get("dispatch.failovers", 0) == report.failovers
+        assert counters.get("dispatch.hedges", 0) == report.hedges
+        assert counters.get("dispatch.hedge_wins", 0) == report.hedge_wins
+        assert math.isclose(
+            counters.get("hedge.wait_ms", 0.0), report.hedge_wait_ms
+        )
+        assert math.isclose(
+            counters.get("retry.backoff_ms", 0.0), report.backoff_ms
+        )
+        assert math.isclose(
+            counters.get("faults.latency_ms", 0.0), report.fault_latency_ms
+        )
+        # The abandoned side of a hedge never charges server time: the
+        # per-stream histogram sums exactly to the report's totals, which
+        # in turn are byte-for-byte the fault-free figures.
+        hist = obs.metrics.snapshot()["histograms"]
+        assert hist["stream.query_ms"]["count"] == report.n_streams
+        assert math.isclose(hist["stream.query_ms"]["sum"], report.query_ms)
+        assert math.isclose(
+            hist["stream.transfer_ms"]["sum"], report.transfer_ms
+        )
+        clean = fresh_view(tiny_db, tiny_estimator).materialize(
+            "fully-partitioned",
+        )
+        assert result.xml == clean.xml
+        assert math.isclose(report.query_ms, clean.report.query_ms)
+
     def test_timeout_counts_no_phantom_attempts(self, tiny_db, tiny_estimator):
         from repro.common.errors import TimeoutExceeded
 

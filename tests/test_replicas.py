@@ -1,0 +1,593 @@
+"""Replica-aware resilient dispatch (repro.relational.replicas): pools,
+health-checked routing, failover, hedged requests, and admission control.
+
+The load-bearing invariants:
+
+* **byte identity** — with any replica count >= 2, any hedge trigger,
+  failover traffic, and injected faults, the materialized document and
+  the paper's simulated ``query_ms``/``transfer_ms`` figures are
+  identical to the single-replica fault-free run, sequentially and with
+  concurrent dispatch (the acceptance property, hypothesis-tested);
+* **failover completes the query** — a pool with one permanently-down
+  replica serves every stream via the healthy ones, with zero
+  user-visible errors;
+* **hedging pays off deterministically** — against a slow replica the
+  hedged elapsed makespan is strictly lower, and hedge losers never
+  double-charge ``server_ms``;
+* **admission sheds deterministically** — queue overflow and deadline
+  shedding raise a typed :class:`~repro.common.errors.OverloadError`
+  listing the shed streams, identically under sequential and threaded
+  dispatch, and light load sheds nothing.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.queries import QUERY_1
+from repro.bench.sweep import sweep_partitions
+from repro.common.errors import ExecutionError, OverloadError
+from repro.core.options import ExecutionOptions
+from repro.core.partition import fully_partitioned, unified_partition
+from repro.core.silkroute import SilkRoute
+from repro.relational.connection import Connection
+from repro.relational.engine import CostModel
+from repro.relational.faults import FaultPolicy, RetryPolicy
+from repro.relational.replicas import (
+    AdmissionController,
+    AdmissionPolicy,
+    ReplicaPool,
+    ReplicaSet,
+    replica_fault_policy,
+    resolve_admission,
+    resolve_pool,
+)
+
+
+def fresh_view(tiny_db, tiny_estimator, **silk_kwargs):
+    connection = Connection(tiny_db, CostModel())
+    silk = SilkRoute(connection, estimator=tiny_estimator, **silk_kwargs)
+    return connection, silk.define_view(QUERY_1)
+
+
+@pytest.fixture(scope="module")
+def baseline(request):
+    """The single-replica fault-free run every identity test compares to."""
+    tiny_db = request.getfixturevalue("tiny_db")
+    tiny_estimator = request.getfixturevalue("tiny_estimator")
+    _, view = fresh_view(tiny_db, tiny_estimator)
+    return view.materialize("fully-partitioned")
+
+
+# ---------------------------------------------------------------------------
+# Construction and normalization
+
+
+class TestReplicaSet:
+    def test_same_database_required(self, tiny_db, tiny_estimator):
+        from repro.tpch.generator import TpchGenerator, TpchScale
+
+        other_db = TpchGenerator(
+            scale=TpchScale(suppliers=2, parts=2, customers=2, orders=2),
+            seed=1,
+        ).generate()
+        with pytest.raises(ValueError, match="different Database"):
+            ReplicaSet([
+                Connection(tiny_db, CostModel()),
+                Connection(other_db, CostModel()),
+            ])
+
+    def test_needs_at_least_one_connection(self):
+        with pytest.raises(ValueError):
+            ReplicaSet([])
+
+    def test_from_connection_replica_zero_is_the_connection(self, tiny_db):
+        connection = Connection(tiny_db, CostModel())
+        rset = ReplicaSet.from_connection(connection, 3)
+        assert len(rset) == 3
+        assert rset.connections[0] is connection
+        assert all(c.database is tiny_db for c in rset)
+
+    def test_from_connection_rejects_bad_counts(self, tiny_db):
+        connection = Connection(tiny_db, CostModel())
+        with pytest.raises(ValueError):
+            ReplicaSet.from_connection(connection, 0)
+        with pytest.raises(ValueError, match="faults has"):
+            ReplicaSet.from_connection(
+                connection, 3, faults=[FaultPolicy(), FaultPolicy()]
+            )
+
+    def test_seed_derivation_is_per_replica(self):
+        base = FaultPolicy(seed=7, error_rate=0.5)
+        assert replica_fault_policy(base, 0) is base
+        one = replica_fault_policy(base, 1)
+        two = replica_fault_policy(base, 2)
+        assert one.seed == "7|r1" and two.seed == "7|r2"
+        assert one.error_rate == base.error_rate
+        assert replica_fault_policy(None, 2) is None
+        # Derived replicas draw independently but reproducibly.
+        draws_one = [one.decide("S1", "fp", a).fail for a in range(1, 20)]
+        draws_two = [two.decide("S1", "fp", a).fail for a in range(1, 20)]
+        assert draws_one != draws_two
+        assert draws_one == [
+            replica_fault_policy(base, 1).decide("S1", "fp", a).fail
+            for a in range(1, 20)
+        ]
+
+    def test_explicit_fault_plan_installs_per_replica(self, tiny_db):
+        connection = Connection(tiny_db, CostModel())
+        down = FaultPolicy(seed=1, error_rate=1.0)
+        ok = FaultPolicy(seed=2, error_rate=0.0)
+        rset = ReplicaSet.from_connection(connection, 2, faults=[down, ok])
+        assert rset.connections[0].faults is down
+        assert rset.connections[1].faults is ok
+
+
+class TestResolvers:
+    def test_resolve_pool_contract(self, tiny_db):
+        connection = Connection(tiny_db, CostModel())
+        assert resolve_pool(None, connection) is None
+        assert resolve_pool(1, connection) is None
+        pool = resolve_pool(3, connection)
+        assert isinstance(pool, ReplicaPool) and len(pool) == 3
+        rset = ReplicaSet.from_connection(Connection(tiny_db, CostModel()), 2)
+        wrapped = resolve_pool(rset, connection)
+        assert isinstance(wrapped, ReplicaPool) and len(wrapped) == 2
+        assert resolve_pool(wrapped, connection) is wrapped
+
+    def test_resolve_admission_contract(self):
+        assert resolve_admission(None) is None
+        controller = resolve_admission(4)
+        assert isinstance(controller, AdmissionController)
+        assert controller.policy.max_concurrent_streams == 4
+        policy = AdmissionPolicy(max_concurrent_streams=2, deadline_ms=10.0)
+        assert resolve_admission(policy).policy is policy
+        assert resolve_admission(controller) is controller
+
+    def test_clamp_workers(self):
+        controller = resolve_admission(2)
+        assert controller.clamp_workers(8) == 2
+        assert controller.clamp_workers(None) == 1
+        assert controller.clamp_workers(1) == 1
+        unlimited = AdmissionController(AdmissionPolicy(deadline_ms=5.0))
+        assert unlimited.clamp_workers(8) == 8
+
+
+# ---------------------------------------------------------------------------
+# Health, epochs, and routing
+
+
+class TestPoolHealth:
+    def _pool(self, tiny_db, n=3):
+        connection = Connection(tiny_db, CostModel())
+        return ReplicaPool(ReplicaSet.from_connection(connection, n))
+
+    def test_epoch_pick_and_default_ranking(self, tiny_db):
+        pool = self._pool(tiny_db)
+        epoch = pool.begin_epoch()
+        assert epoch.ranking == (0, 1, 2)
+        assert epoch.pick() == 0
+        assert epoch.pick(exclude={0}) == 1
+        assert epoch.pick(exclude={0, 1, 2}) is None
+
+    def test_ranking_prefers_fewer_failures_then_lower_latency(self,
+                                                               tiny_db):
+        pool = self._pool(tiny_db, n=2)
+        # A slower replica ranks behind a faster one...
+        epoch = pool.begin_epoch()
+        epoch.observe("S1", 1, 0, True, 100.0)
+        epoch.observe("S1", 1, 1, True, 10.0)
+        pool.finish_epoch(epoch)
+        assert pool.begin_epoch().ranking == (1, 0)
+        # ...but a consecutive failure outranks any latency difference.
+        epoch = pool.begin_epoch()
+        epoch.observe("S2", 1, 1, False, 0.0)
+        pool.finish_epoch(epoch)
+        assert pool.begin_epoch().ranking == (0, 1)
+
+    def test_observations_fold_in_deterministic_order(self, tiny_db):
+        # The same observations in two arrival orders leave identical
+        # health state — completion order never leaks into routing.
+        obs = [("S1", 1, 0, True, 50.0), ("S2", 1, 0, True, 10.0),
+               ("S3", 1, 1, False, 0.0), ("S3", 2, 0, True, 30.0)]
+        pools = []
+        for ordering in (obs, list(reversed(obs))):
+            pool = self._pool(tiny_db)
+            epoch = pool.begin_epoch()
+            for entry in ordering:
+                epoch.observe(*entry)
+            pool.finish_epoch(epoch)
+            pools.append(pool)
+        first, second = pools
+        assert [h.ewma_latency_ms for h in first.health] == \
+               [h.ewma_latency_ms for h in second.health]
+        assert [h.consecutive_failures for h in first.health] == \
+               [h.consecutive_failures for h in second.health]
+
+    def test_breaker_denied_replica_ranks_last(self, tiny_db):
+        pool = self._pool(tiny_db)
+        for _ in range(pool.breaker.threshold):
+            pool.breaker.record_failure(0)
+        ranking = pool.begin_epoch().ranking
+        assert ranking[-1] == 0
+        assert ranking[:2] == (1, 2)
+
+
+# ---------------------------------------------------------------------------
+# Byte identity — the acceptance property
+
+
+class TestByteIdentity:
+    def test_replicated_faulted_run_matches_baseline(
+            self, tiny_db, tiny_estimator, baseline):
+        _, view = fresh_view(tiny_db, tiny_estimator)
+        result = view.materialize(
+            "fully-partitioned", replicas=3, hedge_ms=5.0,
+            faults=FaultPolicy(seed=7, error_rate=0.3),
+            retry=RetryPolicy(max_attempts=5),
+        )
+        assert result.xml == baseline.xml
+        assert result.report.query_ms == baseline.report.query_ms
+        assert result.report.transfer_ms == baseline.report.transfer_ms
+        assert result.report.faults_injected > 0
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        replicas=st.integers(min_value=2, max_value=4),
+        hedge_ms=st.sampled_from([None, 1.0, 5.0, 50.0]),
+        error_rate=st.sampled_from([0.0, 0.2, 0.5]),
+        seed=st.integers(min_value=0, max_value=40),
+        workers=st.sampled_from([None, 4]),
+    )
+    def test_acceptance_property(self, tiny_db, tiny_estimator, baseline,
+                                 replicas, hedge_ms, error_rate, seed,
+                                 workers):
+        """Any (replicas >= 2, hedge_ms, faults, workers) combination is
+        indistinguishable from the single-replica fault-free run."""
+        _, view = fresh_view(tiny_db, tiny_estimator)
+        result = view.materialize(
+            "fully-partitioned", replicas=replicas, hedge_ms=hedge_ms,
+            workers=workers,
+            faults=FaultPolicy(seed=seed, error_rate=error_rate),
+            retry=RetryPolicy(max_attempts=6),
+        )
+        assert result.xml == baseline.xml
+        assert result.report.query_ms == baseline.report.query_ms
+        assert result.report.transfer_ms == baseline.report.transfer_ms
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(seed=st.integers(min_value=0, max_value=30),
+           hedge_ms=st.sampled_from([None, 2.0, 20.0]))
+    def test_sequential_and_concurrent_agree_exactly(
+            self, tiny_db, tiny_estimator, seed, hedge_ms):
+        """Same seed, same pool shape: workers=1 and workers=4 report the
+        same attempts, faults, failovers, hedges, and elapsed charges."""
+        reports = []
+        for workers in (None, 4):
+            _, view = fresh_view(tiny_db, tiny_estimator)
+            result = view.materialize(
+                "fully-partitioned", replicas=3, hedge_ms=hedge_ms,
+                workers=workers,
+                faults=FaultPolicy(seed=seed, error_rate=0.35),
+                retry=RetryPolicy(max_attempts=6),
+            )
+            reports.append(result.report)
+        sequential, concurrent = reports
+        assert concurrent.attempts == sequential.attempts
+        assert concurrent.faults_injected == sequential.faults_injected
+        assert concurrent.failovers == sequential.failovers
+        assert concurrent.hedges == sequential.hedges
+        assert concurrent.hedge_wins == sequential.hedge_wins
+        assert concurrent.backoff_ms == sequential.backoff_ms
+        assert concurrent.hedge_wait_ms == sequential.hedge_wait_ms
+        per_stream = [
+            [(s.label, s.replica, s.attempts, s.failovers, s.hedges)
+             for s in r.streams]
+            for r in reports
+        ]
+        assert per_stream[0] == per_stream[1]
+
+    def test_single_replica_pool_matches_plain_connection(
+            self, tiny_db, tiny_estimator, baseline):
+        faults = FaultPolicy(seed=9, error_rate=0.4)
+        retry = RetryPolicy(max_attempts=5)
+        _, plain_view = fresh_view(tiny_db, tiny_estimator)
+        plain = plain_view.materialize(
+            "fully-partitioned", faults=faults, retry=retry,
+        )
+        connection, pooled_view = fresh_view(tiny_db, tiny_estimator)
+        pool = ReplicaPool(ReplicaSet([connection]))
+        pooled = pooled_view.materialize(
+            "fully-partitioned", replicas=pool, faults=faults, retry=retry,
+        )
+        assert pooled.xml == plain.xml == baseline.xml
+        assert pooled.report.attempts == plain.report.attempts
+        assert pooled.report.faults_injected == plain.report.faults_injected
+        assert pooled.report.backoff_ms == plain.report.backoff_ms
+        assert pooled.report.fault_latency_ms == plain.report.fault_latency_ms
+        assert pooled.report.failovers == 0 and pooled.report.hedges == 0
+
+
+# ---------------------------------------------------------------------------
+# Failover
+
+
+class TestFailover:
+    def test_hard_down_replica_is_routed_around(
+            self, tiny_db, tiny_estimator, baseline):
+        connection, view = fresh_view(tiny_db, tiny_estimator)
+        down = FaultPolicy(seed=1, error_rate=1.0)
+        ok = FaultPolicy(seed=2, error_rate=0.0)
+        pool = ReplicaPool(
+            ReplicaSet.from_connection(connection, 3, faults=[down, ok, ok])
+        )
+        result = view.materialize(
+            "fully-partitioned", replicas=pool,
+            retry=RetryPolicy(max_attempts=4),
+        )
+        assert result.xml == baseline.xml
+        assert result.report.query_ms == baseline.report.query_ms
+        report = result.report
+        assert report.failovers >= report.n_streams
+        assert all(s.replica in (1, 2) for s in report.streams)
+        # The pool learned: replica 0 accumulated only failures.
+        assert pool.health[0].failures > 0 and pool.health[0].successes == 0
+
+    def test_failover_needs_a_retry_budget(self, tiny_db, tiny_estimator):
+        from repro.common.errors import TransientConnectionError
+
+        connection, view = fresh_view(tiny_db, tiny_estimator)
+        pool = ReplicaPool(ReplicaSet.from_connection(
+            connection, 2,
+            faults=[FaultPolicy(seed=1, error_rate=1.0),
+                    FaultPolicy(seed=2, error_rate=0.0)],
+        ))
+        # Without a retry policy the first fault is terminal, exactly as
+        # on a single connection — and "fully-partitioned" degrades
+        # single-node streams by propagating the error.
+        with pytest.raises(TransientConnectionError):
+            view.materialize("fully-partitioned", replicas=pool)
+
+    def test_wraparound_charges_backoff(self, tiny_db, tiny_estimator,
+                                        baseline):
+        connection, view = fresh_view(tiny_db, tiny_estimator)
+        # S1 fails its first two attempts wherever they land, so with two
+        # replicas the round wraps (both tried) and the retry policy's
+        # backoff is charged before the third attempt succeeds.
+        down_everywhere = [
+            FaultPolicy(seed=i, fail_streams={"S1": 2}) for i in range(2)
+        ]
+        pool = ReplicaPool(ReplicaSet.from_connection(
+            connection, 2, faults=down_everywhere,
+        ))
+        result = view.materialize(
+            "fully-partitioned", replicas=pool,
+            retry=RetryPolicy(max_attempts=6, base_ms=100.0,
+                              multiplier=2.0, jitter=0.0),
+        )
+        assert result.xml == baseline.xml
+        [s1] = [s for s in result.report.streams if s.label == "S1"]
+        assert s1.attempts == 3 and s1.failovers == 2
+        # The wrap charged exactly the second-failure backoff (100 * 2).
+        assert s1.backoff_ms == 200.0
+        assert result.report.backoff_ms == 200.0
+
+
+# ---------------------------------------------------------------------------
+# Hedging
+
+
+class TestHedging:
+    def _slow_fast_pool(self, tiny_db, tiny_estimator, latency_ms=500.0):
+        connection, view = fresh_view(tiny_db, tiny_estimator)
+        slow = FaultPolicy(seed=3, error_rate=0.0, latency_ms=latency_ms)
+        fast = FaultPolicy(seed=4, error_rate=0.0)
+        pool = ReplicaPool(
+            ReplicaSet.from_connection(connection, 2, faults=[slow, fast])
+        )
+        return view, pool
+
+    def test_hedge_wins_against_slow_replica(self, tiny_db, tiny_estimator,
+                                             baseline):
+        view, pool = self._slow_fast_pool(tiny_db, tiny_estimator)
+        result = view.materialize(
+            "fully-partitioned", replicas=pool, hedge_ms=10.0,
+            retry=RetryPolicy(max_attempts=2),
+        )
+        report = result.report
+        assert result.xml == baseline.xml
+        assert report.query_ms == baseline.report.query_ms
+        assert report.hedges > 0 and report.hedge_wins > 0
+        # A winning hedge charges the trigger wait, not the slow attempt.
+        assert report.hedge_wait_ms == 10.0 * report.hedge_wins
+        assert all(
+            s.replica == 1 for s in report.streams if s.hedge_wins
+        )
+
+    def test_hedging_cuts_the_elapsed_makespan(self, tiny_db,
+                                               tiny_estimator):
+        view, pool = self._slow_fast_pool(tiny_db, tiny_estimator)
+        hedged = view.materialize(
+            "fully-partitioned", replicas=pool, hedge_ms=10.0,
+            retry=RetryPolicy(max_attempts=2),
+        )
+        view, pool = self._slow_fast_pool(tiny_db, tiny_estimator)
+        unhedged = view.materialize(
+            "fully-partitioned", replicas=pool,
+            retry=RetryPolicy(max_attempts=2),
+        )
+        assert hedged.xml == unhedged.xml
+        assert (hedged.report.elapsed_total_ms
+                < unhedged.report.elapsed_total_ms)
+
+    def test_losing_hedge_charges_nothing(self, tiny_db, tiny_estimator,
+                                          baseline):
+        # With a huge trigger relative to the injected latency spread, the
+        # backup can never beat hedge_ms + its own cost: hedges fire but
+        # never win, and the report charges no hedge wait.
+        connection, view = fresh_view(tiny_db, tiny_estimator)
+        pool = ReplicaPool(ReplicaSet.from_connection(
+            connection, 2,
+            faults=[FaultPolicy(seed=5, latency_ms=10.0),
+                    FaultPolicy(seed=6, latency_ms=10.0)],
+        ))
+        result = view.materialize(
+            "fully-partitioned", replicas=pool, hedge_ms=0.5,
+            retry=RetryPolicy(max_attempts=2),
+        )
+        report = result.report
+        assert result.xml == baseline.xml
+        assert report.hedges > 0
+        losers = [s for s in report.streams if s.hedges and not s.hedge_wins]
+        assert losers
+        assert all(s.hedge_wait_ms == 0.0 for s in losers)
+        # server_ms is never double-counted, win or lose.
+        assert report.query_ms == baseline.report.query_ms
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+
+
+class TestAdmission:
+    def test_queue_overflow_is_refused_up_front(self, tiny_db,
+                                                tiny_estimator):
+        _, view = fresh_view(tiny_db, tiny_estimator)
+        controller = AdmissionController(AdmissionPolicy(
+            max_concurrent_streams=2, max_queued_streams=3,
+        ))
+        with pytest.raises(OverloadError) as info:
+            view.materialize("fully-partitioned", max_concurrent=controller)
+        exc = info.value
+        assert isinstance(exc, ExecutionError)
+        assert exc.reason == "queue"
+        assert len(exc.shed) == 10
+        assert controller.shed == 10 and controller.admitted == 0
+        # The partial report shows nothing ran.
+        assert exc.report is not None and exc.report.n_streams == 0
+
+    def test_deadline_sheds_late_streams(self, tiny_db, tiny_estimator):
+        _, view = fresh_view(tiny_db, tiny_estimator)
+        controller = AdmissionController(AdmissionPolicy(
+            max_concurrent_streams=2, deadline_ms=50.0,
+        ))
+        with pytest.raises(OverloadError) as info:
+            view.materialize("fully-partitioned", max_concurrent=controller)
+        exc = info.value
+        assert exc.reason == "deadline"
+        assert 0 < len(exc.shed) < 10
+        report = exc.report
+        assert report.n_streams == 10 - len(exc.shed)
+        assert report.shed_streams == exc.shed
+
+    def test_deadline_shedding_is_deterministic(self, tiny_db,
+                                                tiny_estimator):
+        def shed_with(workers):
+            _, view = fresh_view(tiny_db, tiny_estimator)
+            with pytest.raises(OverloadError) as info:
+                view.materialize(
+                    "fully-partitioned", workers=workers,
+                    max_concurrent=AdmissionController(AdmissionPolicy(
+                        max_concurrent_streams=2, deadline_ms=50.0,
+                    )),
+                )
+            return info.value.shed
+
+        # The shed set is a function of the simulated schedule, not of
+        # thread timing: identical across repeated threaded runs.
+        assert shed_with(4) == shed_with(4)
+        assert shed_with(None) == shed_with(None)
+        # A wider (clamped to 2) schedule starts streams earlier than the
+        # sequential one, so it never sheds more.
+        assert len(shed_with(4)) <= len(shed_with(None))
+
+    def test_light_load_sheds_nothing(self, tiny_db, tiny_estimator,
+                                      baseline):
+        _, view = fresh_view(tiny_db, tiny_estimator)
+        result = view.materialize(
+            "fully-partitioned", max_concurrent=4, workers=8,
+        )
+        assert result.xml == baseline.xml
+        assert result.report.shed_streams == ()
+
+    def test_workers_clamped_to_admission_limit(self, tiny_db,
+                                                tiny_estimator, baseline):
+        # The elapsed makespan reflects the clamped width, not the
+        # requested one.
+        _, view = fresh_view(tiny_db, tiny_estimator)
+        wide = view.materialize("fully-partitioned", workers=8)
+        _, view = fresh_view(tiny_db, tiny_estimator)
+        clamped = view.materialize(
+            "fully-partitioned", workers=8, max_concurrent=1,
+        )
+        assert clamped.xml == wide.xml == baseline.xml
+        assert clamped.report.elapsed_total_ms > wide.report.elapsed_total_ms
+
+    def test_options_bundle_carries_the_knobs(self, tiny_db, tiny_estimator,
+                                              baseline):
+        _, view = fresh_view(tiny_db, tiny_estimator)
+        opts = ExecutionOptions(
+            replicas=2, hedge_ms=25.0, max_concurrent=4,
+            faults=FaultPolicy(seed=11, error_rate=0.2),
+            retry=RetryPolicy(max_attempts=4),
+        )
+        result = view.materialize("fully-partitioned", options=opts)
+        assert result.xml == baseline.xml
+
+
+# ---------------------------------------------------------------------------
+# Sweep integration
+
+
+class TestSweepReplicas:
+    def test_sweep_with_replicas_times_identically(self, q1_tree, tiny_db):
+        partitions = [unified_partition(q1_tree),
+                      fully_partitioned(q1_tree)]
+        clean = sweep_partitions(
+            q1_tree, tiny_db.schema, Connection(tiny_db, CostModel()),
+            partitions=partitions, cache=False,
+        )
+        replicated = sweep_partitions(
+            q1_tree, tiny_db.schema, Connection(tiny_db, CostModel()),
+            partitions=partitions, cache=False,
+            replicas=3, hedge_ms=5.0,
+            faults=FaultPolicy(seed=5, error_rate=0.3),
+            retry=RetryPolicy(max_attempts=5),
+        )
+        assert [t.query_ms for t in replicated.timings] == \
+               [t.query_ms for t in clean.timings]
+        assert [t.transfer_ms for t in replicated.timings] == \
+               [t.transfer_ms for t in clean.timings]
+
+    def test_sweep_sheds_over_capacity_plans(self, q1_tree, tiny_db):
+        result = sweep_partitions(
+            q1_tree, tiny_db.schema, Connection(tiny_db, CostModel()),
+            partitions=[unified_partition(q1_tree),
+                        fully_partitioned(q1_tree)],
+            cache=False,
+            max_concurrent=AdmissionPolicy(
+                max_concurrent_streams=2, max_queued_streams=3,
+            ),
+        )
+        # The unified plan (1 stream) fits; the 10-stream plan is shed.
+        assert len(result.completed()) == 1
+        assert len(result.shed()) == 1
+        timing = result.shed()[0]
+        assert timing.shed and timing.total_ms is None
+
+
+# ---------------------------------------------------------------------------
+# Exports
+
+
+class TestExports:
+    def test_top_level_reexports(self):
+        import repro
+
+        for name in ("OverloadError", "ReplicaSet", "ReplicaPool",
+                     "AdmissionPolicy", "AdmissionController"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+        assert issubclass(repro.OverloadError, repro.ExecutionError)
+        assert issubclass(repro.OverloadError, repro.ReproError)
