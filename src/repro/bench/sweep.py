@@ -117,7 +117,7 @@ def run_single_partition(tree, schema, connection, partition,
                          budget_ms=None, generator=None, stream_workers=None,
                          retry=None, faults=None, obs=None, span_parent=None,
                          pool=None, hedge_ms=None, admission=None,
-                         epoch=None):
+                         epoch=None, engine=None, batch_size=None):
     """Execute one plan; returns a :class:`PlanTiming`.
 
     Pass a prebuilt ``generator`` (one per sweep) to reuse its memoized
@@ -143,7 +143,7 @@ def run_single_partition(tree, schema, connection, partition,
         timing = _run_single(
             tree, schema, connection, partition, generator, budget_ms,
             stream_workers, retry, faults, obs, pool, hedge_ms, admission,
-            epoch,
+            epoch, engine, batch_size,
         )
         partition_span.set(n_streams=timing.n_streams)
         if timing.timed_out:
@@ -159,12 +159,13 @@ def run_single_partition(tree, schema, connection, partition,
 
 def _run_single(tree, schema, connection, partition, generator, budget_ms,
                 stream_workers, retry, faults, obs, pool=None, hedge_ms=None,
-                admission=None, epoch=None):
+                admission=None, epoch=None, engine=None, batch_size=None):
     specs = generator.streams_for_partition(partition)
     result = execute_specs(
         connection, specs, budget_ms=budget_ms, workers=stream_workers,
         retry=retry, faults=faults, obs=obs, pool=pool, hedge_ms=hedge_ms,
-        admission=admission, epoch=epoch,
+        admission=admission, epoch=epoch, engine=engine,
+        batch_size=batch_size,
     )
     all_stats = list(result.stats)
     failure_stats = getattr(result.failure, "stats", None)
@@ -207,7 +208,7 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
                      progress=None, cache=True, workers=UNSET,
                      stream_workers=None, retry=UNSET, faults=UNSET,
                      replicas=UNSET, hedge_ms=UNSET, max_concurrent=UNSET,
-                     options=None):
+                     engine=UNSET, batch_size=UNSET, options=None):
     """Execute every plan (or the given ``partitions``); returns a
     :class:`SweepResult`.
 
@@ -249,6 +250,7 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
         options, defaults={"reduce": False}, style=style, reduce=reduce,
         budget_ms=budget_ms, workers=workers, retry=retry, faults=faults,
         replicas=replicas, hedge_ms=hedge_ms, max_concurrent=max_concurrent,
+        engine=engine, batch_size=batch_size,
     )
     style, reduce = opts.style, opts.reduce
     budget_ms, workers = opts.budget_ms, opts.workers
@@ -259,14 +261,16 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
         tree, schema, style=style, reduce=reduce, keep=opts.keep,
         tracer=tracer,
     )
-    engine = connection.engine
-    previous = engine.cache
+    query_engine = connection.engine
+    previous = query_engine.cache
     if cache is True:
         # The sweep's historical True semantics: reuse the cache already
         # installed on the engine, else install a fresh one for the sweep.
-        engine.cache = previous if previous is not None else PlanResultCache()
+        query_engine.cache = (
+            previous if previous is not None else PlanResultCache()
+        )
     else:
-        engine.cache = resolve_cache(cache)
+        query_engine.cache = resolve_cache(cache)
     # Resolved after the cache swap so a freshly built replica set shares
     # the cache the sweep actually runs under.
     replica_pool = resolve_pool(opts.replicas, connection)
@@ -290,6 +294,7 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
                     retry=opts.retry, faults=opts.faults, obs=opts.obs,
                     span_parent=parent, pool=replica_pool,
                     hedge_ms=opts.hedge_ms, admission=admission, epoch=epoch,
+                    engine=opts.engine, batch_size=opts.batch_size,
                 )
 
             timings = []
@@ -310,13 +315,16 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
             )
             sweep_span.set(completed=completed)
         metrics.inc("sweep.plans", len(partitions))
-        stats = engine.cache.stats() if engine.cache is not None else None
-        if engine.cache is not None and metrics.enabled:
-            engine.cache.publish(metrics)
+        stats = (
+            query_engine.cache.stats()
+            if query_engine.cache is not None else None
+        )
+        if query_engine.cache is not None and metrics.enabled:
+            query_engine.cache.publish(metrics)
     finally:
         if replica_pool is not None:
             replica_pool.finish_epoch(epoch)
-        engine.cache = previous
+        query_engine.cache = previous
     return SweepResult(
         timings=timings, style=style, reduced=reduce, cache_stats=stats
     )

@@ -96,6 +96,8 @@ def _execution_options(args, default_budget_ms=None, obs=None):
         replicas=args.replicas,
         hedge_ms=args.hedge_ms,
         max_concurrent=args.max_concurrent,
+        engine=getattr(args, "engine", None),
+        batch_size=getattr(args, "batch_size", None),
     )
 
 
@@ -145,6 +147,12 @@ def build_parser():
                             "a stream exceeds this simulated latency")
         p.add_argument("--max-concurrent", type=_positive_int, default=None,
                        help="admission-control cap on concurrent streams")
+        p.add_argument("--engine", choices=["batch", "tuple"], default=None,
+                       help="plan execution mode: vectorized batch kernels "
+                            "or the row-at-a-time interpreter (results and "
+                            "simulated timings are identical)")
+        p.add_argument("--batch-size", type=_positive_int, default=None,
+                       help="rows per chunk in the batch engine's kernels")
         p.add_argument("--metrics", action="store_true",
                        help="print observability counters as JSON afterwards")
 

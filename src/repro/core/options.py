@@ -65,6 +65,13 @@ class ExecutionOptions:
     :class:`~repro.relational.replicas.AdmissionPolicy`, or an
     :class:`~repro.relational.replicas.AdmissionController`).
 
+    The execution-engine knobs are pure performance switches — results,
+    simulated timings, and cache entries are identical either way:
+    ``engine`` selects row-at-a-time (``"tuple"``) or vectorized columnar
+    (``"batch"``) plan evaluation, and ``batch_size`` the chunk size of
+    the batch kernels.  ``None`` (the default) defers to the connection's
+    :class:`~repro.relational.engine.QueryEngine` defaults.
+
     Hashable as long as its fields are, so it can key plan caches
     (``ObsOptions`` hashes by identity).
     """
@@ -80,6 +87,8 @@ class ExecutionOptions:
     replicas: object = None
     hedge_ms: float = None
     max_concurrent: object = None
+    engine: str = None
+    batch_size: int = None
 
     def __post_init__(self):
         object.__setattr__(self, "keep", tuple(self.keep))

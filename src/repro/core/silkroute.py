@@ -271,7 +271,8 @@ class XmlView:
     def execute_partition(self, partition, style=UNSET, reduce=UNSET,
                           budget_ms=UNSET, workers=UNSET, retry=UNSET,
                           faults=UNSET, replicas=UNSET, hedge_ms=UNSET,
-                          max_concurrent=UNSET, options=None):
+                          max_concurrent=UNSET, engine=UNSET,
+                          batch_size=UNSET, options=None):
         """Execute one plan; returns ``(specs, streams, report)``.
 
         A subquery exceeding ``budget_ms`` (simulated server time) marks the
@@ -314,7 +315,8 @@ class XmlView:
             options, defaults={"reduce": False}, style=style, reduce=reduce,
             budget_ms=budget_ms, workers=workers, retry=retry, faults=faults,
             replicas=replicas, hedge_ms=hedge_ms,
-            max_concurrent=max_concurrent,
+            max_concurrent=max_concurrent, engine=engine,
+            batch_size=batch_size,
         )
         opts = self._resolve_resilience(opts)
         tracer, _ = obs_parts(opts.obs)
@@ -414,6 +416,7 @@ class XmlView:
                     obs=opts.obs, pool=pool, hedge_ms=opts.hedge_ms,
                     admission=admission,
                     admission_elapsed_ms=elapsed_rounds_ms,
+                    engine=opts.engine, batch_size=opts.batch_size,
                 )
                 completed = len(result.streams)
                 done_specs.extend(spec for spec, _ in pending[:completed])
@@ -622,7 +625,8 @@ class XmlView:
                     root_tag="view", indent=None, budget_ms=UNSET,
                     greedy_params=None, workers=UNSET, retry=UNSET,
                     faults=UNSET, replicas=UNSET, hedge_ms=UNSET,
-                    max_concurrent=UNSET, options=None):
+                    max_concurrent=UNSET, engine=UNSET, batch_size=UNSET,
+                    options=None):
         """Materialize the view as XML.
 
         Without an explicit ``partition``, the greedy algorithm chooses the
@@ -655,6 +659,7 @@ class XmlView:
             options, style=style, reduce=reduce, budget_ms=budget_ms,
             workers=workers, retry=retry, faults=faults, replicas=replicas,
             hedge_ms=hedge_ms, max_concurrent=max_concurrent,
+            engine=engine, batch_size=batch_size,
         )
         tracer, _ = obs_parts(opts.obs)
         with tracer.span("materialize") as root_span:
@@ -680,7 +685,8 @@ class XmlView:
     def materialize_to(self, sink, partition=None, style=UNSET, reduce=UNSET,
                        root_tag="view", indent=None, budget_ms=UNSET,
                        greedy_params=None, faults=UNSET, replicas=UNSET,
-                       max_concurrent=UNSET, options=None):
+                       max_concurrent=UNSET, engine=UNSET, batch_size=UNSET,
+                       options=None):
         """Stream the view's XML into a file-like ``sink`` in bounded memory.
 
         The full pipeline runs lazily: each subquery executes through the
@@ -717,6 +723,7 @@ class XmlView:
         opts = resolve_options(
             options, style=style, reduce=reduce, budget_ms=budget_ms,
             faults=faults, replicas=replicas, max_concurrent=max_concurrent,
+            engine=engine, batch_size=batch_size,
         )
         opts = self._resolve_resilience(opts)
         tracer, _ = obs_parts(opts.obs)
@@ -776,6 +783,8 @@ class XmlView:
                                 label=spec.label,
                                 faults=cursor_faults,
                                 obs=opts.obs,
+                                engine=opts.engine,
+                                batch_size=opts.batch_size,
                             )
                         )
                 _, tagger = tag_streams(

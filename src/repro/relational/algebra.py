@@ -177,6 +177,104 @@ def _eval_expr(expr, row, positions):
     raise QueryError(f"unsupported expression {expr!r}")
 
 
+# Python spellings of the SQL comparison operators, for predicate
+# compilation.  Only these whitelisted tokens ever reach the generated
+# source; operand positions are integers and constants are bound as
+# closure parameters, never interpolated into the source text.
+_PY_COMPARISON_OPS = {
+    "=": "==",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+
+def _comparison_source(comparison, positions, var, consts):
+    """Python source for one :class:`Comparison` over row variable ``var``.
+
+    NULL guards reproduce :meth:`Comparison.evaluate`'s three-valued
+    logic: a NULL operand makes the predicate false, for ``!=`` too.
+    """
+    if not isinstance(comparison, Comparison):
+        raise QueryError(f"cannot compile conjunct {comparison!r}")
+
+    def operand(side):
+        if isinstance(side, ColumnRef):
+            try:
+                return f"{var}[{positions[side.name]:d}]", True
+            except KeyError:
+                raise QueryError(
+                    f"unknown column {side.name!r} in predicate"
+                ) from None
+        if isinstance(side, Literal):
+            if side.value is None:
+                return None, False
+            name = f"_k{len(consts)}"
+            consts[name] = side.value
+            return name, False
+        raise QueryError(f"unsupported expression {side!r}")
+
+    left, left_is_col = operand(comparison.left)
+    right, right_is_col = operand(comparison.right)
+    if left is None or right is None:
+        return "False"  # a NULL literal operand can never match
+    parts = []
+    if left_is_col:
+        parts.append(f"{left} is not None")
+    if right_is_col:
+        parts.append(f"{right} is not None")
+    parts.append(f"{left} {_PY_COMPARISON_OPS[comparison.op]} {right}")
+    return "(" + " and ".join(parts) + ")"
+
+
+def predicate_source(predicate, positions, var="row"):
+    """Compile ``predicate`` to Python source over row variable ``var``.
+
+    Returns ``(condition, consts)`` where ``condition`` is a boolean
+    expression and ``consts`` maps parameter names to the literal values
+    the expression references.  Raises :class:`QueryError` for predicate
+    shapes the compiler does not handle (callers fall back to
+    :meth:`Comparison.evaluate`).
+    """
+    consts = {}
+    if isinstance(predicate, And):
+        if not predicate.conjuncts:
+            return "True", consts
+        condition = " and ".join(
+            _comparison_source(c, positions, var, consts)
+            for c in predicate.conjuncts
+        )
+    else:
+        condition = _comparison_source(predicate, positions, var, consts)
+    return condition, consts
+
+
+def compile_source(source, consts):
+    """Evaluate compiler-generated ``source`` with ``consts`` bound as
+    closure parameters (no builtins are exposed to the evaluated code)."""
+    if consts:
+        params = ", ".join(consts)
+        return eval(  # noqa: S307 - compiler-built source, whitelisted ops
+            f"lambda {params}: {source}", {"__builtins__": {}}
+        )(**consts)
+    return eval(source, {"__builtins__": {}})  # noqa: S307
+
+
+def compile_predicate(predicate, positions):
+    """Compile an :class:`And`/:class:`Comparison` to a ``row -> bool``
+    closure, hoisting the per-row ``_eval_expr`` dispatch and positions
+    lookups out of the filter loop.  Semantically identical to
+    ``predicate.evaluate(row, positions)``; unsupported shapes fall back
+    to exactly that call."""
+    try:
+        condition, consts = predicate_source(predicate, positions, var="row")
+    except QueryError:
+        return lambda row: predicate.evaluate(row, positions)
+    return compile_source(f"lambda row: {condition}", consts)
+
+
 # ---------------------------------------------------------------------------
 # Operators
 # ---------------------------------------------------------------------------
@@ -205,6 +303,20 @@ class Operator:
         return cached
 
     def fingerprint(self):
+        """Structural fingerprint (a hashable tuple); cached per instance.
+
+        Plans are immutable once built, and fingerprints key the engine's
+        common-subexpression memo, the result cache, and the compiled-
+        kernel cache on every execution — caching avoids rebuilding the
+        recursive tuple each time.
+        """
+        cached = getattr(self, "_fp", None)
+        if cached is None:
+            cached = self._fingerprint()
+            self._fp = cached
+        return cached
+
+    def _fingerprint(self):
         raise NotImplementedError
 
 
@@ -227,7 +339,7 @@ class Scan(Operator):
     def columns(self):
         return self._cols
 
-    def fingerprint(self):
+    def _fingerprint(self):
         return ("scan", self.table_schema.name, self.alias)
 
     def __repr__(self):
@@ -252,7 +364,7 @@ class Filter(Operator):
     def children(self):
         return (self.child,)
 
-    def fingerprint(self):
+    def _fingerprint(self):
         return ("filter", self.predicate.fingerprint(), self.child.fingerprint())
 
     def __repr__(self):
@@ -318,7 +430,7 @@ class Project(Operator):
     def children(self):
         return (self.child,)
 
-    def fingerprint(self):
+    def _fingerprint(self):
         return (
             "project",
             tuple((i.name, i.expr.fingerprint()) for i in self.items),
@@ -342,7 +454,7 @@ class Distinct(Operator):
     def children(self):
         return (self.child,)
 
-    def fingerprint(self):
+    def _fingerprint(self):
         return ("distinct", self.child.fingerprint())
 
     def __repr__(self):
@@ -373,7 +485,7 @@ class InnerJoin(Operator):
     def children(self):
         return (self.left, self.right)
 
-    def fingerprint(self):
+    def _fingerprint(self):
         return (
             "join",
             self.equalities,
@@ -435,7 +547,7 @@ class LeftOuterJoin(Operator):
     def children(self):
         return (self.left, self.right)
 
-    def fingerprint(self):
+    def _fingerprint(self):
         return (
             "louter",
             tuple(
@@ -480,7 +592,7 @@ class OuterUnion(Operator):
     def children(self):
         return self.inputs
 
-    def fingerprint(self):
+    def _fingerprint(self):
         return ("ounion", self.distinct) + tuple(
             c.fingerprint() for c in self.inputs
         )
@@ -507,7 +619,7 @@ class Sort(Operator):
     def children(self):
         return (self.child,)
 
-    def fingerprint(self):
+    def _fingerprint(self):
         return ("sort", self.keys, self.child.fingerprint())
 
     def __repr__(self):

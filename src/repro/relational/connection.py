@@ -209,10 +209,11 @@ class Connection:
     """
 
     def __init__(self, database, cost_model, transfer_model=None, cache=None,
-                 faults=None):
+                 faults=None, engine="batch", batch_size=None):
         self.database = database
         self.engine = QueryEngine(database, cost_model,
-                                  cache=resolve_cache(cache))
+                                  cache=resolve_cache(cache),
+                                  engine=engine, batch_size=batch_size)
         self.transfer_model = transfer_model or TransferModel()
         self.faults = faults
 
@@ -264,12 +265,15 @@ class Connection:
         return self.execute(plan, sql=text, label=label, budget_ms=budget_ms)
 
     def execute(self, plan, compact_rows=False, budget_ms=None, sql=None,
-                label=None, attempt=1, faults=None, obs=None):
+                label=None, attempt=1, faults=None, obs=None,
+                engine=None, batch_size=None):
         """Execute ``plan`` and return a :class:`TupleStream`.
 
         ``compact_rows`` marks union-shaped results whose driver-side row
         format skips NULL columns (see module docstring).  ``budget_ms``
         bounds *server* time (the paper's per-subquery timeout).
+        ``engine``/``batch_size`` override the engine's execution mode for
+        this call (performance only; results and timings are identical).
 
         With a :class:`~repro.relational.faults.FaultPolicy` installed (or
         passed via ``faults``), the submission first draws that policy's
@@ -285,7 +289,8 @@ class Connection:
         latency_ms = self._fault_check(plan, label, attempt, faults)
         metrics = obs_parts(obs)[1] if obs is not None else None
         result = self.engine.execute(plan, budget_ms=budget_ms,
-                                     metrics=metrics)
+                                     metrics=metrics, engine=engine,
+                                     batch_size=batch_size)
         transfer_ms = self._transfer_cost(result.columns, result.rows, compact_rows)
         stream = TupleStream(
             columns=result.columns,
@@ -299,7 +304,8 @@ class Connection:
         return stream
 
     def execute_iter(self, plan, compact_rows=False, budget_ms=None, sql=None,
-                     label=None, attempt=1, faults=None, obs=None):
+                     label=None, attempt=1, faults=None, obs=None,
+                     engine=None, batch_size=None):
         """Execute ``plan`` streaming; return a :class:`TupleCursor`.
 
         An installed :class:`~repro.relational.faults.FaultPolicy` draws
@@ -323,7 +329,9 @@ class Connection:
         metrics = obs_parts(obs)[1] if obs is not None else None
         try:
             iter_result = self.engine.execute_iter(plan, budget_ms=budget_ms,
-                                                   metrics=metrics)
+                                                   metrics=metrics,
+                                                   engine=engine,
+                                                   batch_size=batch_size)
         except TimeoutExceeded as exc:
             # The startup charge alone blew the budget — the cursor was
             # never built, so label the error here.

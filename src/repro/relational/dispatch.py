@@ -103,7 +103,8 @@ class DispatchResult:
 
 def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
                         faults=None, breaker=None, obs=None, pool=None,
-                        epoch=None, hedge_ms=None):
+                        epoch=None, hedge_ms=None, engine=None,
+                        batch_size=None):
     """Execute one spec under the retry/backoff/breaker regime; return
     ``(stream, stats)``.
 
@@ -145,6 +146,7 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
             return pool.run_spec(
                 spec, epoch, budget_ms=budget_ms, retry=retry,
                 breaker=breaker, faults=faults, obs=obs, hedge_ms=hedge_ms,
+                engine=engine, batch_size=batch_size,
             )
         finally:
             if own_epoch:
@@ -166,6 +168,7 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
             stream = connection.execute(
                 spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
                 sql=spec.sql, label=spec.label, faults=False, obs=obs,
+                engine=engine, batch_size=batch_size,
             )
         return stream, stats
     max_attempts = retry.max_attempts if retry is not None else 1
@@ -181,6 +184,7 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
                 spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
                 sql=spec.sql, label=spec.label, attempt=stats.attempts,
                 faults=policy if policy is not None else False, obs=obs,
+                engine=engine, batch_size=batch_size,
             )
             stats.fault_latency_ms += stream.fault_latency_ms
             if breaker is not None:
@@ -220,7 +224,7 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
 def execute_specs(connection, specs, budget_ms=None, workers=None,
                   retry=None, faults=None, breaker=None, obs=None,
                   pool=None, hedge_ms=None, admission=None, epoch=None,
-                  admission_elapsed_ms=0.0):
+                  admission_elapsed_ms=0.0, engine=None, batch_size=None):
     """Execute every :class:`~repro.core.sqlgen.StreamSpec`'s plan; return
     a :class:`DispatchResult` (unpacks as the ``(streams, timeout)``
     pair).
@@ -285,6 +289,7 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
                 connection, spec, budget_ms=budget_ms, retry=retry,
                 faults=faults, breaker=breaker, obs=obs,
                 pool=pool, epoch=epoch, hedge_ms=hedge_ms,
+                engine=engine, batch_size=batch_size,
             )
             span.set(
                 rows=len(stream), attempts=stats.attempts,

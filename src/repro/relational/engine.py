@@ -36,9 +36,11 @@ from operator import itemgetter
 
 from repro.common.errors import ExecutionError, TimeoutExceeded
 from repro.common.ordering import NoneFirst, sort_key
-from repro.relational import algebra
+from repro.relational import algebra, vector_ops
+from repro.relational.batch import DEFAULT_BATCH_SIZE
 from repro.relational.cache import CacheEntry
 from repro.relational.types import width_function
+from repro.relational.vector_ops import _key_plan, _hash_index  # noqa: F401
 from repro.relational.algebra import (
     Scan,
     Filter,
@@ -197,6 +199,9 @@ class _Charges:
         self.memo = {}
         self.memo_hits = 0
         self.log = None
+        #: Per-operator-label chunk counts (batch engine only; published as
+        #: ``batch.<label>.batches`` metrics).  Never affects ``total_ms``.
+        self.batches = {}
 
     def charge(self, label, ms, rows=0):
         ms = self.model.scaled(ms)
@@ -221,15 +226,83 @@ class _Charges:
                 raise TimeoutExceeded(self.budget_ms, self.total_ms)
 
 
-class QueryEngine:
-    """Executes algebra plans over a :class:`repro.relational.database.Database`."""
+#: Recognized values for the ``engine=`` execution knob.
+ENGINE_MODES = ("batch", "tuple")
 
-    def __init__(self, database, cost_model=None, cache=None):
+
+class QueryEngine:
+    """Executes algebra plans over a :class:`repro.relational.database.Database`.
+
+    Two interchangeable execution modes produce byte-identical results,
+    charge logs, and cache entries:
+
+    * ``"batch"`` (the default) — plans are lowered once per (plan,
+      batch size) into vectorized kernels
+      (:mod:`repro.relational.vector_ops`) that process columnar
+      :class:`~repro.relational.batch.Batch` chunks;
+    * ``"tuple"`` — the original row-at-a-time interpreter, also backing
+      the constant-memory streaming path of :meth:`execute_iter`.
+
+    ``engine``/``batch_size`` set the defaults; both can be overridden per
+    call.  Because results, simulated timings, and cache keys are
+    identical, modes may be mixed freely against a shared cache.
+    """
+
+    def __init__(self, database, cost_model=None, cache=None,
+                 engine="batch", batch_size=None):
         self.database = database
         self.cost_model = cost_model or CostModel()
         #: Optional :class:`~repro.relational.cache.PlanResultCache` shared
         #: *across* execute calls (and across engines, if desired).
         self.cache = cache
+        if engine not in ENGINE_MODES:
+            raise ValueError(f"unknown engine mode {engine!r}")
+        self.default_engine = engine
+        self.default_batch_size = batch_size or DEFAULT_BATCH_SIZE
+        #: Compiled plans keyed by (plan fingerprint, batch size).  Plans
+        #: recur across sweep partitions, so compilation amortizes to zero.
+        self._compiled = {}
+        #: Cached row-width estimates keyed by (plan fingerprint, database
+        #: cache key): byte estimates never re-scan rows for a plan the
+        #: current database generation has already sized.
+        self._row_bytes = {}
+        #: Batch-engine node-result cache: sub-plan fingerprint -> computed
+        #: Batch, valid for one database generation (cleared on change).
+        #: Sweep partitions share most of their sub-plans, so each distinct
+        #: sub-tree's rows are materialized once per generation; every
+        #: later execution re-runs only the charge accounting over the
+        #: shared immutable batches.
+        self._node_results = {}
+        self._node_generation = None
+
+    def _engine_mode(self, engine):
+        mode = engine or self.default_engine
+        if mode not in ENGINE_MODES:
+            raise ValueError(f"unknown engine mode {mode!r}")
+        return mode
+
+    def _compiled_for(self, plan, batch_size):
+        key = (plan.fingerprint(), batch_size)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            if len(self._compiled) >= 512:
+                self._compiled.pop(next(iter(self._compiled)))
+            compiled = vector_ops.compile_plan(plan, self, batch_size)
+            self._compiled[key] = compiled
+        return compiled
+
+    def _row_bytes_for(self, fingerprint, columns, rows):
+        """Average row width for ``rows`` (the output of the plan with
+        ``fingerprint``), cached per database generation.  Both engines —
+        and the byte estimator — share one entry, so estimates agree and
+        each plan's rows are sampled at most once per generation."""
+        key = (fingerprint, self.database.cache_key())
+        cache = self._row_bytes
+        if key not in cache:
+            if len(cache) >= 4096:
+                cache.pop(next(iter(cache)))
+            cache[key] = self._average_row_bytes(columns, rows)
+        return cache[key]
 
     def cache_key_for(self, plan, include_startup=True):
         """The :attr:`cache` key identifying ``plan`` on this engine."""
@@ -252,12 +325,17 @@ class QueryEngine:
         return entry is not None and entry.complete
 
     def execute(self, plan, budget_ms=None, include_startup=True,
-                metrics=None):
+                metrics=None, engine=None, batch_size=None):
         """Run ``plan``; return an :class:`ExecutionResult`.
 
         ``budget_ms`` is a simulated-time budget (the paper's 5-minute
         per-subquery timeout); exceeding it raises
         :class:`~repro.common.errors.TimeoutExceeded`.
+
+        ``engine`` selects the execution mode (``"batch"`` or ``"tuple"``,
+        default :attr:`default_engine`) and ``batch_size`` the chunk size
+        of the batch kernels — performance knobs only: results, charge
+        logs, and cache entries are identical in every mode.
 
         With a :attr:`cache` installed, a plan already executed against the
         current database generation is *replayed* instead of re-evaluated:
@@ -271,12 +349,38 @@ class QueryEngine:
         ``plan_cache.misses`` (evaluated fresh, including single-flight
         leaders); executions with no cache installed count neither.
         """
+        mode = self._engine_mode(engine)
         charges = _Charges(self.cost_model, budget_ms)
         if include_startup:
             charges.charge("startup", self.cost_model.startup_ms)
+        return self._execute_cached(
+            plan, charges, include_startup, metrics, mode,
+            batch_size or self.default_batch_size,
+        )
+
+    def _evaluate(self, plan, charges, mode, batch_size, metrics):
+        """Evaluate ``plan`` fresh in ``mode``; return the result rows."""
+        if mode == "tuple":
+            return self._eval(plan, charges)
+        generation = self.database.cache_key()
+        if generation != self._node_generation:
+            self._node_results.clear()
+            self._node_generation = generation
+        compiled = self._compiled_for(plan, batch_size)
+        batch = compiled.run(charges)
+        if metrics is not None and charges.batches:
+            for label, count in charges.batches.items():
+                metrics.inc(f"batch.{label}.batches", count)
+        return batch.rows(batch_size)
+
+    def _execute_cached(self, plan, charges, include_startup, metrics,
+                        mode, batch_size):
+        """The cache-aware evaluation core shared by :meth:`execute` and
+        the batch mode of :meth:`execute_iter` (``charges`` already holds
+        the startup charge when applicable)."""
         cache = self.cache
         if cache is None:
-            rows = self._eval(plan, charges)
+            rows = self._evaluate(plan, charges, mode, batch_size, metrics)
             return self._result(plan, rows, charges)
         # ``include_startup`` is part of the key: some charges (the
         # outer-join re-evaluation penalty) are measured as running-total
@@ -285,7 +389,7 @@ class QueryEngine:
         key = self.cache_key_for(plan, include_startup)
         while True:
             entry = cache.lookup(
-                key, spent_ms=charges.total_ms, budget_ms=budget_ms
+                key, spent_ms=charges.total_ms, budget_ms=charges.budget_ms
             )
             if entry is not None:
                 if metrics is not None:
@@ -305,7 +409,8 @@ class QueryEngine:
         try:
             charges.log = []
             try:
-                rows = self._eval(plan, charges)
+                rows = self._evaluate(plan, charges, mode, batch_size,
+                                      metrics)
             except TimeoutExceeded:
                 cache.store(
                     key,
@@ -331,8 +436,16 @@ class QueryEngine:
         return self._result(plan, rows, charges)
 
     def execute_iter(self, plan, budget_ms=None, include_startup=True,
-                     metrics=None):
+                     metrics=None, engine=None, batch_size=None):
         """Run ``plan`` Volcano-style; return an :class:`IterResult`.
+
+        The streaming default is the ``"tuple"`` engine regardless of
+        :attr:`default_engine`: the Volcano pipeline is what bounds peak
+        memory, and the batch engine materializes by construction.  Passing
+        ``engine="batch"`` explicitly instead runs the (cache-aware,
+        cache-*storing*) materializing core lazily on first ``next()`` and
+        streams the finished result — same rows, same charge log, but
+        memory proportional to the result.
 
         Rows are produced by a generator pipeline instead of materialized
         lists: scan → filter → project chains stream row by row, while
@@ -361,6 +474,21 @@ class QueryEngine:
         rows; a *miss is not stored* — storing would require materializing
         the result, defeating the constant-memory path.
         """
+        mode = self._engine_mode(engine or "tuple")
+        if mode == "batch":
+            charges = _Charges(self.cost_model, budget_ms)
+            result = IterResult(plan.columns(), charges)
+
+            def batch_rows():
+                if include_startup:
+                    charges.charge("startup", self.cost_model.startup_ms)
+                executed = self._execute_cached(
+                    plan, charges, include_startup, metrics, "batch",
+                    batch_size or self.default_batch_size,
+                )
+                yield from executed.rows
+            result._attach(batch_rows())
+            return result
         charges = _Charges(self.cost_model, budget_ms)
         if include_startup:
             charges.charge("startup", self.cost_model.startup_ms)
@@ -405,7 +533,7 @@ class QueryEngine:
         overhead = 128 + len(log) * 64
         if not rows:
             return overhead
-        avg = self._average_row_bytes(plan.columns(), rows)
+        avg = self._row_bytes_for(plan.fingerprint(), plan.columns(), rows)
         # ~56 bytes of tuple/pointer overhead per row in CPython.
         return overhead + len(rows) * (avg + 56 + 8 * len(plan.columns()))
 
@@ -451,10 +579,23 @@ class QueryEngine:
         charges.charge("scan", len(rows) * self.cost_model.scan_row_ms, len(rows))
         return rows
 
+    @staticmethod
+    def _compiled_predicate(op):
+        """The filter's predicate compiled to a ``row -> bool`` closure,
+        once per operator instance (plans are immutable, so the closure is
+        reused across executions and engines)."""
+        predicate = getattr(op, "_row_predicate", None)
+        if predicate is None:
+            predicate = algebra.compile_predicate(
+                op.predicate, op.child.positions()
+            )
+            op._row_predicate = predicate
+        return predicate
+
     def _eval_filter(self, op, charges):
         rows = self._eval(op.child, charges)
-        positions = op.child.positions()
-        out = [r for r in rows if op.predicate.evaluate(r, positions)]
+        predicate = self._compiled_predicate(op)
+        out = [r for r in rows if predicate(r)]
         charges.charge("filter", len(rows) * self.cost_model.filter_row_ms, len(rows))
         return out
 
@@ -641,7 +782,9 @@ class QueryEngine:
         model = self.cost_model
         n = len(rows)
         if n:
-            row_bytes = self._average_row_bytes(op.child.columns(), rows)
+            row_bytes = self._row_bytes_for(
+                op.child.fingerprint(), op.child.columns(), rows
+            )
             comparisons = n * math.log2(n + 1)
             cost = comparisons * model.sort_cmp_ms * (
                 1.0 + row_bytes / model.sort_width_norm
@@ -703,12 +846,11 @@ class QueryEngine:
         yield from rows
 
     def _stream_filter(self, op, charges, shared):
-        positions = op.child.positions()
-        predicate = op.predicate
+        predicate = self._compiled_predicate(op)
         n = 0
         for row in self._stream(op.child, charges, shared):
             n += 1
-            if predicate.evaluate(row, positions):
+            if predicate(row):
                 yield row
         charges.charge("filter", n * self.cost_model.filter_row_ms, n)
 
@@ -911,7 +1053,9 @@ class QueryEngine:
         model = self.cost_model
         n = len(rows)
         if n:
-            row_bytes = self._average_row_bytes(op.child.columns(), rows)
+            row_bytes = self._row_bytes_for(
+                op.child.fingerprint(), op.child.columns(), rows
+            )
             comparisons = n * math.log2(n + 1)
             cost = comparisons * model.sort_cmp_ms * (
                 1.0 + row_bytes / model.sort_width_norm
@@ -945,38 +1089,3 @@ class QueryEngine:
                 else:
                     total += fn(value)
         return total / len(sampled)
-
-
-def _key_plan(positions):
-    """Compile join-key extraction: ``(extractor, single)``.
-
-    Multi-column keys use :func:`operator.itemgetter` (a tuple per row, as
-    before); single-column keys skip the tuple entirely — the scalar is the
-    key and ``is None`` replaces the per-element NULL scan.
-    """
-    if not positions:
-        return _EMPTY_KEY, False
-    if len(positions) == 1:
-        return itemgetter(positions[0]), True
-    return itemgetter(*positions), False
-
-
-def _EMPTY_KEY(row):
-    return ()
-
-
-def _hash_index(rows, key_get, single):
-    """Hash-build ``rows`` into {key: [rows]}, skipping NULL keys."""
-    index = {}
-    setdefault = index.setdefault
-    if single:
-        for row in rows:
-            key = key_get(row)
-            if key is not None:
-                setdefault(key, []).append(row)
-    else:
-        for row in rows:
-            key = key_get(row)
-            if None not in key:
-                setdefault(key, []).append(row)
-    return index

@@ -313,7 +313,8 @@ class ReplicaPool:
     # -- dispatch ----------------------------------------------------------------
 
     def run_spec(self, spec, epoch, budget_ms=None, retry=None, breaker=None,
-                 faults=None, obs=None, hedge_ms=None):
+                 faults=None, obs=None, hedge_ms=None, engine=None,
+                 batch_size=None):
         """Execute one stream spec with routing, failover, and hedging;
         return ``(stream, stats)``.
 
@@ -369,6 +370,7 @@ class ReplicaPool:
                 stream = conn.execute(
                     spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
                     sql=spec.sql, label=spec.label, faults=False, obs=obs,
+                    engine=engine, batch_size=batch_size,
                 )
             return stream, stats
         max_attempts = retry.max_attempts if retry is not None else 1
@@ -393,7 +395,7 @@ class ReplicaPool:
                         budget_ms=budget_ms, sql=spec.sql, label=spec.label,
                         attempt=stats.attempts,
                         faults=policy if policy is not None else False,
-                        obs=obs,
+                        obs=obs, engine=engine, batch_size=batch_size,
                     )
                 break
             except TransientConnectionError as exc:
@@ -451,7 +453,7 @@ class ReplicaPool:
                 stream, winner, winning_latency = self._hedge(
                     spec, epoch, stats, tracer, obs, budget_ms, policies,
                     hedge_ms, current, stream, primary_cost,
-                    backup, winning_latency,
+                    backup, winning_latency, engine, batch_size,
                 )
         stats.fault_latency_ms += winning_latency
         stats.replica = winner
@@ -461,7 +463,7 @@ class ReplicaPool:
 
     def _hedge(self, spec, epoch, stats, tracer, obs, budget_ms, policies,
                hedge_ms, primary, primary_stream, primary_cost,
-               backup, winning_latency):
+               backup, winning_latency, engine=None, batch_size=None):
         """Issue the backup request; return the winning
         ``(stream, replica, fault_latency)`` by simulated completion."""
         stats.attempts += 1
@@ -481,7 +483,7 @@ class ReplicaPool:
                         budget_ms=budget_ms, sql=spec.sql, label=spec.label,
                         attempt=stats.attempts,
                         faults=policy if policy is not None else False,
-                        obs=obs,
+                        obs=obs, engine=engine, batch_size=batch_size,
                     )
             except TransientConnectionError as exc:
                 # A failed backup is abandoned: the primary already

@@ -1,0 +1,344 @@
+"""Batch engine (repro.relational.batch / vector_ops): the identity twin.
+
+The vectorized engine's contract is *bit-identity* with the tuple
+interpreter: same rows, same simulated charges in the same order, same
+cache entries — so the two modes are interchangeable under every feature
+that composes with execution.  Tested here:
+
+* **row codecs and batches** — compiled encode/decode round-trips at any
+  arity (including zero), chunked decode at awkward batch sizes, shared
+  column views;
+* **per-stream identity** (hypothesis) — over random sweep partitions and
+  both plan styles, every stream's rows, simulated timings, breakdown,
+  and full ordered charge log match the tuple engine's at several batch
+  sizes;
+* **end-to-end identity** (hypothesis) — materialized XML bytes and
+  report figures match sequentially, with concurrent dispatch, and under
+  injected faults on a replica pool;
+* **sort semantics** — the batch engine's stable single-key passes
+  reproduce :class:`~repro.common.ordering.NoneFirst` exactly for NULLs
+  and pathological mixed-type columns;
+* **mode plumbing** — engine/batch_size knobs validate and flow through
+  ``ExecutionOptions``, ``Connection``, and the CLI parser.
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.cli import build_parser
+from repro.common.errors import TransientConnectionError
+from repro.common.ordering import NoneFirst
+from repro.core.options import ExecutionOptions
+from repro.core.partition import enumerate_partitions
+from repro.core.silkroute import SilkRoute
+from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.bench.queries import QUERY_1
+from repro.relational import vector_ops
+from repro.relational.batch import Batch, DEFAULT_BATCH_SIZE, codec_for
+from repro.relational.cache import PlanResultCache
+from repro.relational.connection import Connection
+from repro.relational.engine import ENGINE_MODES, CostModel, QueryEngine
+from repro.relational.faults import FaultPolicy, RetryPolicy
+from repro.relational.algebra import Scan
+
+
+BATCH_SIZES = [1, 5, DEFAULT_BATCH_SIZE]
+
+
+def fresh_view(tiny_db, tiny_estimator):
+    connection = Connection(tiny_db, CostModel())
+    silk = SilkRoute(connection, estimator=tiny_estimator)
+    return silk.define_view(QUERY_1)
+
+
+@pytest.fixture(scope="module")
+def baseline(request):
+    """The tuple-engine fully-partitioned run every identity test uses."""
+    tiny_db = request.getfixturevalue("tiny_db")
+    tiny_estimator = request.getfixturevalue("tiny_estimator")
+    view = fresh_view(tiny_db, tiny_estimator)
+    return view.materialize("fully-partitioned", engine="tuple")
+
+
+@pytest.fixture(scope="module")
+def q1_partitions(request):
+    tiny_db = request.getfixturevalue("tiny_db")
+    q1_tree = request.getfixturevalue("q1_tree")
+    return list(enumerate_partitions(q1_tree))
+
+
+# ---------------------------------------------------------------------------
+# Batches and codecs
+
+
+class TestBatch:
+    def test_codec_round_trip(self):
+        for arity in range(1, 5):
+            codec = codec_for(arity)
+            assert codec.arity == arity
+            rows = [
+                tuple(f"v{r}.{c}" for c in range(arity)) for r in range(7)
+            ]
+            columns = codec.encode(rows)
+            assert len(columns) == arity
+            assert codec.decode(columns) == rows
+        # Zero-arity rows carry no columns; the length lives on the Batch
+        # (see test_zero_arity_and_empty), so the raw codec decodes to [].
+        assert codec_for(0).encode([(), ()]) == []
+        assert codec_for(0).decode([]) == []
+
+    def test_codecs_are_shared(self):
+        assert codec_for(3) is codec_for(3)
+
+    def test_row_and_column_construction_agree(self):
+        rows = [(i, str(i), i % 2 == 0) for i in range(10)]
+        by_rows = Batch.from_rows(rows, 3)
+        by_cols = Batch.from_columns(
+            [list(c) for c in zip(*rows)], len(rows)
+        )
+        for batch_size in (1, 3, len(rows), len(rows) + 7):
+            assert by_rows.rows(batch_size) == rows
+            assert by_cols.rows(batch_size) == rows
+        for i in range(3):
+            assert by_rows.col(i) == by_cols.col(i) == [r[i] for r in rows]
+        assert len(by_rows) == len(by_cols) == 10
+
+    def test_zero_arity_and_empty(self):
+        empty = Batch.from_rows([], 2)
+        assert empty.rows() == [] and empty.length == 0
+        zero = Batch.from_rows([(), (), ()], 0)
+        assert zero.rows(2) == [(), (), ()]
+        assert zero.columns() == []
+
+
+# ---------------------------------------------------------------------------
+# Sort semantics
+
+
+class TestSortPass:
+    def _reference(self, rows, position):
+        return sorted(rows, key=lambda row: NoneFirst(row[position]))
+
+    @given(
+        values=st.lists(
+            st.one_of(st.none(), st.integers(-5, 5)), max_size=30
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nulls_first_and_stable(self, values):
+        rows = [(value, i) for i, value in enumerate(values)]
+        out = vector_ops._sort_pass(
+            rows, [r[0] for r in rows], 0, lambda r: r[0]
+        )
+        assert out == self._reference(rows, 0)
+
+    @given(
+        values=st.lists(
+            st.one_of(
+                st.none(),
+                st.integers(-3, 3),
+                st.text(max_size=2),
+                st.booleans(),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mixed_type_columns_order_by_type_name(self, values):
+        rows = [(value, i) for i, value in enumerate(values)]
+        out = vector_ops._sort_pass(
+            rows, [r[0] for r in rows], 0, lambda r: r[0]
+        )
+        assert out == self._reference(rows, 0)
+
+
+# ---------------------------------------------------------------------------
+# Per-stream identity over random partitions
+
+
+class TestStreamIdentity:
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        index=st.integers(min_value=0, max_value=10 ** 9),
+        batch_size=st.sampled_from(BATCH_SIZES),
+        style=st.sampled_from([PlanStyle.OUTER_UNION, PlanStyle.OUTER_JOIN]),
+    )
+    def test_rows_timings_and_charge_log_match(
+        self, tiny_db, q1_tree, q1_partitions, index, batch_size, style
+    ):
+        partition = q1_partitions[index % len(q1_partitions)]
+        generator = SqlGenerator(q1_tree, tiny_db.schema, style=style)
+        for spec in generator.streams_for_partition(partition):
+            tuple_cache, batch_cache = PlanResultCache(), PlanResultCache()
+            tuple_engine = QueryEngine(
+                tiny_db, cache=tuple_cache, engine="tuple"
+            )
+            batch_engine = QueryEngine(
+                tiny_db, cache=batch_cache, engine="batch",
+                batch_size=batch_size,
+            )
+            expected = tuple_engine.execute(spec.plan)
+            actual = batch_engine.execute(spec.plan)
+            assert actual.rows == expected.rows
+            assert actual.server_ms == expected.server_ms
+            assert actual.rows_examined == expected.rows_examined
+            assert actual.breakdown == expected.breakdown
+            # The full ordered charge log — every (label, ms, rows)
+            # triple — is recorded in the cache entry on the miss.
+            key = tuple_engine.cache_key_for(spec.plan)
+            assert (
+                batch_cache.peek(key).charge_log
+                == tuple_cache.peek(key).charge_log
+            )
+            # Re-execution serves the node-result cache: still identical.
+            again = batch_engine.execute(spec.plan)
+            assert again.rows == expected.rows
+            assert again.server_ms == expected.server_ms
+
+
+# ---------------------------------------------------------------------------
+# End-to-end identity: XML bytes and report figures
+
+
+class TestEndToEndIdentity:
+    @settings(
+        max_examples=8, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        index=st.integers(min_value=0, max_value=10 ** 9),
+        batch_size=st.sampled_from(BATCH_SIZES),
+    )
+    def test_random_partition_xml_identity(
+        self, tiny_db, tiny_estimator, q1_partitions, index, batch_size
+    ):
+        partition = q1_partitions[index % len(q1_partitions)]
+        tuple_result = fresh_view(tiny_db, tiny_estimator).materialize(
+            partition, engine="tuple"
+        )
+        batch_result = fresh_view(tiny_db, tiny_estimator).materialize(
+            partition, engine="batch", batch_size=batch_size
+        )
+        assert batch_result.xml == tuple_result.xml
+        assert (
+            batch_result.report.query_ms == tuple_result.report.query_ms
+        )
+        assert (
+            batch_result.report.transfer_ms
+            == tuple_result.report.transfer_ms
+        )
+        assert (
+            [s.server_ms for s in batch_result.report.streams]
+            == [s.server_ms for s in tuple_result.report.streams]
+        )
+
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        batch_size=st.sampled_from(BATCH_SIZES),
+        workers=st.sampled_from([2, 4]),
+    )
+    def test_concurrent_dispatch_identity(
+        self, tiny_db, tiny_estimator, baseline, batch_size, workers
+    ):
+        view = fresh_view(tiny_db, tiny_estimator)
+        result = view.materialize(
+            "fully-partitioned", engine="batch", batch_size=batch_size,
+            workers=workers,
+        )
+        assert result.xml == baseline.xml
+        assert result.report.query_ms == baseline.report.query_ms
+        assert result.report.transfer_ms == baseline.report.transfer_ms
+
+    @settings(
+        max_examples=8, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        batch_size=st.sampled_from(BATCH_SIZES),
+    )
+    def test_faulted_replicated_dispatch_identity(
+        self, tiny_db, tiny_estimator, baseline, seed, batch_size
+    ):
+        """Faults + replicas + retries around the batch engine leave the
+        document and figures identical to the tuple fault-free run.  Retry
+        exhaustion is the retry machinery's own terminal outcome, not the
+        identity property, so such draws are rejected."""
+        view = fresh_view(tiny_db, tiny_estimator)
+        try:
+            result = view.materialize(
+                "fully-partitioned", engine="batch", batch_size=batch_size,
+                replicas=2, workers=2,
+                faults=FaultPolicy(seed=seed, error_rate=0.3),
+                retry=RetryPolicy(max_attempts=6),
+            )
+        except TransientConnectionError:
+            assume(False)
+        assert result.xml == baseline.xml
+        assert result.report.query_ms == baseline.report.query_ms
+        assert result.report.transfer_ms == baseline.report.transfer_ms
+
+
+# ---------------------------------------------------------------------------
+# Mode plumbing and validation
+
+
+class TestModePlumbing:
+    def test_engine_modes_constant(self):
+        assert set(ENGINE_MODES) == {"batch", "tuple"}
+
+    def test_invalid_mode_rejected(self, tiny_db):
+        with pytest.raises(ValueError, match="engine mode"):
+            QueryEngine(tiny_db, engine="vectorized")
+        engine = QueryEngine(tiny_db)
+        plan = Scan(tiny_db.schema.table("Region"), "r")
+        with pytest.raises(ValueError, match="engine mode"):
+            engine.execute(plan, engine="columnar")
+
+    def test_connection_forwards_defaults(self, tiny_db):
+        connection = Connection(
+            tiny_db, CostModel(), engine="tuple", batch_size=64
+        )
+        assert connection.engine.default_engine == "tuple"
+        assert connection.engine.default_batch_size == 64
+
+    def test_execution_options_carry_engine_knobs(self):
+        options = ExecutionOptions(engine="batch", batch_size=128)
+        assert options.engine == "batch"
+        assert options.batch_size == 128
+
+    def test_cli_parses_engine_flags(self):
+        args = build_parser().parse_args(
+            ["materialize", "--engine", "tuple", "--batch-size", "32"]
+        )
+        assert args.engine == "tuple"
+        assert args.batch_size == 32
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["materialize", "--engine", "columnar"]
+            )
+
+    def test_per_call_override_beats_default(self, tiny_db):
+        plan = Scan(tiny_db.schema.table("Region"), "r")
+        engine = QueryEngine(tiny_db, engine="batch")
+        tuple_result = engine.execute(plan, engine="tuple")
+        batch_result = engine.execute(plan, engine="batch")
+        assert tuple_result.rows == batch_result.rows
+        assert tuple_result.server_ms == batch_result.server_ms
+
+    def test_node_cache_clears_on_database_mutation(self, tiny_db):
+        plan = Scan(tiny_db.schema.table("Region"), "r")
+        engine = QueryEngine(tiny_db, engine="batch")
+        before = engine.execute(plan)
+        assert engine._node_results  # populated by the run
+        tiny_db.insert("Region", 999999, "zz-new-region")
+        after = engine.execute(plan)
+        reference = QueryEngine(tiny_db, engine="tuple").execute(plan)
+        assert after.rows == reference.rows
+        assert len(after.rows) == len(before.rows) + 1

@@ -21,11 +21,15 @@ The load-bearing invariants:
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.bench.queries import QUERY_1
 from repro.bench.sweep import sweep_partitions
-from repro.common.errors import ExecutionError, OverloadError
+from repro.common.errors import (
+    ExecutionError,
+    OverloadError,
+    TransientConnectionError,
+)
 from repro.core.options import ExecutionOptions
 from repro.core.partition import fully_partitioned, unified_partition
 from repro.core.silkroute import SilkRoute
@@ -242,15 +246,22 @@ class TestByteIdentity:
     def test_acceptance_property(self, tiny_db, tiny_estimator, baseline,
                                  replicas, hedge_ms, error_rate, seed,
                                  workers):
-        """Any (replicas >= 2, hedge_ms, faults, workers) combination is
-        indistinguishable from the single-replica fault-free run."""
+        """Any (replicas >= 2, hedge_ms, faults, workers) combination that
+        completes is indistinguishable from the single-replica fault-free
+        run.  At error_rate=0.5 a stream can legitimately exhaust its 6
+        attempts (~1/64 per stream) — that terminal outcome is the retry
+        machinery's own contract, not the identity property, so such draws
+        are rejected rather than failed."""
         _, view = fresh_view(tiny_db, tiny_estimator)
-        result = view.materialize(
-            "fully-partitioned", replicas=replicas, hedge_ms=hedge_ms,
-            workers=workers,
-            faults=FaultPolicy(seed=seed, error_rate=error_rate),
-            retry=RetryPolicy(max_attempts=6),
-        )
+        try:
+            result = view.materialize(
+                "fully-partitioned", replicas=replicas, hedge_ms=hedge_ms,
+                workers=workers,
+                faults=FaultPolicy(seed=seed, error_rate=error_rate),
+                retry=RetryPolicy(max_attempts=6),
+            )
+        except TransientConnectionError:
+            assume(False)
         assert result.xml == baseline.xml
         assert result.report.query_ms == baseline.report.query_ms
         assert result.report.transfer_ms == baseline.report.transfer_ms
