@@ -23,6 +23,7 @@ from repro.common.errors import (
     RxlScopeError,
     PlanError,
     ExecutionError,
+    StaleGenerationError,
     TimeoutExceeded,
     TransientConnectionError,
     OverloadError,
@@ -91,6 +92,7 @@ __all__ = [
     "RxlScopeError",
     "PlanError",
     "ExecutionError",
+    "StaleGenerationError",
     "TimeoutExceeded",
     "TransientConnectionError",
     "OverloadError",

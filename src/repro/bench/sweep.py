@@ -117,7 +117,8 @@ def run_single_partition(tree, schema, connection, partition,
                          budget_ms=None, generator=None, stream_workers=None,
                          retry=None, faults=None, obs=None, span_parent=None,
                          pool=None, hedge_ms=None, admission=None,
-                         epoch=None, engine=None, batch_size=None):
+                         epoch=None, engine=None, batch_size=None,
+                         expect_generations=None):
     """Execute one plan; returns a :class:`PlanTiming`.
 
     Pass a prebuilt ``generator`` (one per sweep) to reuse its memoized
@@ -143,7 +144,7 @@ def run_single_partition(tree, schema, connection, partition,
         timing = _run_single(
             tree, schema, connection, partition, generator, budget_ms,
             stream_workers, retry, faults, obs, pool, hedge_ms, admission,
-            epoch, engine, batch_size,
+            epoch, engine, batch_size, expect_generations,
         )
         partition_span.set(n_streams=timing.n_streams)
         if timing.timed_out:
@@ -159,13 +160,14 @@ def run_single_partition(tree, schema, connection, partition,
 
 def _run_single(tree, schema, connection, partition, generator, budget_ms,
                 stream_workers, retry, faults, obs, pool=None, hedge_ms=None,
-                admission=None, epoch=None, engine=None, batch_size=None):
+                admission=None, epoch=None, engine=None, batch_size=None,
+                expect_generations=None):
     specs = generator.streams_for_partition(partition)
     result = execute_specs(
         connection, specs, budget_ms=budget_ms, workers=stream_workers,
         retry=retry, faults=faults, obs=obs, pool=pool, hedge_ms=hedge_ms,
         admission=admission, epoch=epoch, engine=engine,
-        batch_size=batch_size,
+        batch_size=batch_size, expect_generations=expect_generations,
     )
     all_stats = list(result.stats)
     failure_stats = getattr(result.failure, "stats", None)
@@ -245,6 +247,15 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
     order and partition-level concurrency cannot change the routing).
     ``max_concurrent`` applies admission control per plan: an overloaded
     plan is recorded ``shed``, not raised.
+
+    A sweep's timings are only comparable if every plan saw the same
+    data, so the per-table generation vector is pinned at the start and
+    every dispatch checks it: a concurrent
+    ``insert``/``update``/``delete`` raises
+    :class:`~repro.common.errors.StaleGenerationError` instead of
+    silently recording mixed-generation timings.  Mutate between sweeps,
+    not during one — the dependency-scoped caches then re-materialize
+    only the affected plans.
     """
     opts = resolve_options(
         options, defaults={"reduce": False}, style=style, reduce=reduce,
@@ -262,6 +273,12 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
         tracer=tracer,
     )
     query_engine = connection.engine
+    if opts.node_cache_entries is not None or opts.retention_bytes is not None:
+        query_engine.configure_node_cache(
+            max_entries=opts.node_cache_entries,
+            retention_bytes=opts.retention_bytes,
+        )
+    pinned_generations = connection.database.table_generations()
     previous = query_engine.cache
     if cache is True:
         # The sweep's historical True semantics: reuse the cache already
@@ -295,6 +312,7 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
                     span_parent=parent, pool=replica_pool,
                     hedge_ms=opts.hedge_ms, admission=admission, epoch=epoch,
                     engine=opts.engine, batch_size=opts.batch_size,
+                    expect_generations=pinned_generations,
                 )
 
             timings = []
@@ -321,6 +339,8 @@ def sweep_partitions(tree, schema, connection, style=UNSET,
         )
         if query_engine.cache is not None and metrics.enabled:
             query_engine.cache.publish(metrics)
+        if metrics.enabled:
+            query_engine.node_cache.publish(metrics)
     finally:
         if replica_pool is not None:
             replica_pool.finish_epoch(epoch)

@@ -72,6 +72,32 @@ class TimeoutExceeded(ExecutionError):
         )
 
 
+class StaleGenerationError(ExecutionError):
+    """A mutation changed table generations in the middle of a pinned
+    multi-plan execution.
+
+    A sweep (or a resilient multi-round dispatch) pins the per-table
+    generation vector when it starts: every plan's timings are only
+    comparable if they saw the same data.  When a concurrent
+    ``insert``/``update``/``delete`` bumps a pinned table mid-run, later
+    plans would silently recompute against the new state and the recorded
+    series would mix generations — so the read is refused instead.
+    ``tables`` names the mutated tables; ``pinned``/``current`` are the
+    per-table generation maps at pin time and at detection time.
+    """
+
+    def __init__(self, tables, pinned=None, current=None):
+        self.tables = tuple(tables)
+        self.pinned = dict(pinned) if pinned else None
+        self.current = dict(current) if current else None
+        detail = ", ".join(self.tables)
+        super().__init__(
+            f"table(s) {detail} mutated mid-sweep: results would mix "
+            f"generations — re-run against the new state (or materialize "
+            f"incrementally via the dependency-scoped caches)"
+        )
+
+
 class TransientConnectionError(ExecutionError):
     """A simulated transient failure of the client/server connection.
 

@@ -72,6 +72,14 @@ class ExecutionOptions:
     the batch kernels.  ``None`` (the default) defers to the connection's
     :class:`~repro.relational.engine.QueryEngine` defaults.
 
+    The incremental-maintenance knobs bound the batch engine's
+    :class:`~repro.relational.cache.NodeResultCache`:
+    ``node_cache_entries`` caps the entry count (default 4096) and
+    ``retention_bytes`` is the workload-driven byte budget applied after
+    each mutation's invalidation pass — surviving sub-plan results are
+    scored hottest-per-byte and only the best are retained.  ``None``
+    leaves the engine's current bounds unchanged.
+
     Hashable as long as its fields are, so it can key plan caches
     (``ObsOptions`` hashes by identity).
     """
@@ -89,6 +97,8 @@ class ExecutionOptions:
     max_concurrent: object = None
     engine: str = None
     batch_size: int = None
+    node_cache_entries: int = None
+    retention_bytes: float = None
 
     def __post_init__(self):
         object.__setattr__(self, "keep", tuple(self.keep))

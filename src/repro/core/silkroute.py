@@ -54,6 +54,7 @@ from repro.relational.estimator import CostEstimator
 from repro.relational.faults import CircuitBreaker
 from repro.rxl.parser import parse_rxl
 from repro.xmlgen.serializer import XmlWriter
+from repro.xmlgen.streams import StreamInstanceCache, XmlDocumentCache
 from repro.xmlgen.tagger import tag_streams
 
 
@@ -200,6 +201,28 @@ class XmlView:
         self.rxl_text = rxl_text
         self._planners = {}
         self._greedy_plans = {}
+        #: Decoded per-stream instance lists for the splice layer of
+        #: incremental maintenance (used by :meth:`materialize` when a
+        #: result cache is installed; keys carry per-table generations,
+        #: so mutations move only the affected streams' keys).
+        self._instances = StreamInstanceCache()
+        #: Finished (xml, tagger) documents per (root_tag, indent,
+        #: dependency generations of every table the view reads) — every
+        #: partition materializes the identical document, so the key
+        #: carries no partition and any plan can serve a fresh-enough one.
+        self._documents = XmlDocumentCache()
+
+    @property
+    def instance_cache(self):
+        """The view's :class:`~repro.xmlgen.streams.StreamInstanceCache`
+        (the incremental-maintenance splice layer)."""
+        return self._instances
+
+    @property
+    def document_cache(self):
+        """The view's :class:`~repro.xmlgen.streams.XmlDocumentCache`
+        (finished documents, keyed by data generations)."""
+        return self._documents
 
     # -- plan space ---------------------------------------------------------------
 
@@ -319,6 +342,7 @@ class XmlView:
             batch_size=batch_size,
         )
         opts = self._resolve_resilience(opts)
+        self._configure_node_cache(opts)
         tracer, _ = obs_parts(opts.obs)
         generator = SqlGenerator(
             self.tree, self.silkroute.schema, style=opts.style,
@@ -357,6 +381,15 @@ class XmlView:
                     spec.uses_outer_join(), spec.uses_union()
                 )
 
+    def _configure_node_cache(self, opts):
+        """Apply the per-call node-result cache bounds, when set."""
+        if (opts.node_cache_entries is not None
+                or opts.retention_bytes is not None):
+            self.silkroute.connection.engine.configure_node_cache(
+                max_entries=opts.node_cache_entries,
+                retention_bytes=opts.retention_bytes,
+            )
+
     def _resolve_resilience(self, opts):
         """Normalize ``opts.replicas``/``opts.max_concurrent`` to live
         :class:`~repro.relational.replicas.ReplicaPool` /
@@ -389,6 +422,11 @@ class XmlView:
         breaker = CircuitBreaker() if opts.retry is not None else None
         pool = opts.replicas          # resolved by _resolve_resilience
         admission = opts.max_concurrent
+        # One plan's rounds (including degradation re-dispatches) must all
+        # see the same data: a concurrent mutation raises
+        # StaleGenerationError instead of splicing mixed-generation
+        # streams into one document.
+        pinned_generations = connection.database.table_generations()
         pending = list(zip(specs, partition_subtrees(self.tree, partition)))
         done_specs, done_streams, done_stats = [], [], []
         degraded, spent_stats = [], []
@@ -417,6 +455,7 @@ class XmlView:
                     admission=admission,
                     admission_elapsed_ms=elapsed_rounds_ms,
                     engine=opts.engine, batch_size=opts.batch_size,
+                    expect_generations=pinned_generations,
                 )
                 completed = len(result.streams)
                 done_specs.extend(spec for spec, _ in pending[:completed])
@@ -616,9 +655,11 @@ class XmlView:
         session, if any — keeping the metrics snapshot consistent with the
         cache the execution actually saw."""
         if report.obs is not None:
+            metrics = obs_parts(report.obs)[1]
             cache = self.silkroute.connection.cache
             if cache is not None:
-                cache.publish(obs_parts(report.obs)[1])
+                cache.publish(metrics)
+            self.silkroute.connection.engine.node_cache.publish(metrics)
         return report
 
     def materialize(self, partition=None, style=UNSET, reduce=UNSET,
@@ -675,10 +716,51 @@ class XmlView:
                     opts.budget_ms, float("nan"),
                     stream_label=report.timed_out_label, report=report,
                 )
+            # With a result cache installed, decoded instance sequences are
+            # kept per (stream, plan, dependency generations): after a
+            # mutation only the affected streams decode again, the rest
+            # splice from the cache — the merged document stays
+            # byte-identical because cached instances are exactly what
+            # re-decoding the identical rows would produce.  One level up,
+            # the finished document is kept per (serialization options,
+            # dependency generations of every table the view reads): every
+            # partition of a view produces the identical document, so any
+            # plan's re-materialization against unchanged generations can
+            # serve it outright — execution above still ran live, so the
+            # report's simulated timings stay per-plan faithful.  Degraded
+            # or shed output is never canonical and bypasses the cache.
+            instance_keys = doc_key = None
+            if self.silkroute.cache is not None:
+                query_engine = self.silkroute.connection.engine
+                instance_keys = [
+                    (spec.label, spec.style.value, spec.plan.fingerprint(),
+                     query_engine.dependency_key(spec.plan))
+                    for spec in specs
+                ]
+                if not report.degraded_streams and not report.shed_streams:
+                    view_tables = frozenset().union(
+                        *(query_engine.tables_for(spec.plan)
+                          for spec in specs)
+                    )
+                    doc_key = (
+                        root_tag, indent,
+                        query_engine.database.dependency_key(view_tables),
+                    )
+                    cached_doc = self._documents.get(doc_key)
+                    if cached_doc is not None:
+                        xml, tagger = cached_doc
+                        root_span.set(streams=len(specs), chars=len(xml),
+                                      document_cached=True)
+                        return MaterializedView(
+                            xml=xml, report=report, tagger=tagger,
+                        )
             xml, tagger = tag_streams(
                 self.tree, specs, streams, root_tag=root_tag, indent=indent,
-                obs=opts.obs,
+                obs=opts.obs, instance_cache=self._instances,
+                instance_keys=instance_keys,
             )
+            if doc_key is not None:
+                self._documents.store(doc_key, (xml, tagger))
             root_span.set(streams=len(specs), chars=len(xml))
         return MaterializedView(xml=xml, report=report, tagger=tagger)
 

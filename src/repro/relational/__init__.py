@@ -22,12 +22,13 @@ over JDBC.  It provides:
 from repro.relational.types import SqlType
 from repro.relational.schema import Column, TableSchema, ForeignKey, DatabaseSchema
 from repro.relational.table import Table
-from repro.relational.database import Database, TableStats
+from repro.relational.database import Database, TableStats, synthesize_rows
 from repro.relational.dependencies import (
     FunctionalDependency,
     InclusionDependency,
     attribute_closure,
     implies_fd,
+    plan_tables,
 )
 from repro.relational.algebra import (
     ColumnRef,
@@ -44,7 +45,12 @@ from repro.relational.algebra import (
     Sort,
     ConstantColumn,
 )
-from repro.relational.cache import CacheStats, PlanResultCache, resolve_cache
+from repro.relational.cache import (
+    CacheStats,
+    NodeResultCache,
+    PlanResultCache,
+    resolve_cache,
+)
 from repro.relational.engine import CostModel, QueryEngine, ExecutionResult, IterResult
 from repro.relational.estimator import CostEstimator, EstimateCache
 from repro.relational.explain import explain_plan
@@ -89,10 +95,12 @@ __all__ = [
     "Table",
     "Database",
     "TableStats",
+    "synthesize_rows",
     "FunctionalDependency",
     "InclusionDependency",
     "attribute_closure",
     "implies_fd",
+    "plan_tables",
     "ColumnRef",
     "Literal",
     "Comparison",
@@ -107,6 +115,7 @@ __all__ = [
     "Sort",
     "ConstantColumn",
     "CacheStats",
+    "NodeResultCache",
     "PlanResultCache",
     "resolve_cache",
     "FaultPolicy",

@@ -20,13 +20,15 @@ the charge prefix up to the raise); an incomplete entry is served only when
 replaying it is guaranteed to raise within the caller's budget, otherwise
 the plan is re-executed (and the entry upgraded if it now completes).
 
-Keys are ``(plan.fingerprint(), database.cache_key(), cost_model,
+Keys are ``(plan.fingerprint(), database.dependency_key(tables), cost_model,
 include_startup)``:
 
 * the structural fingerprint identifies the plan,
-* the database key combines a unique per-instance token with a
-  **generation counter** bumped on every table mutation, so a stale entry
-  can never be served after an insert,
+* the dependency key combines a unique per-instance token with the
+  **per-table generation counters** of exactly the tables the plan reads
+  (bumped on every mutation of that table), so a stale entry can never be
+  served after a write — while entries for plans that do not read the
+  mutated table stay valid and keep replaying,
 * the (hashable, frozen) cost model guards against a cache shared by
   connections with different simulated servers,
 * ``include_startup`` separates the two timing modes, whose charge values
@@ -53,6 +55,9 @@ class CacheStats:
     entries: int
     current_bytes: float
     max_bytes: float
+    #: Entries dropped because a mutation made their dependency key stale
+    #: (as opposed to capacity ``evictions``).
+    invalidations: int = 0
 
     @property
     def requests(self):
@@ -73,6 +78,7 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "oversize_rejections": self.oversize_rejections,
+            "invalidations": self.invalidations,
             "entries": self.entries,
             "current_bytes": self.current_bytes,
             "max_bytes": self.max_bytes,
@@ -166,6 +172,7 @@ class PlanResultCache:
         self._stores = 0
         self._evictions = 0
         self._oversize = 0
+        self._invalidations = 0
         self._current_bytes = 0.0
 
     def __len__(self):
@@ -247,6 +254,29 @@ class PlanResultCache:
                 self._current_bytes -= evicted.nbytes
                 self._evictions += 1
 
+    def invalidate_tables(self, token, tables, current_generations):
+        """Drop entries made stale by a mutation of ``tables``.
+
+        With dependency-scoped keys a stale entry can never be *served*
+        (its key no longer matches), so this is garbage collection plus
+        accounting: it frees the bytes held by entries whose dependency
+        key records, for one of the mutated tables, a generation different
+        from ``current_generations[table]``, and counts them as
+        ``invalidations``.  Entries keyed by anything other than the
+        dependency-key shape for ``token`` — including caller-chosen
+        opaque keys — are left alone.  Returns the number dropped.
+        """
+        tables = set(tables)
+        dropped = 0
+        with self._lock:
+            for key in list(self._entries):
+                if _stale_dependency_key(key, token, tables, current_generations):
+                    entry = self._entries.pop(key)
+                    self._current_bytes -= entry.nbytes
+                    self._invalidations += 1
+                    dropped += 1
+        return dropped
+
     def clear(self):
         with self._lock:
             self._entries.clear()
@@ -272,7 +302,227 @@ class PlanResultCache:
                 entries=len(self._entries),
                 current_bytes=self._current_bytes,
                 max_bytes=self.max_bytes,
+                invalidations=self._invalidations,
             )
 
     def __repr__(self):
         return f"PlanResultCache({self.stats()})"
+
+
+def _stale_dependency_key(key, token, tables, current_generations):
+    """Does a plan-cache ``key`` record a stale generation for one of the
+    mutated ``tables``?  Duck-typed: only keys shaped
+    ``(fingerprint, (token, ((table, gen), ...)), cost_model, startup)``
+    for this ``token`` qualify; anything else is not ours to judge."""
+    if not (isinstance(key, tuple) and len(key) == 4):
+        return False
+    dep = key[1]
+    if not (isinstance(dep, tuple) and len(dep) == 2 and dep[0] == token):
+        return False
+    pairs = dep[1]
+    if not isinstance(pairs, tuple):
+        return False
+    for pair in pairs:
+        if not (isinstance(pair, tuple) and len(pair) == 2):
+            return False
+        name, generation = pair
+        if name in tables and generation != current_generations.get(name):
+            return True
+    return False
+
+
+class _NodeEntry:
+    __slots__ = ("value", "tables", "nbytes", "hits")
+
+    def __init__(self, value, tables, nbytes):
+        self.value = value
+        self.tables = tables
+        self.nbytes = nbytes
+        self.hits = 0
+
+
+def _node_value_bytes(value):
+    """Byte estimate for a node-cache value: a ``Batch`` or a
+    ``(Batch, build_work)`` pair (the outer-join kernel's shape).  A cheap
+    deterministic heuristic — 16 bytes per cell plus a fixed overhead —
+    good enough to rank entries against the retention budget."""
+    batch = value[0] if isinstance(value, tuple) else value
+    length = getattr(batch, "length", 0)
+    arity = getattr(batch, "arity", 1)
+    return 64.0 + 16.0 * length * max(arity, 1)
+
+
+class NodeResultCache:
+    """Dependency-tracked cache of batch-engine sub-plan results.
+
+    This is the "data half" cache of the columnar engine: each entry maps
+    a sub-plan fingerprint to its materialized
+    :class:`~repro.relational.batch.Batch` (charges always run live, so
+    simulated timings never depend on hits).  Every entry remembers the
+    base tables its sub-plan reads; :meth:`invalidate` drops exactly the
+    entries that depend on mutated tables, which is what lets untouched
+    view subtrees replay across writes instead of recomputing.
+
+    Two bounds apply, both configurable through
+    :class:`~repro.core.options.ExecutionOptions`:
+
+    * ``max_entries`` — a pop-oldest capacity bound enforced on store
+      (the former hard-coded ``_NODE_CACHE_CAP``), and
+    * ``retention_bytes`` — a workload-driven byte budget enforced after
+      each invalidation: surviving entries are scored
+      ``(1 + hits) / nbytes`` (hottest-per-byte first) and only the best
+      are retained across the mutation, per the reconstruction-view-
+      selection idea.  ``None`` means no byte budget.
+
+    Thread-safe; an engine shared by concurrent stream dispatch threads
+    hits this cache from all of them.
+    """
+
+    DEFAULT_MAX_ENTRIES = 4096
+
+    def __init__(self, max_entries=DEFAULT_MAX_ENTRIES, retention_bytes=None):
+        self.max_entries = max_entries
+        self.retention_bytes = retention_bytes
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`: when set,
+        #: every hit/miss/store/eviction/invalidation also increments the
+        #: matching ``node_cache.*`` counter at event time (so counters
+        #: reconcile exactly with :meth:`stats`, even under concurrent
+        #: dispatch).  The engine points this at the current execution's
+        #: registry.
+        self.metrics = None
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._current_bytes = 0.0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def configure(self, max_entries=None, retention_bytes=None):
+        """Adjust the bounds (``None`` leaves a bound unchanged; pass
+        ``float("inf")`` to lift the retention budget).  Tightening
+        ``max_entries`` evicts oldest-first immediately."""
+        with self._lock:
+            if max_entries is not None:
+                self.max_entries = max_entries
+                self._evict_over_capacity()
+            if retention_bytes is not None:
+                self.retention_bytes = retention_bytes
+
+    def _inc(self, counter, amount=1):
+        # Caller holds the lock; MetricsRegistry has its own.
+        if self.metrics is not None and amount:
+            self.metrics.inc(f"node_cache.{counter}", amount)
+
+    def get(self, fingerprint):
+        """The cached value for a sub-plan fingerprint, or None."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self._misses += 1
+                self._inc("misses")
+                return None
+            self._entries.move_to_end(fingerprint)
+            self._hits += 1
+            entry.hits += 1
+            self._inc("hits")
+            return entry.value
+
+    def store(self, fingerprint, value, tables):
+        """Cache ``value`` for a sub-plan reading ``tables`` (an iterable
+        of base-table names — the invalidation footprint)."""
+        entry = _NodeEntry(value, frozenset(tables), _node_value_bytes(value))
+        with self._lock:
+            old = self._entries.pop(fingerprint, None)
+            if old is not None:
+                self._current_bytes -= old.nbytes
+            self._entries[fingerprint] = entry
+            self._current_bytes += entry.nbytes
+            self._stores += 1
+            self._inc("stores")
+            self._evict_over_capacity()
+
+    def _evict_over_capacity(self):
+        # Caller holds the lock.
+        while len(self._entries) > self.max_entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._current_bytes -= evicted.nbytes
+            self._evictions += 1
+            self._inc("evictions")
+
+    def invalidate(self, changed_tables):
+        """Delta propagation: drop every entry whose sub-plan reads one of
+        ``changed_tables``, then trim the survivors to the retention byte
+        budget (hottest-per-byte retained first).  Returns the number of
+        entries invalidated."""
+        changed = frozenset(changed_tables)
+        dropped = 0
+        with self._lock:
+            for fingerprint in list(self._entries):
+                if self._entries[fingerprint].tables & changed:
+                    entry = self._entries.pop(fingerprint)
+                    self._current_bytes -= entry.nbytes
+                    self._invalidations += 1
+                    self._inc("invalidations")
+                    dropped += 1
+            if self.retention_bytes is not None:
+                self._apply_retention()
+        return dropped
+
+    def _apply_retention(self):
+        # Caller holds the lock.  Score survivors by hit-rate-per-byte and
+        # keep the best within the budget; the rest are capacity evictions.
+        if self._current_bytes <= self.retention_bytes:
+            return
+        ranked = sorted(
+            self._entries.items(),
+            key=lambda item: (1 + item[1].hits) / item[1].nbytes,
+            reverse=True,
+        )
+        budget = 0.0
+        for fingerprint, entry in ranked:
+            budget += entry.nbytes
+            if budget > self.retention_bytes:
+                del self._entries[fingerprint]
+                self._current_bytes -= entry.nbytes
+                self._evictions += 1
+                self._inc("evictions")
+                budget -= entry.nbytes
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0.0
+
+    def publish(self, metrics, prefix="node_cache"):
+        """Publish a :meth:`stats` snapshot as ``<prefix>.<field>`` gauges
+        (mirrors :meth:`PlanResultCache.publish`)."""
+        for name, value in self.stats().as_dict().items():
+            metrics.gauge(f"{prefix}.{name}", value)
+
+    def stats(self):
+        """A :class:`CacheStats` snapshot (``max_bytes`` reports the
+        retention budget, infinite when unset)."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                stores=self._stores,
+                evictions=self._evictions,
+                oversize_rejections=0,
+                entries=len(self._entries),
+                current_bytes=self._current_bytes,
+                max_bytes=(
+                    self.retention_bytes
+                    if self.retention_bytes is not None
+                    else float("inf")
+                ),
+                invalidations=self._invalidations,
+            )
+
+    def __repr__(self):
+        return f"NodeResultCache({self.stats()})"

@@ -18,6 +18,7 @@ cheaply), so their effective width is the non-null field count; rows
 produced by a wide outer join bind every declared column.
 """
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.common.errors import (
@@ -216,6 +217,13 @@ class Connection:
                                   engine=engine, batch_size=batch_size)
         self.transfer_model = transfer_model or TransferModel()
         self.faults = faults
+        # Total transfer cost per (plan fingerprint, dependency key,
+        # compact flag): a deterministic function of the rows a plan
+        # produces against the read tables' current generations, so
+        # replays (plan-cache hits, repeated sweep streams) skip the
+        # per-row accumulation.  Mutations move the dependency key, which
+        # orphans stale entries; the pop-oldest cap bounds them.
+        self._transfer_memo = OrderedDict()
 
     @property
     def cache(self):
@@ -291,7 +299,7 @@ class Connection:
         result = self.engine.execute(plan, budget_ms=budget_ms,
                                      metrics=metrics, engine=engine,
                                      batch_size=batch_size)
-        transfer_ms = self._transfer_cost(result.columns, result.rows, compact_rows)
+        transfer_ms = self._transfer_cost_for(plan, result, compact_rows)
         stream = TupleStream(
             columns=result.columns,
             rows=result.rows,
@@ -378,6 +386,38 @@ class Connection:
             return ms
 
         return cost
+
+    _TRANSFER_MEMO_CAP = 16384
+
+    def _transfer_cost_for(self, plan, result, compact_rows):
+        """Memoized total transfer cost of a materialized execution.
+
+        Keyed by the plan's fingerprint plus the dependency generations of
+        the tables it reads (see
+        :meth:`~repro.relational.engine.QueryEngine.dependency_key`): as
+        long as none of those tables has been mutated, the plan's rows —
+        and therefore the per-row charge sum — are bit-identical, so
+        replays skip the row walk entirely.  A benign race (two threads
+        computing the same key) just stores the same float twice."""
+        try:
+            key = (
+                plan.fingerprint(),
+                self.engine.dependency_key(plan),
+                compact_rows,
+            )
+        except AttributeError:
+            return self._transfer_cost(result.columns, result.rows,
+                                       compact_rows)
+        memo = self._transfer_memo
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        total = self._transfer_cost(result.columns, result.rows,
+                                    compact_rows)
+        memo[key] = total
+        while len(memo) > self._TRANSFER_MEMO_CAP:
+            memo.popitem(last=False)
+        return total
 
     def _transfer_cost(self, columns, rows, compact_rows):
         row_cost = self._row_cost_fn(columns, compact_rows)

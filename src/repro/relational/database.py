@@ -1,9 +1,19 @@
-"""The database catalog: tables plus statistics.
+"""The database catalog: tables plus statistics and the mutation API.
 
 Statistics (cardinality, per-column distinct counts, average widths, null
 fractions) feed the :class:`repro.relational.estimator.CostEstimator`, the
 "oracle" the greedy planner consults.  They are computed once per table via
-:meth:`Database.analyze`, mirroring an RDBMS's ``ANALYZE``.
+:meth:`Database.analyze`, mirroring an RDBMS's ``ANALYZE``, and refreshed
+lazily when the table's generation moves.
+
+Mutations (:meth:`Database.insert` / :meth:`Database.update` /
+:meth:`Database.delete`) bump **per-table** generation counters
+(:attr:`repro.relational.table.Table.version`).  The result caches key on
+the generations of exactly the tables a plan reads
+(:meth:`dependency_key`), so a write invalidates only the cached results
+that actually depend on the touched tables — the incremental-maintenance
+story of the delta-propagation layer.  The summed :attr:`generation` and
+:meth:`cache_key` survive as the coarse whole-database version.
 """
 
 import itertools
@@ -11,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import SchemaError
 from repro.relational.table import Table
+from repro.relational.types import SqlType
 
 
 @dataclass(frozen=True)
@@ -47,20 +58,42 @@ class Database:
     def __init__(self, schema):
         self.schema = schema
         self.tables = {name: Table(schema.table(name)) for name in schema.table_names}
-        self._stats = {}
+        self._stats = {}  # table name -> (table version, TableStats)
         self._token = next(Database._tokens)
 
     @property
     def generation(self):
         """Monotonic data-version counter, bumped by any table mutation
-        (inserts through :meth:`insert` or directly on a table).  Result
-        caches key on it so a stale entry can never be served."""
+        (through the :meth:`insert`/:meth:`update`/:meth:`delete` API or
+        directly on a table).  The coarse whole-database version; the
+        result caches key on the finer per-table
+        :meth:`table_generations`."""
         return sum(table.version for table in self.tables.values())
 
     def cache_key(self):
-        """What identifies this database's current contents in a
-        :class:`repro.relational.cache.PlanResultCache` key."""
+        """What identifies this database's current contents as a whole —
+        the coarse key; plans are cached under the dependency-scoped
+        :meth:`dependency_key` of the tables they read."""
         return (self._token, self.generation)
+
+    def table_generations(self):
+        """The per-table generation map ``{table name: version}`` — the
+        vector a sweep pins to detect mid-run mutations and the caches
+        diff to invalidate only dependent entries."""
+        return {name: table.version for name, table in self.tables.items()}
+
+    def dependency_key(self, tables):
+        """The cache-key component identifying the current contents of
+        ``tables`` (an iterable of table names): the instance token plus
+        each table's generation, sorted by name.  A mutation of any
+        *other* table leaves this key — and every cache entry under it —
+        valid."""
+        return (
+            self._token,
+            tuple(
+                (name, self.tables[name].version) for name in sorted(tables)
+            ),
+        )
 
     def table(self, name):
         try:
@@ -70,6 +103,20 @@ class Database:
 
     def insert(self, table_name, *values, **named):
         return self.table(table_name).insert(*values, **named)
+
+    def update(self, table_name, where, changes):
+        """Update rows of ``table_name`` matching ``where``; returns the
+        matched-row count.  ``where`` is a ``{column: value}`` equality
+        mapping or a callable over the row dict; ``changes`` maps columns
+        to new values (or callables over the row dict).  Order-preserving:
+        updated rows keep their slots, so unaffected plans replay
+        byte-identically."""
+        return self.table(table_name).update(where, changes)
+
+    def delete(self, table_name, where):
+        """Delete rows of ``table_name`` matching ``where``; returns the
+        deleted-row count.  Surviving rows keep their relative order."""
+        return self.table(table_name).delete(where)
 
     def check_foreign_keys(self):
         """Verify every foreign key; raise :class:`SchemaError` on the first
@@ -98,14 +145,19 @@ class Database:
     def analyze(self):
         """Compute and cache statistics for every table."""
         for name, table in self.tables.items():
-            self._stats[name] = _compute_stats(table)
-        return dict(self._stats)
+            self._stats[name] = (table.version, _compute_stats(table))
+        return {name: stats for name, (_, stats) in self._stats.items()}
 
     def stats(self, table_name):
-        """Statistics for one table, computing them on first use."""
-        if table_name not in self._stats:
-            self._stats[table_name] = _compute_stats(self.table(table_name))
-        return self._stats[table_name]
+        """Statistics for one table, computed on first use and refreshed
+        when the table's generation has moved since (so the planner's
+        oracle never reasons from pre-mutation cardinalities)."""
+        table = self.table(table_name)
+        cached = self._stats.get(table_name)
+        if cached is None or cached[0] != table.version:
+            cached = (table.version, _compute_stats(table))
+            self._stats[table_name] = cached
+        return cached[1]
 
     def total_rows(self):
         return sum(len(t) for t in self.tables.values())
@@ -142,3 +194,82 @@ def _compute_stats(table):
         avg_row_width=table.average_row_width(),
         columns=columns,
     )
+
+
+def synthesize_rows(database, table_name, count, seed=0):
+    """``count`` schema-valid rows ready to insert into ``table_name``.
+
+    The deterministic delta generator behind ``repro mutate`` and the IVM
+    benchmark: foreign-key columns pick existing referenced keys (so the
+    new rows *join* — the delta is visible in materialized views), free
+    key columns take fresh values past the current maximum, and the
+    composed key tuple is advanced past any collision.  Returns a list of
+    row tuples; insert them with :meth:`Database.insert`.
+    """
+    table = database.table(table_name)
+    schema = table.schema
+    fk_columns = {}
+    for fk in database.schema.foreign_keys:
+        if fk.table != table_name:
+            continue
+        for column, ref_column in zip(fk.columns, fk.ref_columns):
+            fk_columns[column] = (fk.ref_table, ref_column)
+    key_positions = {schema.column_index(k) for k in schema.key}
+    fresh_base = {}
+    for position, column in enumerate(schema.columns):
+        if position in key_positions and column.name not in fk_columns:
+            existing = [
+                v for v in table.column_values(column.name)
+                if isinstance(v, int)
+            ]
+            fresh_base[column.name] = (max(existing) + 1) if existing else 1
+
+    def candidate(i, shift):
+        values = []
+        for position, column in enumerate(schema.columns):
+            name = column.name
+            if name in fk_columns:
+                ref_table, ref_column = fk_columns[name]
+                pool = database.table(ref_table).column_values(ref_column)
+                if not pool:
+                    raise SchemaError(
+                        f"cannot synthesize {table_name} rows: referenced "
+                        f"table {ref_table} is empty"
+                    )
+                values.append(pool[(seed + i + shift) % len(pool)])
+            elif name in fresh_base:
+                values.append(fresh_base[name] + i)
+            elif column.sql_type is SqlType.INTEGER:
+                values.append(seed + i + 1)
+            elif column.sql_type is SqlType.DECIMAL:
+                values.append(float(seed + i + 1))
+            elif column.sql_type is SqlType.DATE:
+                import datetime
+
+                values.append(
+                    datetime.date(1995, 1, 1)
+                    + datetime.timedelta(days=(seed + i) % 365)
+                )
+            else:
+                values.append(f"delta-{seed}-{i}")
+        return tuple(values)
+
+    key_index_positions = [schema.column_index(k) for k in schema.key]
+    taken = set(
+        tuple(row[p] for p in key_index_positions) for row in table.rows
+    )
+    rows = []
+    for i in range(count):
+        for shift in range(count * 8 + 64):
+            row = candidate(i, shift)
+            key = tuple(row[p] for p in key_index_positions)
+            if key not in taken:
+                taken.add(key)
+                rows.append(row)
+                break
+        else:
+            raise SchemaError(
+                f"cannot synthesize a fresh key for {table_name} "
+                f"(row {i} of {count})"
+            )
+    return rows

@@ -10,9 +10,31 @@ decides in (near) linear time [Beeri & Bernstein 1979].
 Dependencies here are over abstract attribute names (the planner uses
 datalog column variables).  Deriving the FD set for a concrete rule body
 happens in :mod:`repro.core.labeling`.
+
+This module also hosts the *data* dependencies of the incremental-
+maintenance layer: :func:`plan_tables` maps a relational plan to the set
+of base tables it reads, which is what lets a mutation invalidate only
+the cached results that depend on the touched tables.
 """
 
 from dataclasses import dataclass
+
+
+def plan_tables(plan):
+    """The base tables a plan reads, as a frozenset of table names.
+
+    This is the dependency footprint behind delta propagation: a cached
+    result for ``plan`` — in the :class:`~repro.relational.cache.PlanResultCache`,
+    the batch engine's node-result cache, or the XML instance cache — stays
+    valid across any mutation of a table *not* in this set.  Walks the plan
+    once collecting :class:`~repro.relational.algebra.Scan` leaves; callers
+    memoize by ``plan.fingerprint()``.
+    """
+    from repro.relational.algebra import Scan, walk
+
+    return frozenset(
+        op.table_schema.name for op in walk(plan) if isinstance(op, Scan)
+    )
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import (
     OverloadError,
+    StaleGenerationError,
     TimeoutExceeded,
     TransientConnectionError,
 )
@@ -224,7 +225,8 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
 def execute_specs(connection, specs, budget_ms=None, workers=None,
                   retry=None, faults=None, breaker=None, obs=None,
                   pool=None, hedge_ms=None, admission=None, epoch=None,
-                  admission_elapsed_ms=0.0, engine=None, batch_size=None):
+                  admission_elapsed_ms=0.0, engine=None, batch_size=None,
+                  expect_generations=None):
     """Execute every :class:`~repro.core.sqlgen.StreamSpec`'s plan; return
     a :class:`DispatchResult` (unpacks as the ``(streams, timeout)``
     pair).
@@ -279,7 +281,25 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
     (and once for a terminally-failed stream's burned attempts), from the
     same :class:`~repro.relational.faults.StreamAttemptStats` the plan
     report sums.
+
+    ``expect_generations`` — a per-table generation map pinned by the
+    caller (see :meth:`~repro.relational.database.Database.table_generations`)
+    — guards multi-plan executions against concurrent mutations: when the
+    live generations no longer match, the dispatch refuses with a
+    :class:`~repro.common.errors.StaleGenerationError` naming the mutated
+    tables instead of silently recomputing against mixed states.
     """
+    if expect_generations is not None:
+        current = connection.database.table_generations()
+        if current != expect_generations:
+            changed = sorted(
+                name
+                for name in current.keys() | expect_generations.keys()
+                if current.get(name) != expect_generations.get(name)
+            )
+            raise StaleGenerationError(
+                changed, pinned=expect_generations, current=current
+            )
     tracer, metrics = obs_parts(obs)
     parent = tracer.current()
 

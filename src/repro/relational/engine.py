@@ -38,7 +38,8 @@ from repro.common.errors import ExecutionError, TimeoutExceeded
 from repro.common.ordering import NoneFirst, sort_key
 from repro.relational import algebra, vector_ops
 from repro.relational.batch import DEFAULT_BATCH_SIZE
-from repro.relational.cache import CacheEntry
+from repro.relational.cache import CacheEntry, NodeResultCache
+from repro.relational.dependencies import plan_tables
 from repro.relational.types import width_function
 from repro.relational.vector_ops import _key_plan, _hash_index  # noqa: F401
 from repro.relational.algebra import (
@@ -262,18 +263,23 @@ class QueryEngine:
         #: Compiled plans keyed by (plan fingerprint, batch size).  Plans
         #: recur across sweep partitions, so compilation amortizes to zero.
         self._compiled = {}
-        #: Cached row-width estimates keyed by (plan fingerprint, database
-        #: cache key): byte estimates never re-scan rows for a plan the
-        #: current database generation has already sized.
+        #: Cached row-width estimates keyed by (plan fingerprint, plan
+        #: dependency key): byte estimates never re-scan rows for a plan
+        #: whose base tables' generations have already been sized.
         self._row_bytes = {}
         #: Batch-engine node-result cache: sub-plan fingerprint -> computed
-        #: Batch, valid for one database generation (cleared on change).
-        #: Sweep partitions share most of their sub-plans, so each distinct
-        #: sub-tree's rows are materialized once per generation; every
-        #: later execution re-runs only the charge accounting over the
-        #: shared immutable batches.
-        self._node_results = {}
-        self._node_generation = None
+        #: Batch, tagged with the base tables the sub-plan reads.  Sweep
+        #: partitions share most of their sub-plans, so each distinct
+        #: sub-tree's rows are materialized once; every later execution
+        #: re-runs only the charge accounting over the shared immutable
+        #: batches.  A mutation invalidates only the dependent entries
+        #: (see :meth:`_refresh_dependencies`).
+        self._node_results = NodeResultCache()
+        #: Per-table generation snapshot from the last batch evaluation;
+        #: diffed against the live database to find mutated tables.
+        self._table_gens = None
+        #: plan fingerprint -> frozenset of base-table names it reads.
+        self._plan_tables = {}
 
     def _engine_mode(self, engine):
         mode = engine or self.default_engine
@@ -291,12 +297,13 @@ class QueryEngine:
             self._compiled[key] = compiled
         return compiled
 
-    def _row_bytes_for(self, fingerprint, columns, rows):
+    def _row_bytes_for(self, fingerprint, columns, rows, tables):
         """Average row width for ``rows`` (the output of the plan with
-        ``fingerprint``), cached per database generation.  Both engines —
-        and the byte estimator — share one entry, so estimates agree and
-        each plan's rows are sampled at most once per generation."""
-        key = (fingerprint, self.database.cache_key())
+        ``fingerprint``, reading base ``tables``), cached per dependency
+        generation.  Both engines — and the byte estimator — share one
+        entry, so estimates agree and each plan's rows are sampled at most
+        once per generation of its base tables."""
+        key = (fingerprint, self.database.dependency_key(tables))
         cache = self._row_bytes
         if key not in cache:
             if len(cache) >= 4096:
@@ -304,14 +311,79 @@ class QueryEngine:
             cache[key] = self._average_row_bytes(columns, rows)
         return cache[key]
 
+    def tables_for(self, plan):
+        """The base tables ``plan`` reads (memoized by fingerprint) — the
+        plan's invalidation footprint for delta propagation."""
+        fingerprint = plan.fingerprint()
+        cache = self._plan_tables
+        tables = cache.get(fingerprint)
+        if tables is None:
+            if len(cache) >= 4096:
+                cache.pop(next(iter(cache)))
+            tables = plan_tables(plan)
+            cache[fingerprint] = tables
+        return tables
+
+    def dependency_key(self, plan):
+        """The dependency component of ``plan``'s cache key: the database
+        token plus the current generations of exactly the tables the plan
+        reads.  Mutating any other table leaves this key valid."""
+        return self.database.dependency_key(self.tables_for(plan))
+
     def cache_key_for(self, plan, include_startup=True):
-        """The :attr:`cache` key identifying ``plan`` on this engine."""
+        """The :attr:`cache` key identifying ``plan`` on this engine.
+
+        Dependency-scoped: the database component holds per-table
+        generations of the plan's base tables, so entries for plans that
+        do not read a mutated table survive the write and keep replaying.
+        """
         return (
             plan.fingerprint(),
-            self.database.cache_key(),
+            self.dependency_key(plan),
             self.cost_model,
             include_startup,
         )
+
+    @property
+    def node_cache(self):
+        """The batch engine's :class:`~repro.relational.cache.NodeResultCache`
+        (the "data half" sub-plan result cache)."""
+        return self._node_results
+
+    def configure_node_cache(self, max_entries=None, retention_bytes=None):
+        """Adjust the node-result cache bounds (``None`` leaves a bound
+        unchanged) — the engine-level hook behind the
+        ``node_cache_entries`` / ``retention_bytes`` execution options."""
+        self._node_results.configure(
+            max_entries=max_entries, retention_bytes=retention_bytes
+        )
+
+    def _refresh_dependencies(self, metrics=None):
+        """Delta propagation: diff the live per-table generations against
+        the last-seen snapshot and invalidate exactly the cache entries
+        that depend on mutated tables.  Node-cache entries for untouched
+        sub-plans survive and keep serving; plan-cache entries under stale
+        dependency keys can never be served again (the key moved), so
+        dropping them there is garbage collection plus accounting."""
+        current = self.database.table_generations()
+        previous = self._table_gens
+        if previous == current:
+            return
+        self._table_gens = current
+        if previous is None:
+            return
+        changed = {
+            name
+            for name in current.keys() | previous.keys()
+            if current.get(name) != previous.get(name)
+        }
+        self._node_results.invalidate(changed)
+        if self.cache is not None:
+            dropped = self.cache.invalidate_tables(
+                self.database._token, changed, current
+            )
+            if metrics is not None and dropped:
+                metrics.inc("plan_cache.invalidations", dropped)
 
     def cached_complete(self, plan, include_startup=True):
         """True when :attr:`cache` holds a *complete* entry for ``plan`` —
@@ -362,10 +434,8 @@ class QueryEngine:
         """Evaluate ``plan`` fresh in ``mode``; return the result rows."""
         if mode == "tuple":
             return self._eval(plan, charges)
-        generation = self.database.cache_key()
-        if generation != self._node_generation:
-            self._node_results.clear()
-            self._node_generation = generation
+        self._node_results.metrics = metrics
+        self._refresh_dependencies(metrics)
         compiled = self._compiled_for(plan, batch_size)
         batch = compiled.run(charges)
         if metrics is not None and charges.batches:
@@ -533,7 +603,9 @@ class QueryEngine:
         overhead = 128 + len(log) * 64
         if not rows:
             return overhead
-        avg = self._row_bytes_for(plan.fingerprint(), plan.columns(), rows)
+        avg = self._row_bytes_for(
+            plan.fingerprint(), plan.columns(), rows, self.tables_for(plan)
+        )
         # ~56 bytes of tuple/pointer overhead per row in CPython.
         return overhead + len(rows) * (avg + 56 + 8 * len(plan.columns()))
 
@@ -783,7 +855,8 @@ class QueryEngine:
         n = len(rows)
         if n:
             row_bytes = self._row_bytes_for(
-                op.child.fingerprint(), op.child.columns(), rows
+                op.child.fingerprint(), op.child.columns(), rows,
+                self.tables_for(op.child),
             )
             comparisons = n * math.log2(n + 1)
             cost = comparisons * model.sort_cmp_ms * (
@@ -1054,7 +1127,8 @@ class QueryEngine:
         n = len(rows)
         if n:
             row_bytes = self._row_bytes_for(
-                op.child.fingerprint(), op.child.columns(), rows
+                op.child.fingerprint(), op.child.columns(), rows,
+                self.tables_for(op.child),
             )
             comparisons = n * math.log2(n + 1)
             cost = comparisons * model.sort_cmp_ms * (

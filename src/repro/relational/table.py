@@ -83,6 +83,113 @@ class Table:
                     f"valid {column.sql_type.value}"
                 )
 
+    def _predicate(self, where):
+        """Compile a mutation's ``where`` into a ``row -> bool`` closure.
+
+        ``where`` is either a mapping of column-name equalities or a
+        callable receiving the row as a ``{column: value}`` dict.
+        """
+        if callable(where):
+            names = self.schema.column_names
+
+            def pred(row):
+                return bool(where(dict(zip(names, row))))
+            return pred
+        items = [
+            (self.schema.column_index(name), value)
+            for name, value in where.items()
+        ]
+
+        def pred(row):
+            return all(row[i] == v for i, v in items)
+        return pred
+
+    def _reindexed(self, rows):
+        """Key/unique indexes for ``rows``, raising :class:`SchemaError`
+        on a duplicate — computed aside so a failing mutation commits
+        nothing."""
+        key_positions = [self.schema.column_index(k) for k in self.schema.key]
+        unique_positions = {
+            unique_set: [self.schema.column_index(c) for c in unique_set]
+            for unique_set in self.schema.unique_sets
+        }
+        key_index = {}
+        unique_indexes = {u: set() for u in self.schema.unique_sets}
+        for row in rows:
+            key = tuple(row[p] for p in key_positions)
+            if key in key_index:
+                raise SchemaError(f"{self.schema.name}: duplicate key {key}")
+            key_index[key] = row
+            for unique_set, positions in unique_positions.items():
+                candidate = tuple(row[p] for p in positions)
+                index = unique_indexes[unique_set]
+                if candidate in index:
+                    raise SchemaError(
+                        f"{self.schema.name}: duplicate value {candidate} "
+                        f"for unique columns {unique_set}"
+                    )
+                index.add(candidate)
+        return key_index, unique_indexes
+
+    def _commit(self, rows, key_index, unique_indexes):
+        self.rows = rows
+        self._key_index = key_index
+        self._unique_indexes = unique_indexes
+        self._indexes.clear()
+        self.version += 1
+
+    def update(self, where, changes):
+        """Update the rows matching ``where`` in place; returns the count.
+
+        ``changes`` maps column names to new values — or to callables
+        receiving the current row as a ``{column: value}`` dict and
+        returning the new value.  Row *order is preserved* (updated rows
+        keep their slots), types and key/unique constraints are
+        re-validated, and nothing is committed if any row would violate
+        them.  A successful update with at least one matched row bumps
+        :attr:`version`.
+        """
+        pred = self._predicate(where)
+        change_plan = [
+            (self.schema.column_index(name), value)
+            for name, value in changes.items()
+        ]
+        names = self.schema.column_names
+        new_rows = []
+        matched = 0
+        for row in self.rows:
+            if pred(row):
+                matched += 1
+                values = list(row)
+                for position, value in change_plan:
+                    if callable(value):
+                        value = value(dict(zip(names, row)))
+                    values[position] = value
+                row = tuple(values)
+                self._check_types(row)
+            new_rows.append(row)
+        if not matched:
+            return 0
+        key_index, unique_indexes = self._reindexed(new_rows)
+        self._commit(new_rows, key_index, unique_indexes)
+        return matched
+
+    def delete(self, where):
+        """Delete the rows matching ``where``; returns the count deleted.
+
+        The surviving rows keep their relative order, so scans after a
+        delete are a subsequence of the scans before it.  A delete that
+        removes at least one row bumps :attr:`version`.
+        """
+        pred = self._predicate(where)
+        kept = [row for row in self.rows if not pred(row)]
+        removed = len(self.rows) - len(kept)
+        if not removed:
+            return 0
+        key_index, unique_indexes = self._reindexed(kept)
+        self._commit(kept, key_index, unique_indexes)
+        return removed
+
     def lookup_key(self, key_values):
         """Return the row with the given primary-key values, or None."""
         return self._key_index.get(tuple(key_values))

@@ -52,6 +52,7 @@ from repro.relational.algebra import (
     Literal,
 )
 from repro.relational.batch import Batch, DEFAULT_BATCH_SIZE
+from repro.relational.dependencies import plan_tables
 from repro.common.errors import QueryError
 
 
@@ -137,17 +138,6 @@ def _note_batches(charges, label, n, batch_size):
     charges.batches[label] = charges.batches.get(label, 0) + chunks
 
 
-#: Upper bound on cached node results per engine (pop-oldest beyond it).
-_NODE_CACHE_CAP = 4096
-
-
-def _cache_store(results, key, value):
-    if len(results) >= _NODE_CACHE_CAP:
-        results.pop(next(iter(results)))
-    results[key] = value
-    return value
-
-
 class _PlanCompiler:
     """Per-(engine, batch_size) lowering context.
 
@@ -156,10 +146,12 @@ class _PlanCompiler:
     runs live, so the simulated clock and charge log are bit-identical to
     the tuple engine's on every execution.  The *data* half — the actual
     row work — is deterministic given the sub-plan fingerprint and the
-    database generation, so its result :class:`Batch` is cached in the
-    engine's node-result cache (cleared whenever the database generation
-    changes) and shared across executions; sweep partitions overlap
-    heavily, so most executions touch no rows at all.
+    generations of the base tables the sub-plan reads, so its result
+    :class:`Batch` is cached in the engine's
+    :class:`~repro.relational.cache.NodeResultCache` under that dependency
+    footprint and shared across executions; a mutation invalidates only
+    the dependent entries, and sweep partitions overlap heavily, so most
+    executions touch no rows at all.
     """
 
     def __init__(self, engine, batch_size):
@@ -219,14 +211,14 @@ class _PlanCompiler:
         batch_size = self.batch_size
         results = self.results
         fp = op.fingerprint()
+        tables = plan_tables(op)
 
         def fresh(charges):
             batch = results.get(fp)
             if batch is None:
                 rows = list(database.table(table_name).rows)
-                batch = _cache_store(
-                    results, fp, Batch.from_rows(rows, arity)
-                )
+                batch = Batch.from_rows(rows, arity)
+                results.store(fp, batch, tables)
             n = batch.length
             _note_batches(charges, "scan", n, batch_size)
             charges.charge("scan", n * scan_row_ms, n)
@@ -243,6 +235,7 @@ class _PlanCompiler:
 
         results = self.results
         fp = op.fingerprint()
+        tables = plan_tables(op)
 
         def fresh(charges):
             batch = child(charges)
@@ -257,9 +250,8 @@ class _PlanCompiler:
                         extend(kernel(rows[start:start + batch_size]))
                 else:
                     out = kernel(rows)
-                result = _cache_store(
-                    results, fp, Batch.from_rows(out, arity)
-                )
+                result = Batch.from_rows(out, arity)
+                results.store(fp, result, tables)
             _note_batches(charges, "filter", n, batch_size)
             charges.charge("filter", n * filter_row_ms, n)
             return result
@@ -282,6 +274,7 @@ class _PlanCompiler:
 
         results = self.results
         fp = op.fingerprint()
+        tables = plan_tables(op)
 
         def fresh(charges):
             batch = child(charges)
@@ -294,9 +287,8 @@ class _PlanCompiler:
                 columns = [
                     batch.col(p) if is_col else [p] * n for is_col, p in plan
                 ]
-                result = _cache_store(
-                    results, fp, Batch.from_columns(columns, n)
-                )
+                result = Batch.from_columns(columns, n)
+                results.store(fp, result, tables)
             _note_batches(charges, "project", n, batch_size)
             charges.charge("project", n * project_row_ms, n)
             return result
@@ -311,6 +303,7 @@ class _PlanCompiler:
 
         results = self.results
         fp = op.fingerprint()
+        tables = plan_tables(op)
 
         def fresh(charges):
             batch = child(charges)
@@ -321,9 +314,8 @@ class _PlanCompiler:
                 # — the same output order as the tuple engine's seen-set
                 # loop.
                 out = list(dict.fromkeys(batch.rows(batch_size)))
-                result = _cache_store(
-                    results, fp, Batch.from_rows(out, arity)
-                )
+                result = Batch.from_rows(out, arity)
+                results.store(fp, result, tables)
             _note_batches(charges, "distinct", n, batch_size)
             charges.charge("distinct", n * hash_row_ms, n)
             return result
@@ -350,6 +342,7 @@ class _PlanCompiler:
 
         results = self.results
         fp = op.fingerprint()
+        tables = plan_tables(op)
 
         def fresh(charges):
             left_batch = left(charges)
@@ -378,9 +371,8 @@ class _PlanCompiler:
                             continue
                         for match in lookup(key, ()):
                             append(row + match)
-                result = _cache_store(
-                    results, fp, Batch.from_rows(out, arity)
-                )
+                result = Batch.from_rows(out, arity)
+                results.store(fp, result, tables)
             _note_batches(charges, "join", n_left + n_right, batch_size)
             charges.charge(
                 "join",
@@ -432,6 +424,7 @@ class _PlanCompiler:
 
         results = self.results
         fp = op.fingerprint()
+        tables = plan_tables(op)
 
         def fresh(charges):
             left_batch = left(charges)
@@ -477,10 +470,8 @@ class _PlanCompiler:
                             matched = True
                     if not matched:
                         append(row + null_pad)
-                cached = _cache_store(
-                    results, fp,
-                    (Batch.from_rows(out, arity), build_work),
-                )
+                cached = (Batch.from_rows(out, arity), build_work)
+                results.store(fp, cached, tables)
             result, build_work = cached
 
             _note_batches(
@@ -523,6 +514,7 @@ class _PlanCompiler:
 
         results = self.results
         fp = op.fingerprint()
+        tables = plan_tables(op)
 
         def fresh(charges):
             # Children are always evaluated (in input order) so their
@@ -548,7 +540,7 @@ class _PlanCompiler:
                 if distinct:
                     deduped = list(dict.fromkeys(out.rows(batch_size)))
                     out = Batch.from_rows(deduped, width)
-                _cache_store(results, fp, out)
+                results.store(fp, out, tables)
             n_out = out.length
             _note_batches(charges, "union", n_out, batch_size)
             charges.charge("union", n_out * union_row_ms, n_out)
@@ -564,6 +556,7 @@ class _PlanCompiler:
         ]
         child_fp = op.child.fingerprint()
         child_columns = op.child.columns()
+        child_tables = plan_tables(op.child)
         engine = self.engine
         arity = len(op.columns())
         model = self.model
@@ -575,6 +568,7 @@ class _PlanCompiler:
 
         results = self.results
         fp = op.fingerprint()
+        tables = plan_tables(op)
 
         def fresh(charges):
             batch = child(charges)
@@ -593,16 +587,16 @@ class _PlanCompiler:
                                          getter)
                 else:
                     out = list(rows)
-                result = _cache_store(
-                    results, fp, Batch.from_rows(out, arity)
-                )
+                result = Batch.from_rows(out, arity)
+                results.store(fp, result, tables)
 
             if n:
                 # Width sampling sees the *input-order* rows, as in the
                 # tuple engine; the estimate is cached per (child plan,
-                # database generation) and shared across engines.
+                # dependency generations) and shared across engines.
                 row_bytes = engine._row_bytes_for(
-                    child_fp, child_columns, batch.rows(batch_size)
+                    child_fp, child_columns, batch.rows(batch_size),
+                    child_tables,
                 )
                 comparisons = n * math.log2(n + 1)
                 cost = comparisons * sort_cmp_ms * (

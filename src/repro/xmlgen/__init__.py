@@ -13,6 +13,8 @@ used to check produced documents against Fig. 2-style DTDs.
 from repro.xmlgen.streams import (
     Instance,
     ComparatorLayout,
+    StreamInstanceCache,
+    XmlDocumentCache,
     decode_stream,
     iter_instances,
     merge_streams,
@@ -24,6 +26,8 @@ from repro.xmlgen.dtd import Dtd, parse_dtd, validate_document
 __all__ = [
     "Instance",
     "ComparatorLayout",
+    "StreamInstanceCache",
+    "XmlDocumentCache",
     "decode_stream",
     "iter_instances",
     "merge_streams",

@@ -109,7 +109,8 @@ class XmlTagger:
 
 
 def tag_streams(tree, specs, streams, root_tag="view", indent=None,
-                writer=None, obs=None):
+                writer=None, obs=None, instance_cache=None,
+                instance_keys=None):
     """Decode, merge, and tag a set of executed streams.
 
     ``specs`` are the :class:`~repro.core.sqlgen.StreamSpec` objects and
@@ -126,10 +127,19 @@ def tag_streams(tree, specs, streams, root_tag="view", indent=None,
     ``merge.instances`` / ``tag.elements`` / ``tag.bytes`` counters (bytes
     best-effort: the characters the writer's sink received, when the sink
     can tell).
+
+    ``instance_cache``/``instance_keys`` (a
+    :class:`~repro.xmlgen.streams.StreamInstanceCache` plus one key per
+    spec, None to opt a stream out) replay unchanged streams' decoded
+    instance sequences across materializations and splice them into the
+    merge — see :func:`~repro.xmlgen.streams.iter_instances`.
     """
     writer = writer or XmlWriter(indent=indent)
     tagger = XmlTagger(tree, writer, root_tag=root_tag)
-    instances = iter_instances(tree, specs, streams)
+    instances = iter_instances(
+        tree, specs, streams,
+        instance_cache=instance_cache, instance_keys=instance_keys,
+    )
     tracer, metrics = obs_parts(obs)
     if not (tracer.enabled or metrics.enabled):
         tagger.run(instances)

@@ -1,0 +1,425 @@
+"""Incremental view maintenance: mutations, delta propagation, splicing.
+
+The contract under test: a mutation through the
+:class:`~repro.relational.database.Database` API moves only the touched
+tables' generations, the dependency-scoped caches drop exactly the
+entries that read those tables, and re-materializing a view afterwards
+is byte-identical — XML and simulated timings — to a cold run against a
+fresh database holding the same final state.  The property test drives
+random interleavings of writes and materializations through both
+engines, concurrent dispatch, faults, and replicas.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.queries import QUERY_1
+from repro.cli import _apply_delta
+from repro.common.errors import ReproError, SchemaError, StaleGenerationError
+from repro.core.options import ExecutionOptions
+from repro.core.silkroute import SilkRoute
+from repro.core.sqlgen import SqlGenerator
+from repro.obs import ObsOptions
+from repro.relational.cache import NodeResultCache, PlanResultCache
+from repro.relational.connection import Connection
+from repro.relational.database import Database, synthesize_rows
+from repro.relational.dependencies import plan_tables
+from repro.relational.dispatch import execute_specs
+from repro.relational.engine import CostModel
+from repro.relational.estimator import CostEstimator
+from repro.relational.faults import FaultPolicy, RetryPolicy
+from repro.tpch.generator import TpchGenerator, TpchScale
+
+TINY = TpchScale(suppliers=8, parts=16, customers=10, orders=40)
+
+
+def fresh_setup(seed=42, cache=True):
+    """A private mutable database plus a cached SilkRoute view over it
+    (the session fixtures are shared, so mutation tests build their own)."""
+    db = TpchGenerator(scale=TINY, seed=seed).generate()
+    connection = Connection(db, CostModel())
+    silk = SilkRoute(
+        connection, estimator=CostEstimator(db, CostModel()), cache=cache,
+    )
+    return db, connection, silk, silk.define_view(QUERY_1)
+
+
+def clone_from_state(db):
+    """A fresh :class:`Database` holding ``db``'s current rows in stored
+    order — the cold-run oracle for incremental maintenance."""
+    clone = Database(db.schema)
+    for name, table in db.tables.items():
+        fresh = clone.table(name)
+        for row in table.rows:
+            fresh.insert(*row)
+    return clone
+
+
+def cold_materialize(db, strategy, options):
+    """Materialize ``QUERY_1`` over a clone of ``db`` through a fresh
+    (cache-empty) connection."""
+    clone = clone_from_state(db)
+    connection = Connection(clone, CostModel())
+    view = SilkRoute(
+        connection, estimator=CostEstimator(clone, CostModel()),
+    ).define_view(QUERY_1)
+    return view.materialize(strategy, root_tag="view", options=options)
+
+
+# ---------------------------------------------------------------------------
+# Mutation API
+
+
+class TestMutationApi:
+    def test_insert_bumps_only_that_table(self):
+        db, _, _, _ = fresh_setup()
+        before = db.table_generations()
+        [row] = synthesize_rows(db, "Nation", 1)
+        db.insert("Nation", *row)
+        after = db.table_generations()
+        assert after["Nation"] == before["Nation"] + 1
+        assert {k: v for k, v in after.items() if k != "Nation"} == \
+            {k: v for k, v in before.items() if k != "Nation"}
+
+    def test_update_counts_and_preserves_slots(self):
+        db, _, _, _ = fresh_setup()
+        table = db.table("Supplier")
+        keys_before = [row[0] for row in table.rows]
+        matched = db.update(
+            "Supplier", lambda row: row["suppkey"] == keys_before[0],
+            {"name": "renamed"},
+        )
+        assert matched == 1
+        assert [row[0] for row in table.rows] == keys_before
+        assert table.rows[0][table.schema.column_index("name")] == "renamed"
+
+    def test_no_match_update_is_a_version_noop(self):
+        db, _, _, _ = fresh_setup()
+        version = db.table("Supplier").version
+        assert db.update("Supplier", {"suppkey": -1}, {"name": "x"}) == 0
+        assert db.table("Supplier").version == version
+
+    def test_delete_counts_and_preserves_order(self):
+        db, _, _, _ = fresh_setup()
+        table = db.table("Supplier")
+        survivors = [row[0] for row in table.rows[1:]]
+        victim = table.rows[0][0]
+        assert db.delete("Supplier", {"suppkey": victim}) == 1
+        assert [row[0] for row in table.rows] == survivors
+
+    def test_failed_update_commits_nothing(self):
+        db, _, _, _ = fresh_setup()
+        table = db.table("Supplier")
+        rows_before = list(table.rows)
+        version = table.version
+        first_key = table.rows[0][0]
+        with pytest.raises(SchemaError):
+            # Collapse every key onto one value: duplicate primary key.
+            db.update("Supplier", lambda row: True, {"suppkey": first_key})
+        assert table.rows == rows_before
+        assert table.version == version
+
+    def test_synthesized_rows_join_and_validate(self):
+        db, _, _, _ = fresh_setup()
+        rows = synthesize_rows(db, "Supplier", 3, seed=7)
+        assert len(rows) == 3
+        for row in rows:
+            db.insert("Supplier", *row)
+        db.check_foreign_keys()
+        nationkeys = set(db.table("Nation").column_values("nationkey"))
+        position = db.table("Supplier").schema.column_index("nationkey")
+        assert all(row[position] in nationkeys for row in rows)
+
+
+# ---------------------------------------------------------------------------
+# Dependency footprints and cache keys
+
+
+class TestDependencyKeys:
+    def _specs(self, db, view):
+        generator = SqlGenerator(view.tree, db.schema)
+        return generator.streams_for_partition(view.fully_partitioned())
+
+    def test_plan_tables_names_the_scanned_tables(self):
+        db, _, _, view = fresh_setup()
+        specs = self._specs(db, view)
+        footprints = [plan_tables(spec.plan) for spec in specs]
+        assert all(fp for fp in footprints)
+        everything = frozenset().union(*footprints)
+        assert "Supplier" in everything and "Nation" in everything
+        # Fully partitioned: no single stream reads every table.
+        assert all(fp < everything for fp in footprints)
+
+    def test_dependency_key_moves_only_for_read_tables(self):
+        db, connection, _, view = fresh_setup()
+        engine = connection.engine
+        spec = next(
+            s for s in self._specs(db, view)
+            if "Region" not in engine.tables_for(s.plan)
+        )
+        key = engine.dependency_key(spec.plan)
+        cache_key = engine.cache_key_for(spec.plan)
+        [row] = synthesize_rows(db, "Region", 1)
+        db.insert("Region", *row)
+        assert engine.dependency_key(spec.plan) == key
+        assert engine.cache_key_for(spec.plan) == cache_key
+        touched = sorted(engine.tables_for(spec.plan))[0]
+        db.delete(touched, lambda row: False)
+        assert engine.dependency_key(spec.plan) == key  # 0 rows: no-op
+        first = db.table(touched).rows[0]
+        db.delete(touched, lambda row: tuple(row.values()) == first)
+        assert engine.dependency_key(spec.plan) != key
+        assert engine.cache_key_for(spec.plan) != cache_key
+
+
+# ---------------------------------------------------------------------------
+# NodeResultCache
+
+
+class _FakeBatch:
+    def __init__(self, length, arity=2):
+        self.length = length
+        self.arity = arity
+
+
+class TestNodeResultCache:
+    def test_invalidate_drops_only_dependents(self):
+        cache = NodeResultCache()
+        cache.store("a", _FakeBatch(4), {"Nation"})
+        cache.store("b", _FakeBatch(4), {"Supplier", "Nation"})
+        cache.store("c", _FakeBatch(4), {"Region"})
+        assert cache.invalidate({"Nation"}) == 2
+        assert cache.get("c") is not None
+        assert cache.get("a") is None and cache.get("b") is None
+        assert cache.stats().invalidations == 2
+
+    def test_retention_keeps_hottest_per_byte(self):
+        big, small = _FakeBatch(1000), _FakeBatch(1)
+        budget = 2 * (64.0 + 16.0 * small.length * small.arity) + 1
+        cache = NodeResultCache(retention_bytes=budget)
+        cache.store("cold-big", big, {"Part"})
+        cache.store("hot-small", small, {"Part"})
+        cache.store("warm-small", small, {"Part"})
+        for _ in range(5):
+            cache.get("hot-small")
+        cache.get("warm-small")
+        cache.invalidate({"Nation"})  # no dependents; retention still runs
+        assert cache.get("hot-small") is not None
+        assert cache.get("warm-small") is not None
+        assert cache.get("cold-big") is None
+        assert cache.stats().evictions == 1
+
+    def test_configure_tightens_and_lifts(self):
+        cache = NodeResultCache()
+        for i in range(6):
+            cache.store(f"f{i}", _FakeBatch(1), {"Part"})
+        cache.configure(max_entries=3)
+        assert len(cache) == 3
+        assert cache.stats().evictions == 3
+        cache.configure(retention_bytes=1.0)
+        assert cache.stats().max_bytes == 1.0
+        cache.configure(retention_bytes=float("inf"))
+        assert cache.stats().max_bytes == float("inf")
+
+    def test_options_wire_the_bounds(self):
+        _, connection, _, view = fresh_setup()
+        view.materialize(
+            "fully-partitioned",
+            options=ExecutionOptions(node_cache_entries=5,
+                                     retention_bytes=1e6),
+        )
+        node_cache = connection.engine.node_cache
+        assert node_cache.max_entries == 5
+        assert node_cache.retention_bytes == 1e6
+        assert len(node_cache) <= 5
+
+
+# ---------------------------------------------------------------------------
+# PlanResultCache invalidation
+
+
+class TestPlanCacheInvalidation:
+    def test_mutation_drops_only_dependent_entries(self):
+        db, connection, silk, view = fresh_setup()
+        view.materialize("fully-partitioned",
+                         options=ExecutionOptions(obs=ObsOptions()))
+        cache = silk.cache
+        entries_before = len(cache)
+        assert entries_before > 0
+        [row] = synthesize_rows(db, "Region", 1)
+        db.insert("Region", *row)
+        obs = ObsOptions()
+        view.materialize("fully-partitioned",
+                         options=ExecutionOptions(obs=obs))
+        stats = cache.stats()
+        assert stats.invalidations > 0
+        assert stats.invalidations < entries_before
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["plan_cache.invalidations"] == stats.invalidations
+
+    def test_opaque_keys_survive_invalidation(self):
+        db, _, _, _ = fresh_setup()
+        cache = PlanResultCache()
+
+        class Entry:
+            nbytes = 1.0
+            complete = True
+        cache.store(("plan", 1), Entry())
+        dropped = cache.invalidate_tables(
+            db._token, {"Nation"}, db.table_generations(),
+        )
+        assert dropped == 0
+        assert cache.peek(("plan", 1)) is not None
+
+
+# ---------------------------------------------------------------------------
+# Stale-generation guard
+
+
+class TestStaleGenerationGuard:
+    def test_mid_sweep_mutation_raises_repro_error(self):
+        db, connection, _, view = fresh_setup()
+        generator = SqlGenerator(view.tree, db.schema)
+        specs = generator.streams_for_partition(view.fully_partitioned())
+        pinned = db.table_generations()
+        [row] = synthesize_rows(db, "Nation", 1)
+        db.insert("Nation", *row)
+        with pytest.raises(StaleGenerationError) as exc_info:
+            execute_specs(connection, specs, expect_generations=pinned)
+        error = exc_info.value
+        assert isinstance(error, ReproError)
+        assert list(error.tables) == ["Nation"]
+        assert "Nation" in str(error) and "mutated mid-sweep" in str(error)
+
+    def test_matching_generations_pass(self):
+        db, connection, _, view = fresh_setup()
+        generator = SqlGenerator(view.tree, db.schema)
+        specs = generator.streams_for_partition(view.unified_partition())
+        result = execute_specs(
+            connection, specs, expect_generations=db.table_generations(),
+        )
+        assert result.timeout is None
+
+
+# ---------------------------------------------------------------------------
+# Incremental re-materialization == cold run
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("engine", ["batch", "tuple"])
+    @pytest.mark.parametrize("op,table", [
+        ("insert", "Nation"),
+        ("insert", "Supplier"),
+        ("update", "LineItem"),
+        ("delete", "PartSupp"),
+    ])
+    def test_delta_matches_cold_run(self, engine, op, table):
+        db, _, _, view = fresh_setup()
+        options = ExecutionOptions(engine=engine)
+        view.materialize("fully-partitioned", root_tag="view",
+                         options=options)
+        assert _apply_delta(db, table, op, 2, seed=3) > 0
+        incremental = view.materialize("fully-partitioned", root_tag="view",
+                                       options=options)
+        cold = cold_materialize(db, "fully-partitioned", options)
+        assert incremental.xml == cold.xml
+        assert incremental.report.query_ms == cold.report.query_ms
+        assert incremental.report.transfer_ms == cold.report.transfer_ms
+
+    def test_untouched_streams_splice_from_cache(self):
+        db, _, _, view = fresh_setup()
+        options = ExecutionOptions()
+        view.materialize("fully-partitioned", root_tag="view",
+                         options=options)
+        first = view.instance_cache.stats()
+        assert first["misses"] > 0 and first["hits"] == 0
+        # An unchanged re-materialization serves the finished document —
+        # no re-decode, no re-tag.
+        repeat = view.materialize("fully-partitioned", root_tag="view",
+                                  options=options)
+        assert view.document_cache.stats()["hits"] == 1
+        assert view.instance_cache.stats() == first
+        # Any plan of the same view can serve the document too.
+        unified = view.materialize("unified", root_tag="view",
+                                   options=options)
+        assert view.document_cache.stats()["hits"] == 2
+        assert unified.xml == repeat.xml
+        assert _apply_delta(db, "Region", "update", 1, seed=1) == 1
+        incremental = view.materialize("fully-partitioned", root_tag="view",
+                                       options=options)
+        third = view.instance_cache.stats()
+        replayed = third["hits"] - first["hits"]
+        redecoded = third["misses"] - first["misses"]
+        assert redecoded > 0            # the Region-reading streams moved
+        assert replayed > 0             # ...but untouched siblings spliced
+        assert replayed + redecoded == first["misses"]
+        cold = cold_materialize(db, "fully-partitioned", options)
+        assert incremental.xml == cold.xml
+        assert repeat.xml != incremental.xml  # the delta is visible
+
+
+# ---------------------------------------------------------------------------
+# Property: random interleavings reconcile with the final state
+
+
+_MUTABLE_TABLES = ["Nation", "Supplier", "PartSupp", "LineItem", "Customer"]
+
+_STEPS = st.lists(
+    st.one_of(
+        st.just(("materialize",)),
+        st.tuples(
+            st.sampled_from(["insert", "update", "delete"]),
+            st.sampled_from(_MUTABLE_TABLES),
+            st.integers(min_value=1, max_value=3),
+        ),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _variant_options(engine, workers, resilience):
+    retry = faults = replicas = None
+    if resilience == "faults":
+        faults = FaultPolicy(seed=5, error_rate=0.15)
+        retry = RetryPolicy(max_attempts=6)
+    elif resilience == "replicas":
+        replicas = 2
+        retry = RetryPolicy(max_attempts=6)
+    return ExecutionOptions(engine=engine, workers=workers, retry=retry,
+                            faults=faults, replicas=replicas)
+
+
+class TestInterleavingProperty:
+    @pytest.mark.parametrize("engine,workers,resilience", [
+        ("batch", None, None),
+        ("tuple", None, None),
+        ("batch", 2, "faults"),
+        ("batch", 2, "replicas"),
+    ])
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(steps=_STEPS)
+    def test_interleavings_match_final_state(self, steps, engine, workers,
+                                             resilience):
+        db, _, _, view = fresh_setup(seed=11)
+        options = _variant_options(engine, workers, resilience)
+        for i, step in enumerate(steps):
+            if step[0] == "materialize":
+                view.materialize("fully-partitioned", root_tag="view",
+                                 options=options)
+            else:
+                op, table, count = step
+                try:
+                    _apply_delta(db, table, op, count, seed=i)
+                except SchemaError:
+                    continue  # e.g. key space exhausted; skip the step
+        final = view.materialize("fully-partitioned", root_tag="view",
+                                 options=options)
+        cold = cold_materialize(db, "fully-partitioned", options)
+        assert final.xml == cold.xml
+        if resilience is None:
+            assert final.report.query_ms == cold.report.query_ms
+            assert final.report.transfer_ms == cold.report.transfer_ms

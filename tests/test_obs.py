@@ -472,6 +472,31 @@ class TestMetricsReconciliation:
             == first.report.attempts + second.report.attempts
         )
 
+    def test_node_cache_counters_reconcile(self, tiny_db, tiny_estimator):
+        obs = ObsOptions()
+        connection = Connection(tiny_db, CostModel())
+        silk = SilkRoute(connection, estimator=tiny_estimator)
+        view = silk.define_view(QUERY_1)
+        opts = ExecutionOptions(obs=obs)
+        first = view.materialize("fully-partitioned", options=opts)
+        second = view.materialize("fully-partitioned", options=opts)
+        assert second.xml == first.xml
+        counters = self._counters(obs)
+        stats = connection.engine.node_cache.stats()
+        # Per-event counters match the cache's lifetime totals exactly —
+        # every lookup counted once, as a hit or a miss, never both.
+        assert stats.hits > 0 and stats.misses > 0
+        assert counters["node_cache.hits"] == stats.hits
+        assert counters["node_cache.misses"] == stats.misses
+        assert counters["node_cache.stores"] == stats.stores
+        assert counters.get("node_cache.evictions", 0) == stats.evictions
+        assert (
+            counters.get("node_cache.invalidations", 0) == stats.invalidations
+        )
+        gauges = obs.metrics.snapshot()["gauges"]
+        assert gauges["node_cache.hits"] == stats.hits
+        assert gauges["node_cache.entries"] == stats.entries
+
     def test_cache_replays_shield_a_faulty_source(self, tiny_db,
                                                   tiny_estimator):
         cache = PlanResultCache()
