@@ -17,7 +17,7 @@ Run::
     python examples/custom_catalog.py
 """
 
-from repro import SilkRoute, parse_dtd, validate_document
+from repro import Session, parse_dtd, validate_document
 from repro.tpch import CONFIG_A, build_configuration
 
 REGION_CATALOG = """
@@ -62,25 +62,25 @@ construct
 
 def main():
     database, connection, estimator = build_configuration(CONFIG_A)
-    silk = SilkRoute(connection, estimator=estimator)
+    session = Session(connection, estimator=estimator)
 
     print("=== region-centric catalog ===")
-    catalog = silk.define_view(REGION_CATALOG)
+    catalog = session.view(REGION_CATALOG)
     print("edge labels:",
           {n.sfi: n.label for n in catalog.tree.nodes if n.parent})
-    result = catalog.materialize(root_tag="catalog", indent=2)
+    result = session.materialize(REGION_CATALOG, root_tag="catalog", indent=2)
     validate_document(result.xml, REGION_DTD, root="catalog")
     print(f"valid against the region DTD; {len(result.xml)} characters, "
           f"{result.report.n_streams} stream(s)")
     print(result.xml[:400], "...")
 
     print("\n=== fused party directory ===")
-    directory = silk.define_view(PARTY_DIRECTORY)
+    directory = session.view(PARTY_DIRECTORY)
     party_nodes = [n for n in directory.tree.nodes if n.tag == "party"]
     print(f"<party> template nodes: {len(party_nodes)} "
           f"(with {len(party_nodes[0].rules)} datalog rules — one per source)")
-    result = directory.materialize(
-        partition="fully-partitioned", root_tag=None, indent=2
+    result = session.materialize(
+        PARTY_DIRECTORY, "fully-partitioned", root_tag=None, indent=2
     )
     n_parties = result.xml.count("<party>")
     n_expected = len(database.table("Supplier")) + len(database.table("Customer"))

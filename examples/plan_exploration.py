@@ -9,32 +9,36 @@ plan family lands in the ranking.  Run::
     python examples/plan_exploration.py
 """
 
-from repro import GreedyPlanner, PlanStyle, unified_partition, fully_partitioned
-from repro.bench.queries import QUERY_1, load_view
+from repro import (
+    GreedyPlanner,
+    PlanStyle,
+    Session,
+    fully_partitioned,
+    unified_partition,
+)
+from repro.bench.queries import QUERY_1
 from repro.bench.report import format_series
-from repro.bench.sweep import sweep_partitions
 from repro.tpch import CONFIG_A, build_configuration
 
 
 def main():
     config = CONFIG_A
     database, connection, estimator = build_configuration(config)
-    tree = load_view(QUERY_1, database.schema)
+    session = Session(connection, estimator=estimator)
+    tree = session.view(QUERY_1).tree
     print(f"view tree: {tree}  =>  2^{len(tree.edges)} = "
           f"{2 ** len(tree.edges)} possible plans")
 
     print("\nsweeping every plan (view-tree reduction on)...")
-    done = [0]
 
     def progress(i, total):
         if i % 128 == 0 or i == total:
             print(f"  {i}/{total}")
 
-    sweep = sweep_partitions(
-        tree, database.schema, connection,
-        style=PlanStyle.OUTER_JOIN, reduce=True,
+    sweep = session.sweep(
+        QUERY_1, style=PlanStyle.OUTER_JOIN, reduce=True,
         budget_ms=config.subquery_budget_ms, progress=progress,
-    )
+    ).sweep
 
     print()
     print(format_series(sweep, "query_ms",

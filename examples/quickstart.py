@@ -9,12 +9,10 @@ decomposition.  Run::
 
 from repro import (
     Column,
-    Connection,
-    CostModel,
     Database,
     DatabaseSchema,
     ForeignKey,
-    SilkRoute,
+    Session,
     SqlType,
     TableSchema,
 )
@@ -86,8 +84,8 @@ construct
 
 
 def main():
-    silk = SilkRoute(Connection(db, CostModel()))
-    view = silk.define_view(VIEW)
+    session = Session(db)
+    view = session.view(VIEW)
 
     print("view tree:")
     for node in view.tree.nodes:
@@ -96,11 +94,12 @@ def main():
 
     print("\nSQL sent for the greedy-chosen plan:")
     plan = view.greedy_plan()
-    for i, sql in enumerate(view.explain(plan.recommended(), reduce=True), 1):
+    explained = session.explain(VIEW, plan.recommended(), reduce=True)
+    for i, sql in enumerate(explained.sql, 1):
         print(f"\n-- query {i} " + "-" * 40)
         print(sql)
 
-    result = view.materialize(root_tag="music", indent=2)
+    result = session.materialize(VIEW, root_tag="music", indent=2)
     print("\nmaterialized document:")
     print(result.xml)
     print(

@@ -8,7 +8,7 @@ plan choice makes a 2.5-5x difference.  Run::
     python examples/tpch_export.py
 """
 
-from repro import SilkRoute, PlanStyle, parse_dtd, validate_document
+from repro import PlanStyle, Session, parse_dtd, validate_document
 from repro.bench.queries import QUERY_1, SUPPLIER_DTD
 from repro.tpch import CONFIG_A, build_configuration
 
@@ -17,8 +17,7 @@ def main():
     database, connection, estimator = build_configuration(CONFIG_A)
     print(f"TPC-H database: {database}")
 
-    silk = SilkRoute(connection, estimator=estimator)
-    view = silk.define_view(QUERY_1)
+    session = Session(connection, estimator=estimator)
 
     strategies = {
         "fully partitioned (10 queries)": dict(
@@ -33,7 +32,8 @@ def main():
     documents = {}
     print(f"\n{'strategy':35} {'streams':>7} {'query ms':>9} {'total ms':>9}")
     for name, kwargs in strategies.items():
-        result = view.materialize(root_tag="suppliers", **kwargs)
+        result = session.materialize(QUERY_1, kwargs.pop("partition"),
+                                     root_tag="suppliers", **kwargs)
         documents[name] = result.xml
         report = result.report
         print(

@@ -9,7 +9,7 @@ materializing the whole view first.  Run::
     python examples/virtual_view.py
 """
 
-from repro import SilkRoute
+from repro import Session
 from repro.bench.queries import QUERY_1
 from repro.tpch import CONFIG_A, build_configuration
 
@@ -35,8 +35,8 @@ construct <european>$s</european>
 
 def main():
     database, connection, estimator = build_configuration(CONFIG_A)
-    silk = SilkRoute(connection, estimator=estimator)
-    view = silk.define_view(QUERY_1)
+    session = Session(connection, estimator=estimator)
+    view = session.view(QUERY_1)
 
     print("=== fragment query: Iranian suppliers' sales ===")
     result = view.query(IRANIAN_SALES, root_tag="sales", indent=2)
@@ -50,7 +50,7 @@ def main():
     print(result2.xml)
 
     print("\n=== the same questions against the materialized view ===")
-    materialized = view.materialize(root_tag="view")
+    materialized = session.materialize(QUERY_1, root_tag="view")
     print(
         f"materializing everything: {materialized.report.total_ms:.0f}ms "
         f"simulated for {len(materialized.xml)} characters of XML,\n"

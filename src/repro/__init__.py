@@ -6,13 +6,15 @@ constant-space XML tagger.
 
 Quickstart::
 
-    from repro import SilkRoute
-    from repro.tpch import CONFIG_A, build_configuration
+    from repro import Session
 
-    database, connection, estimator = build_configuration(CONFIG_A)
-    silk = SilkRoute(connection, estimator=estimator)
-    view = silk.define_view(RXL_TEXT)
-    print(view.materialize(indent=2).xml)
+    session = Session()                  # Configuration-A TPC-H database
+    result = session.materialize(RXL_TEXT, indent=2)
+    print(result.xml)
+
+(:class:`Session` wraps the lower-level :class:`SilkRoute` facade — see
+:mod:`repro.session`; the multi-tenant query service lives in
+:mod:`repro.serve`.)
 """
 
 from repro.common.errors import (
@@ -55,6 +57,7 @@ from repro.relational import (
 )
 from repro.core import (
     ExecutionOptions,
+    RequestContext,
     GreedyParameters,
     GreedyPlan,
     GreedyPlanner,
@@ -80,6 +83,8 @@ from repro.obs import (
     profile_tree,
 )
 from repro.rxl import parse_rxl, validate_rxl
+from repro.serve import ServeClient, ServeError, Server
+from repro.session import QueryResult, Session, apply_delta
 from repro.xmlgen import parse_dtd, validate_document
 
 __version__ = "1.0.0"
@@ -107,6 +112,13 @@ __all__ = [
     "AdmissionPolicy",
     "AdmissionController",
     "ExecutionOptions",
+    "RequestContext",
+    "Session",
+    "QueryResult",
+    "apply_delta",
+    "Server",
+    "ServeClient",
+    "ServeError",
     "Column",
     "Connection",
     "CostEstimator",

@@ -15,6 +15,7 @@ bit-identical.  ``workers=N`` additionally fans partitions out over a
 thread pool with deterministic result ordering.
 """
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -205,12 +206,25 @@ def _run_single(tree, schema, connection, partition, generator, budget_ms,
     )
 
 
-def sweep_partitions(tree, schema, connection, style=UNSET,
-                     reduce=UNSET, budget_ms=UNSET, partitions=None,
-                     progress=None, cache=True, workers=UNSET,
-                     stream_workers=None, retry=UNSET, faults=UNSET,
-                     replicas=UNSET, hedge_ms=UNSET, max_concurrent=UNSET,
-                     engine=UNSET, batch_size=UNSET, options=None):
+def sweep_partitions(tree, schema, connection, **kwargs):
+    """Deprecated module-level entry point — use
+    :meth:`repro.Session.sweep`, which wraps the same engine and returns
+    the unified :class:`~repro.session.QueryResult`.  This wrapper
+    delegates unchanged (same arguments, same :class:`SweepResult`) and
+    emits a :class:`DeprecationWarning`."""
+    warnings.warn(
+        "sweep_partitions() is deprecated; use repro.Session.sweep()",
+        DeprecationWarning, stacklevel=2,
+    )
+    return _sweep_partitions(tree, schema, connection, **kwargs)
+
+
+def _sweep_partitions(tree, schema, connection, style=UNSET,
+                      reduce=UNSET, budget_ms=UNSET, partitions=None,
+                      progress=None, cache=True, workers=UNSET,
+                      stream_workers=None, retry=UNSET, faults=UNSET,
+                      replicas=UNSET, hedge_ms=UNSET, max_concurrent=UNSET,
+                      engine=UNSET, batch_size=UNSET, options=None):
     """Execute every plan (or the given ``partitions``); returns a
     :class:`SweepResult`.
 

@@ -8,6 +8,8 @@
     python -m repro sweep --query q1 --reduce        # slow: 512 plans
     python -m repro trace q1 --out trace.json        # Chrome-trace profile
     python -m repro mutate --table Nation --op insert --rows 2
+    python -m repro serve --port 7414                # multi-tenant service
+    python -m repro query --connect 127.0.0.1:7414 --query q1 --indent 2
 
 All commands run against a freshly generated Configuration-A TPC-H
 database (deterministic seed), so output is reproducible.  ``--metrics``
@@ -22,13 +24,13 @@ import sys
 import repro
 from repro.bench.queries import QUERY_1, QUERY_2, load_view
 from repro.bench.report import format_series
-from repro.bench.sweep import sweep_partitions
 from repro.core.greedy import GreedyPlanner
 from repro.core.options import ExecutionOptions
 from repro.core.silkroute import SilkRoute
 from repro.core.sqlgen import PlanStyle
 from repro.obs import ObsOptions, metrics_json
 from repro.relational.faults import FaultPolicy, RetryPolicy
+from repro.session import Session, apply_delta as _apply_delta  # noqa: F401
 from repro.tpch.configs import CONFIG_A, build_configuration
 
 _QUERIES = {"q1": QUERY_1, "q2": QUERY_2}
@@ -110,70 +112,6 @@ def _obs_session(args):
     return None
 
 
-def _apply_delta(database, table_name, op, count, seed):
-    """Apply a synthesized ``op`` delta of ``count`` rows to ``table_name``;
-    returns the affected-row count."""
-    import datetime
-
-    from repro.common.errors import SchemaError
-    from repro.relational.database import synthesize_rows
-
-    table = database.table(table_name)
-    schema = table.schema
-    if op == "insert":
-        rows = synthesize_rows(database, table_name, count, seed=seed)
-        for row in rows:
-            database.insert(table_name, *row)
-        return len(rows)
-    positions = [schema.column_index(k) for k in schema.key]
-    if op == "delete":
-        victims = {
-            tuple(row[p] for p in positions) for row in table.rows[-count:]
-        }
-        return database.delete(
-            table_name,
-            lambda row: tuple(row[k] for k in schema.key) in victims,
-        )
-    # update: perturb the first non-key, non-foreign-key column of the
-    # first ``count`` rows (keys and join columns stay put, so the delta
-    # changes content without re-wiring the view).
-    targets = {
-        tuple(row[p] for p in positions) for row in table.rows[:count]
-    }
-    key_names = set(schema.key)
-    fk_names = {
-        column
-        for fk in database.schema.foreign_keys
-        if fk.table == table_name
-        for column in fk.columns
-    }
-    column = next(
-        (c for c in schema.columns
-         if c.name not in key_names and c.name not in fk_names),
-        None,
-    )
-    if column is None:
-        raise SchemaError(
-            f"{table_name} has no updatable (non-key, non-foreign-key) column"
-        )
-
-    def bump(row):
-        value = row[column.name]
-        if isinstance(value, bool) or value is None:
-            return value
-        if isinstance(value, (int, float)):
-            return value + 1
-        if isinstance(value, datetime.date):
-            return value + datetime.timedelta(days=1)
-        return f"updated-{seed}-{row[schema.key[0]]}"
-
-    return database.update(
-        table_name,
-        lambda row: tuple(row[k] for k in schema.key) in targets,
-        {column.name: bump},
-    )
-
-
 def _run_mutate(args, database, connection, estimator, rxl, out):
     """The ``mutate`` command: warm the caches, apply a delta, and show
     that incremental re-materialization matches a cold run byte-for-byte
@@ -183,26 +121,25 @@ def _run_mutate(args, database, connection, estimator, rxl, out):
 
     obs = _obs_session(args)
     options = _execution_options(args, obs=obs)
-    silk = SilkRoute(connection, estimator=estimator, cache=True)
-    view = silk.define_view(rxl)
+    session = Session(connection, estimator=estimator)
     strategy = None if args.strategy == "greedy" else args.strategy
 
     start = time.perf_counter()
-    view.materialize(strategy, root_tag="view", options=options)
+    session.materialize(rxl, strategy, root_tag="view", options=options)
     warm_s = time.perf_counter() - start
     print(f"-- warm materialization: {warm_s * 1000:.1f}ms wall", file=out)
 
-    changed = _apply_delta(database, args.table, args.op, args.rows,
-                           args.seed)
+    delta = session.mutate(args.table, op=args.op, rows=args.rows,
+                           seed=args.seed)
     print(
-        f"-- {args.op}: {changed} row(s) in {args.table} "
-        f"(now generation {database.table(args.table).version})",
+        f"-- {args.op}: {delta.mutated} row(s) in {args.table} "
+        f"(now generation {delta.stats['generation']})",
         file=out,
     )
 
     start = time.perf_counter()
-    incremental = view.materialize(strategy, root_tag="view",
-                                   options=options)
+    incremental = session.materialize(rxl, strategy, root_tag="view",
+                                      options=options)
     incremental_s = time.perf_counter() - start
 
     # Cold oracle: a fresh connection (empty caches) over the *mutated*
@@ -211,12 +148,11 @@ def _run_mutate(args, database, connection, estimator, rxl, out):
         CONFIG_A, database=database,
     )
     cold_options = dataclasses.replace(options, obs=None)
-    cold_view = SilkRoute(
-        cold_connection, estimator=cold_estimator,
-    ).define_view(rxl)
+    cold_session = Session(cold_connection, estimator=cold_estimator,
+                           cache=False)
     start = time.perf_counter()
-    cold = cold_view.materialize(strategy, root_tag="view",
-                                 options=cold_options)
+    cold = cold_session.materialize(rxl, strategy, root_tag="view",
+                                    options=cold_options)
     cold_s = time.perf_counter() - start
 
     identical = (
@@ -224,9 +160,9 @@ def _run_mutate(args, database, connection, estimator, rxl, out):
         and incremental.report.query_ms == cold.report.query_ms
         and incremental.report.transfer_ms == cold.report.transfer_ms
     )
-    plan_stats = silk.cache.stats().as_dict()
+    plan_stats = incremental.stats["plan_cache"]
     node_stats = connection.engine.node_cache.stats().as_dict()
-    splice = view.instance_cache.stats()
+    splice = incremental.stats["splice_cache"]
     print(
         f"-- plan cache: {plan_stats['hits']} hit(s), "
         f"{plan_stats['invalidations']} invalidation(s)",
@@ -335,6 +271,40 @@ def build_parser():
     sweep.add_argument("--metric", choices=["query_ms", "total_ms"],
                        default="query_ms")
 
+    query = sub.add_parser(
+        "query",
+        help="run a query against a running service (--connect) or locally",
+    )
+    add_common(query)
+    add_execution(query)
+    query.add_argument("name", nargs="?", choices=sorted(_QUERIES),
+                       default=None,
+                       help="workload query (same as --query)")
+    query.add_argument("--strategy", default="greedy",
+                       choices=["unified", "fully-partitioned", "greedy"])
+    query.add_argument("--indent", type=int, default=None)
+    query.add_argument("--out", default=None,
+                       help="write the document to a file")
+    query.add_argument("--connect", default=None, metavar="HOST:PORT",
+                       help="address of a running `repro serve` (omit to "
+                            "run locally through a Session)")
+    query.add_argument("--tenant", default="default",
+                       help="tenant name sent with the request")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant query service (JSON-line protocol)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7414,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--max-inflight", type=_positive_int, default=None,
+                       help="per-tenant in-flight request quota "
+                            "(default: unthrottled)")
+    serve.add_argument("--document-cache-bytes", type=_positive_int,
+                       default=None,
+                       help="LRU byte budget for finished documents")
+
     mutate = sub.add_parser(
         "mutate",
         help="apply a delta and re-materialize the view incrementally",
@@ -393,13 +363,80 @@ def build_parser():
     return parser
 
 
+def _run_serve(args, out):
+    """The ``serve`` command: the multi-tenant service over q1/q2."""
+    from repro.relational.replicas import AdmissionPolicy
+    from repro.serve import Server
+
+    policy = None
+    if args.max_inflight is not None:
+        policy = AdmissionPolicy(max_inflight_requests=args.max_inflight)
+    server = Server(
+        queries=dict(_QUERIES), default_policy=policy,
+        document_cache_bytes=args.document_cache_bytes,
+    )
+
+    def ready(address):
+        print(f"serving {sorted(_QUERIES)} on "
+              f"{address[0]}:{address[1]}", file=out)
+        if hasattr(out, "flush"):
+            out.flush()
+
+    try:
+        server.serve_forever(host=args.host, port=args.port, ready=ready)
+    except KeyboardInterrupt:
+        print("-- interrupted", file=out)
+    return 0
+
+
+def _run_remote_query(args, out):
+    """``query --connect``: one request against a running service."""
+    from repro.serve import ServeClient, ServeError
+
+    host, _, port = args.connect.rpartition(":")
+    options = _execution_options(args)
+    strategy = None if args.strategy == "greedy" else args.strategy
+    try:
+        with ServeClient(host or "127.0.0.1", int(port)) as client:
+            reply = client.query(
+                args.query, tenant=args.tenant, partition=strategy,
+                indent=args.indent, options=options,
+            )
+    except ServeError as exc:
+        print(f"-- error: {exc}", file=out)
+        return 1
+    if args.out:
+        with open(args.out, "w") as sink:
+            sink.write(reply["xml"])
+        print(f"wrote {len(reply['xml'])} characters to {args.out}", file=out)
+    else:
+        print(reply["xml"], file=out)
+    report = reply["report"]
+    coalesced = " (coalesced)" if reply.get("coalesced") else ""
+    print(
+        f"-- {report['n_streams']} stream(s), simulated "
+        f"{report['query_ms']:.0f}ms query + "
+        f"{report['transfer_ms']:.0f}ms transfer{coalesced}",
+        file=out,
+    )
+    return 0
+
+
 def main(argv=None, out=sys.stdout):
     args = build_parser().parse_args(argv)
+    if getattr(args, "name", None):
+        args.query = args.name
     if args.command == "experiments":
         from repro.bench.experiments import format_registry
 
         print(format_registry(), file=out)
         return 0
+
+    if args.command == "serve":
+        return _run_serve(args, out)
+
+    if args.command == "query" and args.connect:
+        return _run_remote_query(args, out)
 
     database, connection, estimator = build_configuration(CONFIG_A)
     rxl = _QUERIES[getattr(args, "query", "q1")]
@@ -437,10 +474,10 @@ def main(argv=None, out=sys.stdout):
     if args.command == "trace":
         obs = _obs_session(args)
         options = _execution_options(args, obs=obs)
-        silk = SilkRoute(connection, estimator=estimator)
-        view = silk.define_view(rxl)
+        session = Session(connection, estimator=estimator)
         strategy = None if args.strategy == "greedy" else args.strategy
-        result = view.materialize(strategy, root_tag="view", options=options)
+        result = session.materialize(rxl, strategy, root_tag="view",
+                                     options=options)
         with open(args.out, "w") as sink:
             sink.write(obs.chrome_trace_json())
         print(obs.profile(), file=out)
@@ -456,22 +493,22 @@ def main(argv=None, out=sys.stdout):
             print(metrics_json(obs.metrics), file=out)
         return 0
 
-    if args.command in ("explain", "materialize"):
+    if args.command in ("explain", "materialize", "query"):
         obs = _obs_session(args)
         options = _execution_options(args, obs=obs)
-        silk = SilkRoute(connection, estimator=estimator)
-        view = silk.define_view(rxl)
+        session = Session(connection, estimator=estimator)
         strategy = None if args.strategy == "greedy" else args.strategy
         if args.command == "explain":
-            sqls = view.explain(strategy, options=options)
+            sqls = session.explain(rxl, strategy, options=options).sql
             for i, sql in enumerate(sqls, 1):
                 print(f"-- query {i} " + "-" * 50, file=out)
                 print(sql, file=out)
             if args.metrics:
                 print(metrics_json(obs.metrics), file=out)
             return 0
-        result = view.materialize(
-            strategy, indent=args.indent, root_tag="view", options=options,
+        result = session.materialize(
+            rxl, strategy, indent=args.indent, root_tag="view",
+            options=options,
         )
         if args.out:
             with open(args.out, "w") as sink:
@@ -524,9 +561,8 @@ def main(argv=None, out=sys.stdout):
         options = _execution_options(
             args, default_budget_ms=CONFIG_A.subquery_budget_ms, obs=obs,
         )
-        sweep = sweep_partitions(
-            tree, database.schema, connection, options=options,
-        )
+        session = Session(connection, estimator=estimator)
+        sweep = session.sweep(rxl, options=options).sweep
         print(
             format_series(
                 sweep, args.metric,

@@ -44,7 +44,33 @@ class PlanError(ReproError):
 
 
 class ExecutionError(ReproError):
-    """The simulated relational engine failed while executing a query."""
+    """The simulated relational engine failed while executing a query.
+
+    Every execution error can carry the identity of the client request it
+    failed on behalf of: ``tenant`` / ``request_id`` default to None and
+    are stamped — once, closest to the raise site — by the dispatch layer
+    or the serving front end (see :func:`tag_request`), so an
+    :class:`OverloadError` or :class:`StaleGenerationError` surfacing from
+    a dispatch worker thread still names the tenant and request that
+    triggered it.
+    """
+
+    tenant = None
+    request_id = None
+
+
+def tag_request(exc, tenant=None, request_id=None):
+    """Stamp request identity onto ``exc`` without overwriting an earlier
+    stamp (the stamp closest to the raise site wins); returns ``exc``.
+
+    Accepts any exception — attributes are set dynamically — so callers
+    can tag errors that cross layer boundaries without type checks.
+    """
+    if tenant is not None and getattr(exc, "tenant", None) is None:
+        exc.tenant = tenant
+    if request_id is not None and getattr(exc, "request_id", None) is None:
+        exc.request_id = request_id
+    return exc
 
 
 class TimeoutExceeded(ExecutionError):
@@ -145,7 +171,9 @@ class OverloadError(ExecutionError):
     protection, not a failure of the shed work itself — the same plan
     succeeds under a laxer policy.
 
-    ``reason`` is ``"queue"`` or ``"deadline"``; ``shed`` holds the labels
+    ``reason`` is ``"queue"``, ``"deadline"``, or ``"tenant"`` (the
+    serving layer's per-tenant in-flight quota refused the whole request
+    before any stream was planned); ``shed`` holds the labels
     of the streams that were not executed (in spec order) and
     ``stream_label`` the first of them.  When the error is raised on
     behalf of a whole plan, ``report`` carries the partial

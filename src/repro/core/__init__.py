@@ -20,7 +20,12 @@ from repro.core.reduction import (
 )
 from repro.core.sqlgen import SqlGenerator, StreamSpec, PlanStyle
 from repro.core.greedy import GreedyPlanner, GreedyPlan, GreedyParameters
-from repro.core.options import UNSET, ExecutionOptions, resolve_options
+from repro.core.options import (
+    UNSET,
+    ExecutionOptions,
+    RequestContext,
+    resolve_options,
+)
 from repro.core.silkroute import (
     MaterializedView,
     PlanReport,
@@ -54,6 +59,7 @@ __all__ = [
     "GreedyPlan",
     "GreedyParameters",
     "ExecutionOptions",
+    "RequestContext",
     "UNSET",
     "resolve_options",
     "SilkRoute",

@@ -42,6 +42,25 @@ UNSET = _Unset()
 
 
 @dataclass(frozen=True)
+class RequestContext:
+    """Identity of one client request flowing through the service.
+
+    The serving layer (:mod:`repro.serve`) attaches one of these to the
+    :class:`ExecutionOptions` it executes under (``request=``) so that
+    errors raised deep inside dispatch worker threads —
+    :class:`~repro.common.errors.OverloadError`,
+    :class:`~repro.common.errors.StaleGenerationError`,
+    :class:`~repro.common.errors.TimeoutExceeded` — surface carrying the
+    originating ``tenant`` and ``request_id`` (see
+    :func:`~repro.common.errors.tag_request`).  Frozen and hashable, like
+    everything else in the options bundle.
+    """
+
+    tenant: str = None
+    request_id: str = None
+
+
+@dataclass(frozen=True)
 class ExecutionOptions:
     """Frozen bundle of execution knobs.
 
@@ -99,6 +118,11 @@ class ExecutionOptions:
     batch_size: int = None
     node_cache_entries: int = None
     retention_bytes: float = None
+    #: Optional :class:`RequestContext` naming the client request this
+    #: execution serves; errors raised anywhere under the dispatch carry
+    #: its tenant/request id.  Purely diagnostic — never affects results,
+    #: timings, or cache keys.
+    request: object = None
 
     def __post_init__(self):
         object.__setattr__(self, "keep", tuple(self.keep))

@@ -32,7 +32,7 @@ the partial :class:`PlanReport` attached.
 import time
 from dataclasses import dataclass, field
 
-from repro.common.errors import PlanError, TimeoutExceeded
+from repro.common.errors import PlanError, TimeoutExceeded, tag_request
 from repro.relational.replicas import resolve_admission, resolve_pool
 from repro.core.greedy import GreedyPlanner
 from repro.core.labeling import label_view_tree
@@ -358,6 +358,7 @@ class XmlView:
                 generator, partition, specs, opts
             )
         except Exception as exc:
+            self._tag_request(exc, opts)
             partial = getattr(exc, "partial_outcome", None)
             if partial is not None:
                 exc.report = self._outcome_report(
@@ -456,6 +457,7 @@ class XmlView:
                     admission_elapsed_ms=elapsed_rounds_ms,
                     engine=opts.engine, batch_size=opts.batch_size,
                     expect_generations=pinned_generations,
+                    request=opts.request,
                 )
                 completed = len(result.streams)
                 done_specs.extend(spec for spec, _ in pending[:completed])
@@ -551,6 +553,19 @@ class XmlView:
                 components.append(component)
             assigned[node.index] = component
         return [Subtree(self.tree, nodes[0], nodes) for nodes in components]
+
+    @staticmethod
+    def _tag_request(exc, opts):
+        """Stamp ``opts.request``'s tenant/request id onto ``exc`` (no-op
+        without a request context; an earlier stamp wins)."""
+        context = opts.request
+        if context is not None:
+            tag_request(
+                exc,
+                getattr(context, "tenant", None),
+                getattr(context, "request_id", None),
+            )
+        return exc
 
     def _outcome_report(self, partition, outcome, opts, wall_s):
         """Build the :class:`PlanReport` for a dispatch outcome (complete,
@@ -712,10 +727,10 @@ class XmlView:
                 partition, options=opts
             )
             if streams is None:
-                raise TimeoutExceeded(
+                raise self._tag_request(TimeoutExceeded(
                     opts.budget_ms, float("nan"),
                     stream_label=report.timed_out_label, report=report,
-                )
+                ), opts)
             # With a result cache installed, decoded instance sequences are
             # kept per (stream, plan, dependency generations): after a
             # mutation only the affected streams decode again, the rest
@@ -831,7 +846,16 @@ class XmlView:
                     tracer.event(
                         "shed", reason="queue", streams=len(overload.shed),
                     )
-                    raise overload
+                    # Every shed path carries a (here: empty) partial
+                    # report, so callers can account shed streams without
+                    # special-casing the streaming front end.
+                    nan = float("nan")
+                    overload.report = self._published_report(PlanReport(
+                        partition=partition, n_streams=len(specs),
+                        query_ms=nan, transfer_ms=nan, streams=[],
+                        shed_streams=overload.shed, obs=opts.obs,
+                    ))
+                    raise self._tag_request(overload, opts)
             epoch = pool.begin_epoch() if pool is not None else None
             writer = XmlWriter(sink=sink, indent=indent)
             start = time.perf_counter()
@@ -881,10 +905,11 @@ class XmlView:
                 )
                 for cursor in cursors:
                     cursor.close()
-                raise
-            except Exception:
+                raise self._tag_request(exc, opts)
+            except Exception as exc:
                 for cursor in cursors:
                     cursor.close()
+                self._tag_request(exc, opts)
                 raise
             report = self._cursor_report(
                 partition, specs, cursors, timed_out=False,

@@ -34,15 +34,27 @@ import threading
 
 
 class Histogram:
-    """A count/sum/min/max summary of observed values."""
+    """A count/sum/min/max summary of observed values, with percentile
+    estimates from a bounded sample reservoir.
 
-    __slots__ = ("count", "total", "min", "max")
+    The first :data:`SAMPLE_CAP` observations are retained verbatim (the
+    count/sum/min/max summary keeps accumulating beyond it), so
+    :meth:`percentile` is exact for short-lived sessions and a
+    deterministic prefix estimate for unbounded ones — the serving
+    layer's latency metrics (``serve.latency_ms`` p50/p95/p99) ride on
+    this."""
+
+    #: Observations kept for percentile estimation; summaries are unbounded.
+    SAMPLE_CAP = 4096
+
+    __slots__ = ("count", "total", "min", "max", "_samples")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.min = None
         self.max = None
+        self._samples = []
 
     def observe(self, value):
         self.count += 1
@@ -51,12 +63,24 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if len(self._samples) < self.SAMPLE_CAP:
+            self._samples.append(value)
 
     @property
     def mean(self):
         if not self.count:
             return None
         return self.total / self.count
+
+    def percentile(self, q):
+        """The ``q``-th percentile (``0 <= q <= 100``) of the retained
+        samples, nearest-rank; None when nothing was observed."""
+        if not self._samples:
+            return None
+        ranked = sorted(self._samples)
+        rank = max(0, min(len(ranked) - 1,
+                          int(round(q / 100.0 * len(ranked) + 0.5)) - 1))
+        return ranked[rank]
 
     def as_dict(self):
         return {
@@ -65,6 +89,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
     def __repr__(self):

@@ -38,6 +38,7 @@ from repro.common.errors import (
     StaleGenerationError,
     TimeoutExceeded,
     TransientConnectionError,
+    tag_request,
 )
 from repro.obs import obs_parts
 from repro.obs.metrics import NULL_METRICS
@@ -226,7 +227,7 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
                   retry=None, faults=None, breaker=None, obs=None,
                   pool=None, hedge_ms=None, admission=None, epoch=None,
                   admission_elapsed_ms=0.0, engine=None, batch_size=None,
-                  expect_generations=None):
+                  expect_generations=None, request=None):
     """Execute every :class:`~repro.core.sqlgen.StreamSpec`'s plan; return
     a :class:`DispatchResult` (unpacks as the ``(streams, timeout)``
     pair).
@@ -288,7 +289,24 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
     live generations no longer match, the dispatch refuses with a
     :class:`~repro.common.errors.StaleGenerationError` naming the mutated
     tables instead of silently recomputing against mixed states.
+
+    ``request`` — an optional
+    :class:`~repro.core.options.RequestContext` — stamps its
+    tenant/request id onto every error raised here (timeouts, transient
+    failures, overloads, stale generations), including those raised
+    inside worker threads, so the serving layer can attribute failures
+    without inspecting thread state.
     """
+
+    def tag(exc):
+        if request is not None:
+            tag_request(
+                exc,
+                getattr(request, "tenant", None),
+                getattr(request, "request_id", None),
+            )
+        return exc
+
     if expect_generations is not None:
         current = connection.database.table_generations()
         if current != expect_generations:
@@ -297,9 +315,9 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
                 for name in current.keys() | expect_generations.keys()
                 if current.get(name) != expect_generations.get(name)
             )
-            raise StaleGenerationError(
+            raise tag(StaleGenerationError(
                 changed, pinned=expect_generations, current=current
-            )
+            ))
     tracer, metrics = obs_parts(obs)
     parent = tracer.current()
 
@@ -331,7 +349,7 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
     if admission is not None:
         overload = admission.admit_queue(specs)
         if overload is not None:
-            result.overload = overload
+            result.overload = tag(overload)
             result.shed = overload.shed
             metrics.inc("dispatch.shed", len(overload.shed))
             tracer.event(
@@ -352,7 +370,7 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
             reason="deadline", shed=labels, stream_label=labels[0],
         )
         admission.note_shed(len(labels))
-        result.overload = overload
+        result.overload = tag(overload)
         result.shed = labels
         metrics.inc("dispatch.shed", len(labels))
         tracer.event(
@@ -391,7 +409,7 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
                         # and drained by the executor's shutdown otherwise.
                         for later in futures[i + 1:]:
                             later.cancel()
-                        _record_failure(result, exc, specs[i], i, metrics)
+                        _record_failure(result, tag(exc), specs[i], i, metrics)
                         return result
                     if free_at is not None:
                         heapq.heappush(
@@ -410,7 +428,7 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
             try:
                 stream, stats = run(spec)
             except (TimeoutExceeded, TransientConnectionError) as exc:
-                _record_failure(result, exc, spec, i, metrics)
+                _record_failure(result, tag(exc), spec, i, metrics)
                 return result
             if free_at is not None:
                 heapq.heappush(

@@ -44,7 +44,11 @@ share one result cache).
 import threading
 from dataclasses import dataclass, replace
 
-from repro.common.errors import OverloadError, TransientConnectionError
+from repro.common.errors import (
+    OverloadError,
+    TransientConnectionError,
+    tag_request,
+)
 from repro.obs import obs_parts
 from repro.relational.connection import Connection
 from repro.relational.faults import CircuitBreaker, StreamAttemptStats
@@ -553,13 +557,23 @@ class AdmissionPolicy:
     submit: a plan needing more than slots + queue is refused up front.
     ``deadline_ms`` is a per-query simulated deadline — a stream whose
     deterministic scheduled *start* falls on or past it is shed (work
-    already started is allowed to finish).  All limits are optional;
-    ``None`` disables that check.
+    already started is allowed to finish).
+
+    ``max_inflight_requests`` is the serving layer's per-tenant quota: a
+    cap on whole client *requests* (queries/mutations) one controller
+    admits concurrently, enforced by
+    :meth:`AdmissionController.acquire_request` before any stream is
+    planned.  Unlike the stream-level limits it guards wall-clock
+    concurrency (a tenant hammering the service), so it plays no part in
+    the deterministic simulated schedule.
+
+    All limits are optional; ``None`` disables that check.
     """
 
     max_concurrent_streams: int = None
     max_queued_streams: int = None
     deadline_ms: float = None
+    max_inflight_requests: int = None
 
 
 class AdmissionController:
@@ -576,6 +590,9 @@ class AdmissionController:
         self._lock = threading.Lock()
         self.admitted = 0
         self.shed = 0
+        #: Whole requests currently inside :meth:`acquire_request` /
+        #: :meth:`release_request` (the serving layer's per-tenant gauge).
+        self.inflight = 0
 
     def clamp_workers(self, workers):
         """``workers`` bounded by ``max_concurrent_streams``."""
@@ -610,6 +627,32 @@ class AdmissionController:
     def note_shed(self, count):
         with self._lock:
             self.shed += count
+
+    def acquire_request(self, tenant=None, request_id=None):
+        """Admit one whole client request against the per-tenant quota, or
+        shed it with an :class:`~repro.common.errors.OverloadError`
+        (``reason="tenant"``) carrying the originating tenant/request id.
+        The caller must pair every successful acquire with
+        :meth:`release_request` (``try/finally``)."""
+        limit = self.policy.max_inflight_requests
+        with self._lock:
+            if limit is not None and self.inflight >= limit:
+                self.shed += 1
+                raise tag_request(
+                    OverloadError(
+                        f"tenant quota exceeded: {self.inflight} request(s) "
+                        f"already in flight (limit {limit})",
+                        reason="tenant",
+                    ),
+                    tenant, request_id,
+                )
+            self.inflight += 1
+            self.admitted += 1
+
+    def release_request(self):
+        """Release one :meth:`acquire_request` admission."""
+        with self._lock:
+            self.inflight = max(0, self.inflight - 1)
 
 
 def resolve_admission(max_concurrent):

@@ -1,0 +1,23 @@
+"""The long-running multi-tenant query service.
+
+:class:`Server` serves named/RXL queries from many concurrent clients
+over one shared :class:`~repro.session.Session` — shared result caches,
+request coalescing, per-tenant admission quotas, and live incremental
+maintenance under mutations — either in-process (tests, embedding) or
+over a JSON-line socket front end (:class:`ServeClient`,
+``python -m repro serve``).  See :mod:`repro.serve.server` for the
+architecture notes.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import ServeError
+from repro.serve.server import Server
+from repro.serve.tenants import Tenant, TenantRegistry
+
+__all__ = [
+    "Server",
+    "ServeClient",
+    "ServeError",
+    "Tenant",
+    "TenantRegistry",
+]

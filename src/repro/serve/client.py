@@ -1,0 +1,104 @@
+"""A blocking JSON-line client for the query service.
+
+::
+
+    with ServeClient(host, port) as client:
+        reply = client.query("q1", tenant="acme", indent=2)
+        print(reply["xml"])
+        client.mutate("Nation", op="insert", rows=1)
+
+Each method sends one protocol request and returns the response's
+payload dict; a ``{"ok": false}`` response raises
+:class:`~repro.serve.protocol.ServeError` carrying the server-side
+exception type, the stamped tenant/request id, and (for sheds and
+timeouts) the partial report.  One client drives one connection and is
+not thread-safe — give each client thread its own.
+"""
+
+import socket
+
+from repro.serve.protocol import (
+    ServeError,
+    decode,
+    encode,
+    options_to_wire,
+)
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.Server` front end."""
+
+    def __init__(self, host, port, timeout=30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def close(self):
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def _call(self, request):
+        self._sock.sendall(encode(request))
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode(line)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", {}))
+        return response
+
+    def ping(self):
+        return self._call({"op": "ping"})["pong"]
+
+    def stats(self):
+        return self._call({"op": "stats"})["stats"]
+
+    def query(self, query, tenant="default", request_id=None,
+              partition=None, root_tag="view", indent=None, options=None):
+        """Run ``query`` (a registered name, RXL text, or
+        ``{"rxl": ...}``); returns the response dict (``xml``,
+        ``report``, ``coalesced``, ``stats``).  ``options`` may be an
+        :class:`~repro.core.options.ExecutionOptions` (whitelisted
+        fields cross the wire) or a ready wire dict."""
+        request = {
+            "op": "query", "query": query, "tenant": tenant,
+            "root_tag": root_tag,
+        }
+        if request_id is not None:
+            request["id"] = request_id
+        if partition is not None:
+            request["partition"] = partition
+        if indent is not None:
+            request["indent"] = indent
+        wire = (options if isinstance(options, (dict, type(None)))
+                else options_to_wire(options))
+        if wire:
+            request["options"] = wire
+        return self._call(request)
+
+    def explain(self, query, tenant="default", partition=None, options=None):
+        request = {"op": "explain", "query": query, "tenant": tenant}
+        if partition is not None:
+            request["partition"] = partition
+        wire = (options if isinstance(options, (dict, type(None)))
+                else options_to_wire(options))
+        if wire:
+            request["options"] = wire
+        return self._call(request)["sql"]
+
+    def mutate(self, table, op="insert", rows=1, seed=0, tenant="default",
+               request_id=None):
+        request = {
+            "op": "mutate", "table": table, "mutation": op, "rows": rows,
+            "seed": seed, "tenant": tenant,
+        }
+        if request_id is not None:
+            request["id"] = request_id
+        return self._call(request)

@@ -1,0 +1,86 @@
+"""Tenant registry: per-tenant admission quotas for the query service.
+
+Each tenant owns one
+:class:`~repro.relational.replicas.AdmissionController` built from its
+:class:`~repro.relational.replicas.AdmissionPolicy`, so the serving
+layer's whole-request quota (``max_inflight_requests``) and the
+engine-level stream limits (``max_concurrent_streams`` /
+``max_queued_streams`` / ``deadline_ms``) are enforced by the same
+object the dispatch layer already understands — a tenant's controller
+is simply passed down as the execution's ``max_concurrent``.
+
+Unknown tenants are admitted under ``default_policy`` (each still gets
+its *own* controller, so one tenant's quota never counts against
+another's); a ``None`` default means unregistered tenants run
+unthrottled.
+"""
+
+import threading
+from dataclasses import dataclass
+
+from repro.relational.replicas import AdmissionController, AdmissionPolicy
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One registered tenant: a name and its admission policy."""
+
+    name: str
+    policy: AdmissionPolicy = None
+
+
+class TenantRegistry:
+    """Named tenants and their (lazily built) admission controllers."""
+
+    def __init__(self, default_policy=None):
+        self.default_policy = default_policy
+        self._lock = threading.Lock()
+        self._tenants = {}
+        self._controllers = {}
+
+    def register(self, name, policy=None):
+        """Register (or re-register) ``name`` under ``policy``; returns
+        the :class:`Tenant`.  Re-registering replaces the policy and
+        resets the tenant's controller."""
+        if isinstance(policy, (int, float)):
+            policy = AdmissionPolicy(max_inflight_requests=int(policy))
+        tenant = Tenant(name=name, policy=policy)
+        with self._lock:
+            self._tenants[name] = tenant
+            self._controllers.pop(name, None)
+        return tenant
+
+    def tenants(self):
+        with self._lock:
+            return dict(self._tenants)
+
+    def controller(self, name):
+        """The tenant's :class:`AdmissionController`, built on first use
+        from its policy (or the registry default); None when neither the
+        tenant nor the registry carries a policy."""
+        with self._lock:
+            controller = self._controllers.get(name)
+            if controller is not None:
+                return controller
+            tenant = self._tenants.get(name)
+            policy = tenant.policy if tenant is not None else None
+            if policy is None:
+                policy = self.default_policy
+            if policy is None:
+                return None
+            controller = AdmissionController(policy)
+            self._controllers[name] = controller
+            return controller
+
+    def stats(self):
+        """Per-tenant counters: ``{name: {admitted, shed, inflight}}``."""
+        with self._lock:
+            controllers = dict(self._controllers)
+        return {
+            name: {
+                "admitted": c.admitted,
+                "shed": c.shed,
+                "inflight": c.inflight,
+            }
+            for name, c in controllers.items()
+        }

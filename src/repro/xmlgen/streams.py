@@ -190,13 +190,21 @@ class StreamInstanceCache:
     affected streams only.
     """
 
-    def __init__(self, max_entries=512):
+    def __init__(self, max_entries=512, max_bytes=None):
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self._entries = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._bytes = 0
+
+    @staticmethod
+    def _size(value):
+        """Bytes charged against ``max_bytes`` for one entry; the base
+        class does not charge (entry-count bound only)."""
+        return 0
 
     def __len__(self):
         return len(self._entries)
@@ -214,15 +222,24 @@ class StreamInstanceCache:
 
     def store(self, key, instances):
         with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= self._size(previous)
             self._entries[key] = instances
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            self._bytes += self._size(instances)
+            while self._entries and (
+                len(self._entries) > self.max_entries
+                or (self.max_bytes is not None
+                    and self._bytes > self.max_bytes)
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= self._size(evicted)
                 self.evictions += 1
 
     def clear(self):
         with self._lock:
             self._entries.clear()
+            self._bytes = 0
 
     def stats(self):
         """Counters as a plain dict (for reports and metrics gauges)."""
@@ -232,6 +249,7 @@ class StreamInstanceCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "entries": len(self._entries),
+                "bytes": self._bytes,
             }
 
 
@@ -250,10 +268,19 @@ class XmlDocumentCache(StreamInstanceCache):
     stay per-plan faithful, only the decode→merge→tag replay is skipped.
     Callers must bypass the cache for non-canonical output (degraded or
     shed streams).
+
+    ``max_bytes`` additionally bounds the cache by total document size
+    (the serving layer's process-wide budget): storing past the budget
+    evicts least-recently-served documents first.
     """
 
-    def __init__(self, max_entries=64):
-        super().__init__(max_entries=max_entries)
+    def __init__(self, max_entries=64, max_bytes=None):
+        super().__init__(max_entries=max_entries, max_bytes=max_bytes)
+
+    @staticmethod
+    def _size(value):
+        xml, _tagger = value
+        return len(xml)
 
 
 def iter_instances(tree, specs, row_sources, layout=None,

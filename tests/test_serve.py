@@ -1,0 +1,562 @@
+"""The multi-tenant query service: coalescing, tenancy, the wire
+protocol, and the serial-replay consistency oracle.
+
+The load-bearing contracts:
+
+* identical in-flight queries share exactly ONE underlying execution and
+  every coalesced client receives the byte-identical document;
+* a tenant past its ``max_inflight_requests`` quota is shed with
+  ``OverloadError(reason="tenant")`` stamped with its tenant/request id,
+  without touching other tenants;
+* errors raised inside the execution surface the originating
+  tenant/request id and (for sheds and timeouts) a partial report;
+* any concurrent mix of queries and mutations is equivalent to replaying
+  the server's execution log serially on a fresh database — XML
+  byte-for-byte, simulated timings exactly (the hypothesis soak, on both
+  engines).
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.queries import QUERY_1, QUERY_2
+from repro.common.errors import (
+    OverloadError,
+    QueryError,
+    TimeoutExceeded,
+    tag_request,
+)
+from repro.core.options import ExecutionOptions
+from repro.core.silkroute import PlanReport
+from repro.core.sqlgen import PlanStyle
+from repro.relational.faults import FaultPolicy, RetryPolicy
+from repro.relational.replicas import AdmissionPolicy
+from repro.serve import Server, ServeClient, ServeError
+from repro.serve.protocol import (
+    ProtocolError,
+    decode,
+    encode,
+    error_to_wire,
+    options_from_wire,
+    options_to_wire,
+    report_to_wire,
+)
+from repro.session import Session, apply_delta
+from repro.tpch.generator import TpchGenerator, TpchScale
+
+TINY = TpchScale(suppliers=8, parts=16, customers=10, orders=40)
+
+QUERIES = {"q1": QUERY_1, "q2": QUERY_2}
+
+
+def fresh_db(seed=42):
+    return TpchGenerator(scale=TINY, seed=seed).generate()
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("session", Session(fresh_db()))
+    kwargs.setdefault("queries", QUERIES)
+    return Server(**kwargs)
+
+
+def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class _GatedSession:
+    """Blocks every ``materialize`` on ``go`` and counts executions —
+    the hook the coalescing/quota tests use to pin a leader in flight."""
+
+    def __init__(self, server):
+        self.server = server
+        self.go = threading.Event()
+        self.calls = []
+        self._real = server.session.materialize
+
+    def __enter__(self):
+        def gated(*args, **kwargs):
+            self.calls.append(threading.get_ident())
+            assert self.go.wait(30), "gated materialize never released"
+            return self._real(*args, **kwargs)
+
+        self.server.session.materialize = gated
+        return self
+
+    def __exit__(self, *exc_info):
+        self.go.set()
+        self.server.session.materialize = self._real
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        obj = {"op": "query", "query": "q1", "indent": 2}
+        line = encode(obj)
+        assert line.endswith(b"\n")
+        assert decode(line) == obj
+
+    def test_decode_refuses_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode(b"   \n")
+        with pytest.raises(ProtocolError):
+            decode(b"{not json}\n")
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2]\n")
+
+    def test_options_roundtrip(self):
+        opts = ExecutionOptions(
+            style=PlanStyle.OUTER_UNION, reduce=True, budget_ms=125.0,
+            workers=2, retry=RetryPolicy(max_attempts=3),
+            faults=FaultPolicy(seed=7, error_rate=0.25), replicas=2,
+            hedge_ms=4.0, max_concurrent=3, engine="tuple", batch_size=64,
+        )
+        back = options_from_wire(options_to_wire(opts))
+        assert back.style is PlanStyle.OUTER_UNION
+        assert back.reduce is True
+        assert back.budget_ms == 125.0
+        assert back.workers == 2
+        assert back.retry.max_attempts == 3
+        assert back.faults.seed == 7
+        assert back.faults.error_rate == 0.25
+        assert back.replicas == 2
+        assert back.hedge_ms == 4.0
+        assert back.max_concurrent == 3
+        assert back.engine == "tuple"
+        assert back.batch_size == 64
+
+    def test_unknown_wire_option_is_refused(self):
+        with pytest.raises(ProtocolError, match="workerz"):
+            options_from_wire({"workerz": 4})
+        with pytest.raises(ProtocolError, match="style"):
+            options_from_wire({"style": "sideways-join"})
+        with pytest.raises(ProtocolError, match="engine"):
+            options_from_wire({"engine": "quantum"})
+
+    def test_none_options_pass_through(self):
+        assert options_from_wire(None) is None
+        assert options_to_wire(None) is None
+
+    def test_report_nan_crosses_as_null(self):
+        report = PlanReport(
+            partition=frozenset(), n_streams=3, query_ms=float("nan"),
+            transfer_ms=float("nan"), streams=[], timed_out=True,
+        )
+        wire = report_to_wire(report)
+        assert wire["query_ms"] is None
+        assert wire["transfer_ms"] is None
+        assert wire["n_streams"] == 3
+        assert wire["timed_out"] is True
+
+    def test_error_wire_carries_request_identity(self):
+        exc = tag_request(
+            OverloadError("too busy", reason="tenant"), "acme", "r-7",
+        )
+        wire = error_to_wire(exc)
+        assert wire["type"] == "OverloadError"
+        assert wire["tenant"] == "acme"
+        assert wire["request_id"] == "r-7"
+        assert wire["reason"] == "tenant"
+        err = ServeError(wire)
+        assert err.kind == "OverloadError"
+        assert err.tenant == "acme" and err.request_id == "r-7"
+        assert err.reason == "tenant"
+
+
+class TestServerBasics:
+    def test_registered_name_matches_direct_session(self):
+        server = make_server()
+        direct = Session(fresh_db()).materialize(
+            QUERY_1, "unified", indent=2,
+        )
+        served = server.query("q1", partition="unified", indent=2)
+        assert served.xml == direct.xml
+        assert served.report.query_ms == direct.report.query_ms
+        assert served.report.transfer_ms == direct.report.transfer_ms
+        assert served.coalesced is False
+        assert served.stats["serve"]["tenant"] == "default"
+
+    def test_inline_rxl_is_accepted(self):
+        server = make_server()
+        by_name = server.query("q1", partition="unified")
+        inline = server.query(QUERY_1, partition="unified")
+        assert inline.xml == by_name.xml
+
+    def test_unknown_query_name_is_refused(self):
+        server = make_server()
+        with pytest.raises(QueryError, match="q1"):
+            server.query("q99")
+        assert server.execution_log() == ()
+
+    def test_explain_returns_sql_without_logging(self):
+        server = make_server()
+        result = server.explain("q1", partition="unified")
+        assert len(result.sql) == 1
+        assert server.execution_log() == ()
+
+    def test_stats_counters(self):
+        server = make_server()
+        server.query("q1", partition="unified")
+        server.mutate("Nation", op="insert", rows=1)
+        stats = server.stats()
+        assert stats["requests"] == 2
+        assert stats["mutations"] == 1
+        assert stats["coalesced"] == 0
+        assert stats["errors"] == 0
+        assert stats["log_entries"] == 2
+        assert stats["latency_ms"]["count"] == 2
+
+    def test_mutation_is_immediately_visible(self):
+        server = make_server()
+        before = server.query("q1", partition="unified")
+        delta = server.mutate("Supplier", op="update", rows=2, seed=1)
+        assert delta.mutated == 2
+        after = server.query("q1", partition="unified")
+        assert after.xml != before.xml
+
+        cold = Session(fresh_db(), cache=False)
+        apply_delta(cold.database, "Supplier", op="update", rows=2, seed=1)
+        oracle = cold.materialize(QUERY_1, "unified")
+        assert after.xml == oracle.xml
+        assert after.report.query_ms == oracle.report.query_ms
+
+    def test_replay_reproduces_a_serial_run(self):
+        server = make_server()
+        live = [
+            server.query("q1", partition="unified", indent=2),
+            server.mutate("Nation", op="insert", rows=2, seed=4),
+            server.query("q1", partition="unified", indent=2),
+            server.query("q2", partition="fully-partitioned"),
+        ]
+        replayed = server.replay(session=Session(fresh_db()))
+        assert len(replayed) == len(live)
+        for mine, theirs in zip(live, replayed):
+            assert theirs.xml == mine.xml
+            if mine.report is not None:
+                assert theirs.report.query_ms == mine.report.query_ms
+                assert theirs.report.transfer_ms == mine.report.transfer_ms
+            else:
+                assert theirs.mutated == mine.mutated
+
+
+class TestCoalescing:
+    def test_identical_inflight_queries_share_one_execution(self):
+        server = make_server()
+        n = 8
+        results = [None] * n
+        errors = []
+
+        def client(i):
+            try:
+                results[i] = server.query(
+                    "q1", tenant=f"t{i}", request_id=f"r{i}",
+                    partition="unified",
+                )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        with _GatedSession(server) as gate:
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(n)]
+            for t in threads:
+                t.start()
+            # One leader inside the gated materialize, and all n-1
+            # followers parked on the single-flight condition variable.
+            assert wait_until(lambda: len(gate.calls) == 1)
+            assert wait_until(
+                lambda: len(server._flight._cv._waiters) == n - 1)
+            gate.go.set()
+            for t in threads:
+                t.join(30)
+        assert not errors
+        assert len(gate.calls) == 1, "coalesced requests re-executed"
+        assert sum(r.coalesced for r in results) == n - 1
+        assert len({r.xml for r in results}) == 1
+        stats = server.stats()
+        assert stats["requests"] == n
+        assert stats["coalesced"] == n - 1
+        assert stats["log_entries"] == n
+
+    def test_different_serializations_do_not_coalesce(self):
+        server = make_server()
+        results = {}
+
+        def client(indent):
+            results[indent] = server.query(
+                "q1", partition="unified", indent=indent,
+            )
+
+        with _GatedSession(server) as gate:
+            threads = [threading.Thread(target=client, args=(indent,))
+                       for indent in (None, 2)]
+            for t in threads:
+                t.start()
+            assert wait_until(lambda: len(gate.calls) == 2)
+            gate.go.set()
+            for t in threads:
+                t.join(30)
+        assert len(gate.calls) == 2
+        assert not results[None].coalesced and not results[2].coalesced
+        assert results[None].xml != results[2].xml
+
+    def test_coalescing_follower_shares_leader_error(self):
+        server = make_server()
+        seen = []
+
+        def client(i):
+            try:
+                server.query("q1", request_id=f"r{i}",
+                             partition="fully-partitioned",
+                             budget_ms=0.001)
+            except TimeoutExceeded as exc:
+                seen.append(exc)
+
+        with _GatedSession(server) as gate:
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(2)]
+            threads[0].start()
+            assert wait_until(lambda: len(gate.calls) == 1)
+            threads[1].start()
+            assert wait_until(
+                lambda: len(server._flight._cv._waiters) == 1)
+            gate.go.set()
+            for t in threads:
+                t.join(30)
+        assert len(gate.calls) == 1
+        assert len(seen) == 2
+        assert server.stats()["errors"] >= 1
+        assert server.execution_log() == ()
+
+
+class TestTenancy:
+    def test_quota_shed_carries_tenant_and_request_id(self):
+        server = make_server()
+        server.register_tenant("greedy", 1)
+        done = []
+
+        def leader():
+            done.append(server.query("q1", tenant="greedy",
+                                     request_id="lead",
+                                     partition="unified"))
+
+        with _GatedSession(server) as gate:
+            t = threading.Thread(target=leader)
+            t.start()
+            assert wait_until(lambda: len(gate.calls) == 1)
+            with pytest.raises(OverloadError) as info:
+                server.query("q1", tenant="greedy", request_id="over",
+                             partition="unified")
+            gate.go.set()
+            t.join(30)
+        exc = info.value
+        assert exc.reason == "tenant"
+        assert exc.tenant == "greedy"
+        assert exc.request_id == "over"
+        assert done and done[0].xml
+        stats = server.stats()
+        assert stats["shed"] == 1
+        assert stats["tenants"]["greedy"]["shed"] == 1
+        assert stats["tenants"]["greedy"]["inflight"] == 0
+
+    def test_other_tenants_are_unaffected_by_a_quota(self):
+        server = make_server()
+        server.register_tenant("greedy", 1)
+        server.query("q1", tenant="polite", partition="unified")
+        server.query("q1", tenant="polite", partition="unified")
+        assert server.stats()["shed"] == 0
+
+    def test_default_policy_covers_unregistered_tenants(self):
+        server = make_server(
+            default_policy=AdmissionPolicy(max_inflight_requests=1),
+        )
+        with _GatedSession(server) as gate:
+            t = threading.Thread(
+                target=lambda: server.query("q1", tenant="anon",
+                                            partition="unified"))
+            t.start()
+            assert wait_until(lambda: len(gate.calls) == 1)
+            with pytest.raises(OverloadError):
+                server.query("q1", tenant="anon", partition="unified")
+            # A different unregistered tenant has its own controller.
+            gate.go.set()
+            t.join(30)
+        server.query("q1", tenant="other", partition="unified")
+        assert server.stats()["tenants"]["anon"]["shed"] == 1
+
+
+class TestErrorStamping:
+    def test_timeout_carries_request_identity_and_partial_report(self):
+        server = make_server()
+        with pytest.raises(TimeoutExceeded) as info:
+            server.query("q1", tenant="acme", request_id="rq-9",
+                         partition="fully-partitioned", budget_ms=0.001)
+        exc = info.value
+        assert exc.tenant == "acme"
+        assert exc.request_id == "rq-9"
+        assert exc.report is not None
+        assert server.stats()["errors"] == 1
+        assert server.execution_log() == ()
+
+
+class TestSocketFrontEnd:
+    def test_end_to_end_over_a_socket(self):
+        with make_server() as server:
+            host, port = server.start()
+            direct = server.query("q1", partition="unified", indent=2)
+            with ServeClient(host, port) as client:
+                assert client.ping() is True
+                reply = client.query("q1", partition="unified", indent=2,
+                                     tenant="acme", request_id="w-1")
+                assert reply["xml"] == direct.xml
+                assert reply["report"]["query_ms"] == \
+                    direct.report.query_ms
+                assert reply["stats"] == {"tenant": "acme",
+                                          "request_id": "w-1"}
+                sql = client.explain("q1", partition="unified")
+                assert len(sql) == 1
+                mutated = client.mutate("Nation", op="insert", rows=2)
+                assert mutated["mutated"] == 2
+                assert mutated["table"] == "Nation"
+                stats = client.stats()
+                assert stats["requests"] >= 3
+                assert stats["mutations"] == 1
+
+    def test_wire_options_drive_the_execution(self):
+        with make_server() as server:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                reply = client.query(
+                    "q1", partition="fully-partitioned",
+                    options={"workers": 3, "engine": "tuple"},
+                )
+                assert reply["report"]["workers"] == 3
+
+    def test_server_errors_surface_as_serve_errors(self):
+        with make_server() as server:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                with pytest.raises(ServeError) as info:
+                    client.query("nope")
+                assert info.value.kind == "QueryError"
+                with pytest.raises(ServeError) as info:
+                    client.query("q1", partition="fully-partitioned",
+                                 options={"budget_ms": 0.001},
+                                 tenant="acme", request_id="w-9")
+                err = info.value
+                assert err.kind == "TimeoutExceeded"
+                assert err.tenant == "acme"
+                assert err.request_id == "w-9"
+                assert err.report is not None
+                # The connection survives failed requests.
+                assert client.ping() is True
+
+    def test_malformed_line_does_not_kill_the_connection(self):
+        with make_server() as server:
+            host, port = server.start()
+            client = ServeClient(host, port)
+            try:
+                client._sock.sendall(b"this is not json\n")
+                response = decode(client._rfile.readline())
+                assert response["ok"] is False
+                assert client.ping() is True
+            finally:
+                client.close()
+
+    def test_handle_request_refuses_unknown_ops(self):
+        server = make_server()
+        response = server.handle_request({"op": "reboot"})
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+
+
+# -- the soak: concurrent mixes == serial replay ---------------------------
+
+_QUERY_OPS = st.tuples(
+    st.just("query"),
+    st.sampled_from(["q1", "q2"]),
+    st.sampled_from(["unified", "fully-partitioned"]),
+    st.sampled_from([None, 2]),
+)
+_MUTATE_OPS = st.tuples(
+    st.just("mutate"),
+    st.sampled_from(["Nation", "Supplier", "Customer"]),
+    st.sampled_from(["insert", "update"]),
+    st.integers(min_value=1, max_value=2),
+    st.integers(min_value=0, max_value=5),
+)
+_CLIENT_PLANS = st.lists(
+    st.lists(st.one_of(_QUERY_OPS, _MUTATE_OPS), min_size=1, max_size=3),
+    min_size=8, max_size=8,
+)
+
+
+class TestSoak:
+    """N concurrent clients issuing query/mutation mixes against one
+    server are equivalent to replaying its execution log serially on a
+    fresh database: byte-identical XML, identical simulated timings."""
+
+    @pytest.mark.parametrize("engine", ["batch", "tuple"])
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(plans=_CLIENT_PLANS)
+    def test_concurrent_run_equals_serial_replay(self, engine, plans):
+        server = Server(
+            session=Session(fresh_db(),
+                            options=ExecutionOptions(engine=engine)),
+            queries=QUERIES,
+        )
+        live = {}
+        errors = []
+        barrier = threading.Barrier(len(plans))
+
+        def client(ci, ops):
+            try:
+                barrier.wait(30)
+                for oi, op in enumerate(ops):
+                    rid = f"c{ci}-{oi}"
+                    if op[0] == "query":
+                        _, name, partition, indent = op
+                        live[rid] = server.query(
+                            name, tenant=f"t{ci}", request_id=rid,
+                            partition=partition, indent=indent,
+                        )
+                    else:
+                        _, table, mop, rows, seed = op
+                        # A per-request-unique seed: two concurrent
+                        # inserts with one seed would synthesize the
+                        # same unique-column values (an application
+                        # conflict, not a serving property).
+                        live[rid] = server.mutate(
+                            table, op=mop, rows=rows,
+                            seed=seed * 100 + ci * 10 + oi,
+                            tenant=f"t{ci}", request_id=rid,
+                        )
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(ci, ops))
+                   for ci, ops in enumerate(plans)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not any(t.is_alive() for t in threads), "soak deadlocked"
+        assert not errors, errors
+
+        log = server.execution_log()
+        assert len(log) == sum(len(ops) for ops in plans)
+        replayed = server.replay(session=Session(fresh_db()))
+        for entry, theirs in zip(log, replayed):
+            mine = live[entry["request_id"]]
+            if entry["kind"] == "query":
+                assert theirs.xml == mine.xml
+                assert theirs.report.query_ms == mine.report.query_ms
+                assert theirs.report.transfer_ms == mine.report.transfer_ms
+            else:
+                assert theirs.mutated == mine.mutated

@@ -1,0 +1,197 @@
+"""The :class:`repro.Session` facade and its :class:`QueryResult`.
+
+The contract under test: every Session method is a thin veneer over the
+existing machinery — byte-identical XML and identical simulated timings
+to calling :class:`~repro.core.silkroute.XmlView` directly — with one
+result type across materialize/explain/sweep/mutate; the old
+module-level entry points keep working behind ``DeprecationWarning``.
+"""
+
+import io
+
+import pytest
+
+from repro import (
+    QueryResult,
+    Session,
+    apply_delta,
+    fully_partitioned,
+    unified_partition,
+)
+from repro.bench.queries import QUERY_1
+from repro.bench.sweep import sweep_partitions
+from repro.common.errors import OverloadError
+from repro.core.options import ExecutionOptions
+from repro.core.silkroute import SilkRoute
+from repro.relational.replicas import AdmissionPolicy
+from repro.tpch.generator import TpchGenerator, TpchScale
+
+TINY = TpchScale(suppliers=8, parts=16, customers=10, orders=40)
+
+
+def fresh_db(seed=42):
+    """A private mutable database (the session-scoped fixtures are
+    shared, so mutation tests build their own)."""
+    return TpchGenerator(scale=TINY, seed=seed).generate()
+
+
+@pytest.fixture()
+def session(tiny_conn, tiny_estimator):
+    return Session(tiny_conn, estimator=tiny_estimator)
+
+
+class TestConstruction:
+    def test_wraps_a_connection(self, tiny_conn, session):
+        assert session.connection is tiny_conn
+        assert session.database is tiny_conn.database
+
+    def test_wraps_a_bare_database(self):
+        db = fresh_db()
+        session = Session(db)
+        assert session.database is db
+        assert session.materialize(QUERY_1).xml
+
+    def test_wraps_an_existing_silkroute(self, tiny_conn, tiny_estimator):
+        silk = SilkRoute(tiny_conn, estimator=tiny_estimator)
+        session = Session(silk)
+        assert session.silkroute is silk
+
+    def test_view_is_cached_per_rxl_text(self, session):
+        assert session.view(QUERY_1) is session.view(QUERY_1)
+
+    def test_document_cache_byte_budget_is_wired(self, tiny_conn,
+                                                 tiny_estimator):
+        session = Session(tiny_conn, estimator=tiny_estimator,
+                          document_cache_bytes=123)
+        assert session.view(QUERY_1).document_cache.max_bytes == 123
+
+
+class TestMaterialize:
+    def test_matches_direct_xmlview(self, tiny_conn, tiny_estimator, session):
+        direct = SilkRoute(tiny_conn, estimator=tiny_estimator) \
+            .define_view(QUERY_1) \
+            .materialize("unified", root_tag="suppliers", indent=2)
+        result = session.materialize(QUERY_1, "unified",
+                                     root_tag="suppliers", indent=2)
+        assert isinstance(result, QueryResult)
+        assert result.xml == direct.xml
+        assert result.report.query_ms == direct.report.query_ms
+        assert result.report.transfer_ms == direct.report.transfer_ms
+
+    def test_result_carries_report_and_stats(self, session):
+        result = session.materialize(QUERY_1, "fully-partitioned")
+        assert result.report.n_streams > 1
+        assert result.query_ms == result.report.query_ms
+        assert result.transfer_ms == result.report.transfer_ms
+        assert "plan_cache" in result.stats
+        assert "document_cache" in result.stats
+        assert "splice_cache" in result.stats
+
+    def test_keyword_overrides_win_over_session_options(self, tiny_conn,
+                                                        tiny_estimator):
+        session = Session(tiny_conn, estimator=tiny_estimator,
+                          options=ExecutionOptions(workers=1))
+        result = session.materialize(QUERY_1, "fully-partitioned", workers=3)
+        assert result.report.workers == 3
+
+    def test_session_options_are_the_default(self, tiny_conn, tiny_estimator):
+        session = Session(tiny_conn, estimator=tiny_estimator,
+                          options=ExecutionOptions(workers=2))
+        result = session.materialize(QUERY_1, "fully-partitioned")
+        assert result.report.workers == 2
+
+    def test_materialize_to_streams_the_same_bytes(self, session):
+        whole = session.materialize(QUERY_1, "unified", indent=2)
+        sink = io.StringIO()
+        streamed = session.materialize_to(QUERY_1, sink, "unified", indent=2)
+        assert streamed.xml is None
+        assert sink.getvalue() == whole.xml
+        assert streamed.report.query_ms == whole.report.query_ms
+
+
+class TestExplain:
+    def test_sql_matches_direct_explain(self, session):
+        view = session.view(QUERY_1)
+        result = session.explain(QUERY_1, "unified")
+        assert result.sql == tuple(view.explain("unified"))
+        assert len(result.sql) == 1
+        assert result.xml is None and result.report is None
+
+
+class TestSweep:
+    def test_sweep_returns_the_sweep_result(self, session):
+        view = session.view(QUERY_1)
+        partitions = [unified_partition(view.tree),
+                      fully_partitioned(view.tree)]
+        result = session.sweep(QUERY_1, partitions=partitions)
+        assert len(result.sweep.timings) == 2
+        assert "sweep_cache" in result.stats
+
+    def test_module_level_sweep_is_deprecated_but_equivalent(
+            self, session, q1_tree, schema, tiny_conn):
+        partitions = [unified_partition(q1_tree)]
+        with pytest.warns(DeprecationWarning, match="Session.sweep"):
+            old = sweep_partitions(q1_tree, schema, tiny_conn,
+                                   partitions=partitions)
+        new = session.sweep(QUERY_1, partitions=[
+            unified_partition(session.view(QUERY_1).tree)])
+        assert [t.query_ms for t in old.timings] == \
+               [t.query_ms for t in new.sweep.timings]
+
+
+class TestMutate:
+    def test_mutate_bumps_generation_and_reports_rows(self):
+        session = Session(fresh_db())
+        before = session.database.table("Nation").version
+        result = session.mutate("Nation", op="insert", rows=2, seed=3)
+        assert result.mutated == 2
+        assert result.table == "Nation"
+        assert result.stats["generation"] > before
+
+    def test_incremental_matches_cold_oracle(self):
+        session = Session(fresh_db())
+        session.materialize(QUERY_1, "unified")
+        session.mutate("Supplier", op="update", rows=2, seed=1)
+        incremental = session.materialize(QUERY_1, "unified")
+
+        cold = Session(fresh_db(), cache=False)
+        apply_delta(cold.database, "Supplier", op="update", rows=2, seed=1)
+        oracle = cold.materialize(QUERY_1, "unified")
+        assert incremental.xml == oracle.xml
+        assert incremental.report.query_ms == oracle.report.query_ms
+
+    def test_apply_delta_roundtrip(self):
+        db = fresh_db()
+        n = len(db.table("Nation"))
+        assert apply_delta(db, "Nation", op="insert", rows=2, seed=0) == 2
+        assert len(db.table("Nation")) == n + 2
+        assert apply_delta(db, "Nation", op="delete", rows=2, seed=0) == 2
+        assert len(db.table("Nation")) == n
+        assert apply_delta(db, "Nation", op="update", rows=1, seed=0) == 1
+
+    def test_apply_delta_refuses_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown mutation op"):
+            apply_delta(fresh_db(), "Nation", op="upsert")
+
+    def test_cli_private_alias_still_importable(self):
+        from repro.cli import _apply_delta
+
+        assert _apply_delta is apply_delta
+
+
+class TestShedPartialReports:
+    """Every shed path surfaces a partial PlanReport on the error."""
+
+    def test_streaming_queue_shed_attaches_partial_report(self, session):
+        policy = AdmissionPolicy(max_concurrent_streams=1,
+                                 max_queued_streams=0)
+        with pytest.raises(OverloadError) as info:
+            session.materialize_to(QUERY_1, io.StringIO(),
+                                   "fully-partitioned",
+                                   max_concurrent=policy)
+        exc = info.value
+        assert exc.reason == "queue"
+        assert exc.report is not None
+        assert exc.report.n_streams > 1
+        assert tuple(exc.report.shed_streams) == tuple(exc.shed)
+        assert exc.report.streams == []
