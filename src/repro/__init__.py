@@ -25,6 +25,7 @@ from repro.common.errors import (
     RxlScopeError,
     PlanError,
     ExecutionError,
+    BackendMismatchError,
     StaleGenerationError,
     TimeoutExceeded,
     TransientConnectionError,
@@ -33,6 +34,11 @@ from repro.common.errors import (
     ValidationError,
 )
 from repro.relational import (
+    Backend,
+    SimulatedBackend,
+    SqliteBackend,
+    CalibratedCostModel,
+    calibrate,
     NO_RETRY,
     AdmissionController,
     AdmissionPolicy,
@@ -97,6 +103,7 @@ __all__ = [
     "RxlScopeError",
     "PlanError",
     "ExecutionError",
+    "BackendMismatchError",
     "StaleGenerationError",
     "TimeoutExceeded",
     "TransientConnectionError",
@@ -121,6 +128,11 @@ __all__ = [
     "ServeError",
     "Column",
     "Connection",
+    "Backend",
+    "SimulatedBackend",
+    "SqliteBackend",
+    "CalibratedCostModel",
+    "calibrate",
     "CostEstimator",
     "CostModel",
     "Database",

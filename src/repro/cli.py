@@ -29,6 +29,7 @@ from repro.core.options import ExecutionOptions
 from repro.core.silkroute import SilkRoute
 from repro.core.sqlgen import PlanStyle
 from repro.obs import ObsOptions, metrics_json
+from repro.relational.backends import BACKEND_NAMES, SqliteBackend
 from repro.relational.faults import FaultPolicy, RetryPolicy
 from repro.session import Session, apply_delta as _apply_delta  # noqa: F401
 from repro.tpch.configs import CONFIG_A, build_configuration
@@ -74,8 +75,11 @@ def _positive_float(text):
     return value
 
 
-def _execution_options(args, default_budget_ms=None, obs=None):
+def _execution_options(args, default_budget_ms=None, obs=None, database=None):
     """The :class:`ExecutionOptions` described by the command line."""
+    backend = getattr(args, "backend", None)
+    if backend == "sqlite" and getattr(args, "db_path", None) is not None:
+        backend = SqliteBackend(database, db_path=args.db_path)
     retry = None
     if args.retries is not None:
         retry = RetryPolicy(max_attempts=args.retries)
@@ -101,6 +105,7 @@ def _execution_options(args, default_budget_ms=None, obs=None):
         max_concurrent=args.max_concurrent,
         engine=getattr(args, "engine", None),
         batch_size=getattr(args, "batch_size", None),
+        backend=backend,
     )
 
 
@@ -120,7 +125,7 @@ def _run_mutate(args, database, connection, estimator, rxl, out):
     import time
 
     obs = _obs_session(args)
-    options = _execution_options(args, obs=obs)
+    options = _execution_options(args, obs=obs, database=database)
     session = Session(connection, estimator=estimator)
     strategy = None if args.strategy == "greedy" else args.strategy
 
@@ -241,6 +246,16 @@ def build_parser():
                             "simulated timings are identical)")
         p.add_argument("--batch-size", type=_positive_int, default=None,
                        help="rows per chunk in the batch engine's kernels")
+        p.add_argument("--backend", choices=sorted(BACKEND_NAMES),
+                       default=None,
+                       help="also execute the generated SQL on a real "
+                            "backend, cross-validated against the simulated "
+                            "oracle (results and simulated timings are "
+                            "identical; measured wall-clock is reported "
+                            "separately)")
+        p.add_argument("--db-path", default=None, metavar="FILE",
+                       help="SQLite database file for --backend sqlite "
+                            "(default: a private in-memory instance)")
         p.add_argument("--metrics", action="store_true",
                        help="print observability counters as JSON afterwards")
 
@@ -423,7 +438,11 @@ def _run_remote_query(args, out):
 
 
 def main(argv=None, out=sys.stdout):
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if (getattr(args, "db_path", None) is not None
+            and getattr(args, "backend", None) != "sqlite"):
+        parser.error("--db-path requires --backend sqlite")
     if getattr(args, "name", None):
         args.query = args.name
     if args.command == "experiments":
@@ -473,7 +492,7 @@ def main(argv=None, out=sys.stdout):
 
     if args.command == "trace":
         obs = _obs_session(args)
-        options = _execution_options(args, obs=obs)
+        options = _execution_options(args, obs=obs, database=database)
         session = Session(connection, estimator=estimator)
         strategy = None if args.strategy == "greedy" else args.strategy
         result = session.materialize(rxl, strategy, root_tag="view",
@@ -495,7 +514,7 @@ def main(argv=None, out=sys.stdout):
 
     if args.command in ("explain", "materialize", "query"):
         obs = _obs_session(args)
-        options = _execution_options(args, obs=obs)
+        options = _execution_options(args, obs=obs, database=database)
         session = Session(connection, estimator=estimator)
         strategy = None if args.strategy == "greedy" else args.strategy
         if args.command == "explain":
@@ -522,6 +541,13 @@ def main(argv=None, out=sys.stdout):
             f"{result.report.transfer_ms:.0f}ms transfer",
             file=out,
         )
+        if result.report.backend is not None:
+            print(
+                f"-- backend: {result.report.backend}, measured "
+                f"{result.report.backend_wall_ms:.1f}ms wall, "
+                "rows cross-validated against the simulated oracle",
+                file=out,
+            )
         if options.faults is not None or options.replicas is not None:
             report = result.report
             print(
@@ -560,6 +586,7 @@ def main(argv=None, out=sys.stdout):
         obs = _obs_session(args)
         options = _execution_options(
             args, default_budget_ms=CONFIG_A.subquery_budget_ms, obs=obs,
+            database=database,
         )
         session = Session(connection, estimator=estimator)
         sweep = session.sweep(rxl, options=options).sweep

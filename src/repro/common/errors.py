@@ -190,6 +190,29 @@ class OverloadError(ExecutionError):
         super().__init__(message)
 
 
+class BackendMismatchError(ExecutionError):
+    """A real backend's rows disagreed with the simulated oracle.
+
+    Every execution against a real backend (:mod:`repro.relational.backends`)
+    is cross-validated: the simulated engine's rows are the oracle, and the
+    backend's converted result must be the same bag of rows in a compatible
+    order.  A disagreement means the dialect adaptation, the schema load, or
+    the engine semantics diverged — never a transient condition — so it is
+    raised loudly instead of silently preferring either side.
+
+    ``backend`` names the backend, ``stream_label`` the stream (when known),
+    and ``detail`` carries a short description of the first difference.
+    """
+
+    def __init__(self, message, backend=None, stream_label=None, sql=None,
+                 detail=None):
+        self.backend = backend
+        self.stream_label = stream_label
+        self.sql = sql
+        self.detail = detail
+        super().__init__(message)
+
+
 class DtdError(ReproError):
     """A DTD could not be parsed."""
 

@@ -89,7 +89,11 @@ class ExecutionOptions:
     ``engine`` selects row-at-a-time (``"tuple"``) or vectorized columnar
     (``"batch"``) plan evaluation, and ``batch_size`` the chunk size of
     the batch kernels.  ``None`` (the default) defers to the connection's
-    :class:`~repro.relational.engine.QueryEngine` defaults.
+    :class:`~repro.relational.engine.QueryEngine` defaults.  ``backend``
+    selects where the generated SQL is *also* executed for real
+    (:mod:`repro.relational.backends`) — cross-validated against the
+    simulated oracle, wall-clock recorded separately, results and
+    simulated timings untouched.
 
     The incremental-maintenance knobs bound the batch engine's
     :class:`~repro.relational.cache.NodeResultCache`:
@@ -116,6 +120,14 @@ class ExecutionOptions:
     max_concurrent: object = None
     engine: str = None
     batch_size: int = None
+    #: Where generated SQL is executed: None defers to the connection's
+    #: backend (usually pure simulation), ``"sqlite"``/``"simulated"`` or a
+    #: :class:`~repro.relational.backends.Backend` instance select one for
+    #: this execution.  A real backend never changes results, simulated
+    #: timings, or cache keys — it adds measured ``backend_wall_ms`` to the
+    #: reports (see :mod:`repro.relational.backends`).  Backend instances
+    #: hash by identity, keeping the options bundle hashable.
+    backend: object = None
     node_cache_entries: int = None
     retention_bytes: float = None
     #: Optional :class:`RequestContext` naming the client request this

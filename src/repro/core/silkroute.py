@@ -75,6 +75,14 @@ class StreamReport:
     ``hedge_wins`` / ``hedge_wait_ms`` account the backup requests (a
     hedge loser charges nothing — see
     :class:`~repro.relational.faults.StreamAttemptStats`).
+
+    When a real execution backend was selected
+    (:mod:`repro.relational.backends`), ``backend`` names it and
+    ``backend_wall_ms`` is the *measured wall-clock* of the stream's SQL
+    on that backend — kept strictly apart from the simulated
+    ``server_ms``/``transfer_ms``, which are byte-identical with and
+    without a backend.  0.0 means the backend was not contacted (pure
+    simulation, or a cache replay).
     """
 
     label: str
@@ -93,6 +101,8 @@ class StreamReport:
     hedges: int = 0
     hedge_wins: int = 0
     hedge_wait_ms: float = 0.0
+    backend: str = None
+    backend_wall_ms: float = 0.0
 
 
 @dataclass
@@ -119,6 +129,12 @@ class PlanReport:
     per-stream stats, so they reconcile with the
     ``dispatch.failovers/hedges/hedge_wins`` metrics counters), and
     ``shed_streams`` — labels the admission controller refused to run.
+
+    ``backend`` / ``backend_wall_ms`` summarize real-backend execution
+    (:mod:`repro.relational.backends`): the backend name the plan's
+    streams ran on (None for pure simulation) and the summed measured
+    wall-clock of their SQL — real milliseconds, reported next to but
+    never mixed into the simulated ``query_ms``/``transfer_ms``.
 
     ``obs`` is the :class:`~repro.obs.ObsOptions` observability session
     the execution ran under (None when tracing/metrics were off) — the
@@ -153,6 +169,8 @@ class PlanReport:
     hedge_wins: int = 0
     hedge_wait_ms: float = 0.0
     shed_streams: tuple = ()
+    backend: str = None
+    backend_wall_ms: float = 0.0
     obs: object = None
 
     @property
@@ -295,7 +313,7 @@ class XmlView:
                           budget_ms=UNSET, workers=UNSET, retry=UNSET,
                           faults=UNSET, replicas=UNSET, hedge_ms=UNSET,
                           max_concurrent=UNSET, engine=UNSET,
-                          batch_size=UNSET, options=None):
+                          batch_size=UNSET, backend=UNSET, options=None):
         """Execute one plan; returns ``(specs, streams, report)``.
 
         A subquery exceeding ``budget_ms`` (simulated server time) marks the
@@ -324,6 +342,14 @@ class XmlView:
         with the partial report attached (``exc.report``).  Without
         ``retry``, the first transient failure propagates the same way.
 
+        ``backend`` additionally executes every stream's SQL on a real
+        backend (``"sqlite"`` or a
+        :class:`~repro.relational.backends.Backend` instance) and
+        cross-validates the rows against the simulated oracle — specs,
+        streams, simulated timings, and the document are byte-identical;
+        the report gains the backend name and measured
+        ``backend_wall_ms``.
+
         ``replicas``/``hedge_ms`` route the plan's streams over a
         health-checked :class:`~repro.relational.replicas.ReplicaPool`
         with failover and hedged backup requests; ``max_concurrent``
@@ -339,7 +365,7 @@ class XmlView:
             budget_ms=budget_ms, workers=workers, retry=retry, faults=faults,
             replicas=replicas, hedge_ms=hedge_ms,
             max_concurrent=max_concurrent, engine=engine,
-            batch_size=batch_size,
+            batch_size=batch_size, backend=backend,
         )
         opts = self._resolve_resilience(opts)
         self._configure_node_cache(opts)
@@ -456,6 +482,7 @@ class XmlView:
                     admission=admission,
                     admission_elapsed_ms=elapsed_rounds_ms,
                     engine=opts.engine, batch_size=opts.batch_size,
+                    backend=opts.backend,
                     expect_generations=pinned_generations,
                     request=opts.request,
                 )
@@ -589,11 +616,17 @@ class XmlView:
                 hedges=st.hedges,
                 hedge_wins=st.hedge_wins,
                 hedge_wait_ms=st.hedge_wait_ms,
+                backend=getattr(stream, "backend", None),
+                backend_wall_ms=getattr(stream, "backend_wall_ms", 0.0),
             )
             for spec, stream, st in zip(
                 outcome.specs, outcome.streams, stats
             )
         ]
+        backend_name = next(
+            (r.backend for r in reports if r.backend is not None), None
+        )
+        backend_wall_ms = sum(r.backend_wall_ms for r in reports)
         every_stats = list(stats) + list(outcome.spent_stats)
         n_workers = max(opts.workers or 1, 1)
         resilience = dict(
@@ -608,6 +641,8 @@ class XmlView:
             hedge_wins=sum(s.hedge_wins for s in every_stats),
             hedge_wait_ms=sum(s.hedge_wait_ms for s in every_stats),
             shed_streams=tuple(outcome.shed),
+            backend=backend_name,
+            backend_wall_ms=backend_wall_ms,
         )
         if outcome.timeout is not None:
             nan = float("nan")
@@ -682,7 +717,7 @@ class XmlView:
                     greedy_params=None, workers=UNSET, retry=UNSET,
                     faults=UNSET, replicas=UNSET, hedge_ms=UNSET,
                     max_concurrent=UNSET, engine=UNSET, batch_size=UNSET,
-                    options=None):
+                    backend=UNSET, options=None):
         """Materialize the view as XML.
 
         Without an explicit ``partition``, the greedy algorithm chooses the
@@ -715,7 +750,7 @@ class XmlView:
             options, style=style, reduce=reduce, budget_ms=budget_ms,
             workers=workers, retry=retry, faults=faults, replicas=replicas,
             hedge_ms=hedge_ms, max_concurrent=max_concurrent,
-            engine=engine, batch_size=batch_size,
+            engine=engine, batch_size=batch_size, backend=backend,
         )
         tracer, _ = obs_parts(opts.obs)
         with tracer.span("materialize") as root_span:
@@ -783,7 +818,7 @@ class XmlView:
                        root_tag="view", indent=None, budget_ms=UNSET,
                        greedy_params=None, faults=UNSET, replicas=UNSET,
                        max_concurrent=UNSET, engine=UNSET, batch_size=UNSET,
-                       options=None):
+                       backend=UNSET, options=None):
         """Stream the view's XML into a file-like ``sink`` in bounded memory.
 
         The full pipeline runs lazily: each subquery executes through the
@@ -820,7 +855,7 @@ class XmlView:
         opts = resolve_options(
             options, style=style, reduce=reduce, budget_ms=budget_ms,
             faults=faults, replicas=replicas, max_concurrent=max_concurrent,
-            engine=engine, batch_size=batch_size,
+            engine=engine, batch_size=batch_size, backend=backend,
         )
         opts = self._resolve_resilience(opts)
         tracer, _ = obs_parts(opts.obs)
@@ -891,6 +926,7 @@ class XmlView:
                                 obs=opts.obs,
                                 engine=opts.engine,
                                 batch_size=opts.batch_size,
+                                backend=opts.backend,
                             )
                         )
                 _, tagger = tag_streams(
@@ -928,6 +964,8 @@ class XmlView:
                 server_ms=cursor.server_ms,
                 transfer_ms=cursor.transfer_ms,
                 sql=spec.sql,
+                backend=getattr(cursor, "backend", None),
+                backend_wall_ms=getattr(cursor, "backend_wall_ms", 0.0),
             )
             for spec, cursor in zip(specs, cursors)
         ]
@@ -957,6 +995,10 @@ class XmlView:
             ),
             wall_s=wall_s,
             attempts=len(cursors),
+            backend=next(
+                (r.backend for r in reports if r.backend is not None), None
+            ),
+            backend_wall_ms=sum(r.backend_wall_ms for r in reports),
             obs=obs,
         ))
 

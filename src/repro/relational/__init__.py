@@ -16,7 +16,11 @@ over JDBC.  It provides:
 * a cardinality/cost estimator, the "RDBMS oracle" of Sec. 5
   (:mod:`repro.relational.estimator`), and
 * a client/server connection layer with simulated transfer timing
-  (:mod:`repro.relational.connection`).
+  (:mod:`repro.relational.connection`),
+* real execution backends with cross-engine validation
+  (:mod:`repro.relational.backends`), and
+* measurement-calibrated cost estimation
+  (:mod:`repro.relational.calibrate`).
 """
 
 from repro.relational.types import SqlType
@@ -74,6 +78,19 @@ from repro.relational.dispatch import (
     execute_specs,
     run_spec_with_retry,
     simulated_makespan,
+)
+from repro.relational.backends import (
+    BACKEND_NAMES,
+    Backend,
+    SimulatedBackend,
+    SqliteBackend,
+    resolve_backend,
+)
+from repro.relational.calibrate import (
+    CalibratedCostModel,
+    CalibrationResult,
+    calibrate,
+    plan_agreement,
 )
 from repro.relational.replicas import (
     AdmissionController,
@@ -148,4 +165,13 @@ __all__ = [
     "explain_plan",
     "parse_sql",
     "render_sql",
+    "BACKEND_NAMES",
+    "Backend",
+    "SimulatedBackend",
+    "SqliteBackend",
+    "resolve_backend",
+    "CalibratedCostModel",
+    "CalibrationResult",
+    "calibrate",
+    "plan_agreement",
 ]

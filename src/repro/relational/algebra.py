@@ -15,7 +15,7 @@ the estimator uses that provenance for distinct-count estimates.
 from dataclasses import dataclass
 
 from repro.common.errors import QueryError
-from repro.relational.types import SqlType, sql_literal
+from repro.relational.types import SqlType, quote_sql_ident, sql_literal
 
 
 # ---------------------------------------------------------------------------
@@ -59,7 +59,7 @@ class ColumnRef:
     name: str
 
     def to_sql(self):
-        return self.name.replace("$", "_")
+        return quote_sql_ident(self.name.replace("$", "_"))
 
     def fingerprint(self):
         return ("col", self.name)

@@ -1,0 +1,24 @@
+"""Pluggable execution backends for the generated SQL.
+
+See :mod:`repro.relational.backends.base` for the abstraction and the
+determinism contract, and :mod:`repro.relational.backends.sqlite` for the
+real SQLite member.
+"""
+
+from repro.relational.backends.base import (
+    BACKEND_NAMES,
+    Backend,
+    SimulatedBackend,
+    align_backend_rows,
+    resolve_backend,
+)
+from repro.relational.backends.sqlite import SqliteBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "SimulatedBackend",
+    "SqliteBackend",
+    "align_backend_rows",
+    "resolve_backend",
+]

@@ -1,0 +1,147 @@
+"""Backend abstraction: where generated SQL is actually executed.
+
+The paper's middle-ware sends every partition's SQL to a commercial RDBMS
+over JDBC.  This repo historically simulated that source end to end — the
+:class:`~repro.relational.engine.QueryEngine` evaluates plans with an
+analytical cost model, so timings are deterministic and experiments are
+reproducible bit for bit.  A :class:`Backend` makes the *source* a
+pluggable axis without giving that up:
+
+* :class:`SimulatedBackend` — the in-memory engine alone.  The default;
+  nothing changes.
+* :class:`~repro.relational.backends.sqlite.SqliteBackend` — a real
+  SQLite instance loaded from the same :class:`Database`.  The simulated
+  engine still runs first and stays the *oracle*: its rows, simulated
+  timings, budget semantics, and cache behavior are untouched.  The
+  dialect-adapted SQL is additionally executed on SQLite, its wall-clock
+  time measured, and its rows cross-validated against the oracle
+  (:func:`align_backend_rows`) — a disagreement raises
+  :class:`~repro.common.errors.BackendMismatchError` instead of silently
+  preferring either side.
+
+This is the determinism contract: ``backend="sqlite"`` never changes XML
+output, ``server_ms``/``transfer_ms``, or plan-cache keys; it *adds* a
+measured ``backend_wall_ms`` per stream (surfaced through
+:class:`~repro.core.silkroute.StreamReport` / ``PlanReport`` and the
+metrics registry), which is what the calibration layer
+(:mod:`repro.relational.calibrate`) fits the cost model against.
+"""
+
+from repro.common.errors import BackendMismatchError, QueryError
+from repro.common.ordering import sort_key
+from repro.relational.algebra import Sort
+
+#: The backend names :func:`resolve_backend` accepts as strings.
+BACKEND_NAMES = ("simulated", "sqlite")
+
+
+class Backend:
+    """One place generated SQL can be executed.
+
+    Hashes by identity (so an :class:`~repro.core.options.ExecutionOptions`
+    carrying one stays hashable) and never compares equal to another
+    instance.
+    """
+
+    #: Short stable name, also the CLI spelling (``--backend <name>``).
+    name = "backend"
+    #: True when executing contacts a real engine whose wall-clock time is
+    #: measured; False for pure pass-throughs like :class:`SimulatedBackend`.
+    is_real = False
+
+    def execute_sql(self, plan, sql):
+        """Execute ``sql`` (the generated dialect, pre-adaptation) for
+        ``plan``; return ``(rows, wall_ms)`` where ``rows`` are plain
+        tuples converted back to the plan's column types and ``wall_ms``
+        is the measured wall-clock milliseconds."""
+        raise NotImplementedError
+
+    def close(self):
+        """Release any real resources; idempotent."""
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class SimulatedBackend(Backend):
+    """The in-memory engine alone — an explicit spelling of the default.
+
+    Exists so ``backend="simulated"`` round-trips through options, CLI
+    flags, and mixed :class:`~repro.relational.replicas.ReplicaSet`
+    members; :meth:`execute_sql` is never called on it.
+    """
+
+    name = "simulated"
+    is_real = False
+
+
+def resolve_backend(value, database=None):
+    """Normalize a backend argument: None and :class:`Backend` instances
+    pass through; the strings ``"simulated"``/``"sqlite"`` construct the
+    corresponding backend over ``database``."""
+    if value is None or isinstance(value, Backend):
+        return value
+    if value == "simulated":
+        return SimulatedBackend()
+    if value == "sqlite":
+        if database is None:
+            raise QueryError(
+                "backend 'sqlite' needs a database to load; resolve it "
+                "through a Connection (or pass a SqliteBackend instance)"
+            )
+        from repro.relational.backends.sqlite import SqliteBackend
+
+        return SqliteBackend(database)
+    raise QueryError(
+        f"unknown backend {value!r} (expected one of {BACKEND_NAMES} "
+        "or a Backend instance)"
+    )
+
+
+def align_backend_rows(plan, oracle_rows, backend_rows, backend_name,
+                       label=None, sql=None):
+    """Cross-validate a real backend's rows against the simulated oracle.
+
+    The generated SQL's ORDER BY does not totally order the result (ties
+    beyond the sort key may legally come back in any order from a real
+    engine), so equality is checked in two parts: the two results must be
+    the same *bag* of rows, and — when the plan's root is a
+    :class:`~repro.relational.algebra.Sort` — the backend's order must be
+    non-decreasing on the declared sort keys.  Returns the oracle rows
+    (the canonical order every downstream byte-identity guarantee is
+    stated against); raises
+    :class:`~repro.common.errors.BackendMismatchError` on any difference.
+    """
+    if len(backend_rows) != len(oracle_rows):
+        raise BackendMismatchError(
+            f"{backend_name} returned {len(backend_rows)} rows, "
+            f"simulated oracle {len(oracle_rows)}",
+            backend=backend_name, stream_label=label, sql=sql,
+            detail="row-count mismatch",
+        )
+    expected = sorted(oracle_rows, key=sort_key)
+    received = sorted(backend_rows, key=sort_key)
+    for index, (want, got) in enumerate(zip(expected, received)):
+        if want != got:
+            raise BackendMismatchError(
+                f"{backend_name} rows disagree with the simulated oracle "
+                f"(first difference at sorted row {index}: "
+                f"expected {want!r}, got {got!r})",
+                backend=backend_name, stream_label=label, sql=sql,
+                detail=f"row {index}: {want!r} != {got!r}",
+            )
+    if isinstance(plan, Sort) and plan.keys:
+        names = list(plan.column_names())
+        positions = [names.index(k) for k in plan.keys]
+        previous = None
+        for index, row in enumerate(backend_rows):
+            key = sort_key(tuple(row[p] for p in positions))
+            if previous is not None and key < previous:
+                raise BackendMismatchError(
+                    f"{backend_name} violated the plan's ORDER BY at "
+                    f"row {index}",
+                    backend=backend_name, stream_label=label, sql=sql,
+                    detail=f"row {index} sorts before its predecessor",
+                )
+            previous = key
+    return oracle_rows

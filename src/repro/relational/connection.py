@@ -27,8 +27,14 @@ from repro.common.errors import (
     TransientConnectionError,
 )
 from repro.obs import obs_parts
+from repro.relational.backends.base import (
+    Backend,
+    align_backend_rows,
+    resolve_backend,
+)
 from repro.relational.cache import resolve_cache
 from repro.relational.engine import QueryEngine
+from repro.relational.sqltext import render_sql
 from repro.relational.types import width_function
 
 
@@ -82,6 +88,11 @@ class TupleStream:
         self.sql = sql
         self.label = label
         self.fault_latency_ms = 0.0
+        #: Name of the backend that cross-validated this stream (None for
+        #: pure simulation) and its measured wall-clock milliseconds —
+        #: reporting only, never part of the simulated timings.
+        self.backend = None
+        self.backend_wall_ms = 0.0
 
     @property
     def total_ms(self):
@@ -129,6 +140,11 @@ class TupleCursor:
         self.transfer_ms = 0.0
         self.rows_read = 0
         self.closed = False
+        #: Backend identity + wall clock, as on :class:`TupleStream`.  For
+        #: a real backend the cross-validation runs when the cursor is
+        #: exhausted (the oracle rows only exist once streamed).
+        self.backend = None
+        self.backend_wall_ms = 0.0
         self._iter_result = iter_result
 
         def rows():
@@ -210,13 +226,19 @@ class Connection:
     """
 
     def __init__(self, database, cost_model, transfer_model=None, cache=None,
-                 faults=None, engine="batch", batch_size=None):
+                 faults=None, engine="batch", batch_size=None, backend=None):
         self.database = database
         self.engine = QueryEngine(database, cost_model,
                                   cache=resolve_cache(cache),
                                   engine=engine, batch_size=batch_size)
         self.transfer_model = transfer_model or TransferModel()
         self.faults = faults
+        #: Default :class:`~repro.relational.backends.Backend` (or None for
+        #: pure simulation); per-call ``backend=`` overrides.  String names
+        #: are resolved once and memoized so repeated ``backend="sqlite"``
+        #: calls share one loaded mirror.
+        self.backend = resolve_backend(backend, database)
+        self._backend_memo = {}
         # Total transfer cost per (plan fingerprint, dependency key,
         # compact flag): a deterministic function of the rows a plan
         # produces against the read tables' current generations, so
@@ -234,6 +256,22 @@ class Connection:
     @cache.setter
     def cache(self, cache):
         self.engine.cache = resolve_cache(cache)
+
+    def _resolve_backend(self, backend):
+        """Per-call backend override: None → the connection default,
+        instances pass through, names are memoized per connection."""
+        if backend is None:
+            return self.backend
+        if isinstance(backend, Backend):
+            return backend
+        resolved = self._backend_memo.get(backend)
+        if resolved is None:
+            if self.backend is not None and backend == self.backend.name:
+                resolved = self.backend
+            else:
+                resolved = resolve_backend(backend, self.database)
+            self._backend_memo[backend] = resolved
+        return resolved
 
     def is_cached(self, plan):
         """True when the engine would replay ``plan`` from its result
@@ -274,7 +312,7 @@ class Connection:
 
     def execute(self, plan, compact_rows=False, budget_ms=None, sql=None,
                 label=None, attempt=1, faults=None, obs=None,
-                engine=None, batch_size=None):
+                engine=None, batch_size=None, backend=None):
         """Execute ``plan`` and return a :class:`TupleStream`.
 
         ``compact_rows`` marks union-shaped results whose driver-side row
@@ -282,6 +320,17 @@ class Connection:
         bounds *server* time (the paper's per-subquery timeout).
         ``engine``/``batch_size`` override the engine's execution mode for
         this call (performance only; results and timings are identical).
+
+        ``backend`` (a name or :class:`~repro.relational.backends.Backend`;
+        None uses the connection default) selects a real backend to *also*
+        execute the generated SQL on: the simulated engine remains the
+        oracle — its rows, simulated timings, budget and cache semantics
+        are unchanged — while the backend's rows are cross-validated
+        against it (:class:`~repro.common.errors.BackendMismatchError` on
+        any difference) and its wall-clock lands in the stream's
+        ``backend_wall_ms``.  Plan-cache replays never contact the
+        backend, mirroring the existing "a replay never touches the
+        source" contract.
 
         With a :class:`~repro.relational.faults.FaultPolicy` installed (or
         passed via ``faults``), the submission first draws that policy's
@@ -296,9 +345,18 @@ class Connection:
         """
         latency_ms = self._fault_check(plan, label, attempt, faults)
         metrics = obs_parts(obs)[1] if obs is not None else None
+        backend = self._resolve_backend(backend)
+        real = backend is not None and backend.is_real
+        replayed = real and self.engine.cached_complete(plan)
         result = self.engine.execute(plan, budget_ms=budget_ms,
                                      metrics=metrics, engine=engine,
                                      batch_size=batch_size)
+        backend_wall_ms = 0.0
+        if real and not replayed:
+            text = sql if sql is not None else render_sql(plan)
+            backend_rows, backend_wall_ms = backend.execute_sql(plan, text)
+            align_backend_rows(plan, result.rows, backend_rows,
+                               backend.name, label=label, sql=text)
         transfer_ms = self._transfer_cost_for(plan, result, compact_rows)
         stream = TupleStream(
             columns=result.columns,
@@ -309,12 +367,25 @@ class Connection:
             label=label,
         )
         stream.fault_latency_ms = latency_ms
+        if backend is not None:
+            stream.backend = backend.name
+            stream.backend_wall_ms = backend_wall_ms
         return stream
 
     def execute_iter(self, plan, compact_rows=False, budget_ms=None, sql=None,
                      label=None, attempt=1, faults=None, obs=None,
-                     engine=None, batch_size=None):
+                     engine=None, batch_size=None, backend=None):
         """Execute ``plan`` streaming; return a :class:`TupleCursor`.
+
+        With a real ``backend`` the generated SQL is executed (and its
+        wall clock measured) when the cursor is opened, but the
+        cross-validation against the simulated oracle necessarily waits
+        until the cursor is exhausted — the oracle rows only exist once
+        streamed — so a :class:`~repro.common.errors.BackendMismatchError`
+        surfaces from the final ``next()``.  The validation buffers the
+        streamed rows for comparison: bounded-memory streaming is a
+        simulated-backend guarantee.  Cache replays skip the backend, as
+        on :meth:`execute`.
 
         An installed :class:`~repro.relational.faults.FaultPolicy` draws
         its outcome when the cursor is *opened* (the streaming path has no
@@ -335,6 +406,9 @@ class Connection:
         """
         self._fault_check(plan, label, attempt, faults)
         metrics = obs_parts(obs)[1] if obs is not None else None
+        backend = self._resolve_backend(backend)
+        real = backend is not None and backend.is_real
+        replayed = real and self.engine.cached_complete(plan)
         try:
             iter_result = self.engine.execute_iter(plan, budget_ms=budget_ms,
                                                    metrics=metrics,
@@ -346,12 +420,21 @@ class Connection:
             if exc.stream_label is None:
                 exc.stream_label = label
             raise
-        return TupleCursor(
+        cursor = TupleCursor(
             iter_result,
             self._row_cost_fn(iter_result.columns, compact_rows),
             sql=sql,
             label=label,
         )
+        if backend is not None:
+            cursor.backend = backend.name
+        if real and not replayed:
+            text = sql if sql is not None else render_sql(plan)
+            backend_rows, wall_ms = backend.execute_sql(plan, text)
+            cursor.backend_wall_ms = wall_ms
+            _defer_backend_validation(cursor, plan, backend.name,
+                                      backend_rows, text)
+        return cursor
 
     def _row_cost_fn(self, columns, compact_rows):
         """The per-row transfer charge as a compiled closure — shared by the
@@ -425,3 +508,25 @@ class Connection:
         for row in rows:
             total += row_cost(row)
         return total
+
+
+def _defer_backend_validation(cursor, plan, backend_name, backend_rows, sql):
+    """Wrap the cursor's row generator so the streamed oracle rows are
+    collected and cross-validated against ``backend_rows`` at exhaustion.
+    Abandoned (closed-early) cursors skip validation — there is no full
+    oracle to compare against."""
+    inner = cursor._rows
+
+    def rows():
+        seen = []
+        try:
+            for row in inner:
+                seen.append(row)
+                yield row
+        finally:
+            inner.close()
+        if cursor.exhausted:
+            align_backend_rows(plan, seen, backend_rows, backend_name,
+                               label=cursor.label, sql=sql)
+
+    cursor._rows = rows()

@@ -106,7 +106,7 @@ class DispatchResult:
 def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
                         faults=None, breaker=None, obs=None, pool=None,
                         epoch=None, hedge_ms=None, engine=None,
-                        batch_size=None):
+                        batch_size=None, backend=None):
     """Execute one spec under the retry/backoff/breaker regime; return
     ``(stream, stats)``.
 
@@ -148,7 +148,7 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
             return pool.run_spec(
                 spec, epoch, budget_ms=budget_ms, retry=retry,
                 breaker=breaker, faults=faults, obs=obs, hedge_ms=hedge_ms,
-                engine=engine, batch_size=batch_size,
+                engine=engine, batch_size=batch_size, backend=backend,
             )
         finally:
             if own_epoch:
@@ -170,7 +170,7 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
             stream = connection.execute(
                 spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
                 sql=spec.sql, label=spec.label, faults=False, obs=obs,
-                engine=engine, batch_size=batch_size,
+                engine=engine, batch_size=batch_size, backend=backend,
             )
         return stream, stats
     max_attempts = retry.max_attempts if retry is not None else 1
@@ -186,7 +186,7 @@ def run_spec_with_retry(connection, spec, budget_ms=None, retry=None,
                 spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
                 sql=spec.sql, label=spec.label, attempt=stats.attempts,
                 faults=policy if policy is not None else False, obs=obs,
-                engine=engine, batch_size=batch_size,
+                engine=engine, batch_size=batch_size, backend=backend,
             )
             stats.fault_latency_ms += stream.fault_latency_ms
             if breaker is not None:
@@ -227,7 +227,7 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
                   retry=None, faults=None, breaker=None, obs=None,
                   pool=None, hedge_ms=None, admission=None, epoch=None,
                   admission_elapsed_ms=0.0, engine=None, batch_size=None,
-                  expect_generations=None, request=None):
+                  backend=None, expect_generations=None, request=None):
     """Execute every :class:`~repro.core.sqlgen.StreamSpec`'s plan; return
     a :class:`DispatchResult` (unpacks as the ``(streams, timeout)``
     pair).
@@ -327,7 +327,7 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
                 connection, spec, budget_ms=budget_ms, retry=retry,
                 faults=faults, breaker=breaker, obs=obs,
                 pool=pool, epoch=epoch, hedge_ms=hedge_ms,
-                engine=engine, batch_size=batch_size,
+                engine=engine, batch_size=batch_size, backend=backend,
             )
             span.set(
                 rows=len(stream), attempts=stats.attempts,
@@ -344,6 +344,8 @@ def execute_specs(connection, specs, budget_ms=None, workers=None,
         metrics.inc("tuples.transferred", len(stream))
         metrics.observe("stream.query_ms", stream.server_ms)
         metrics.observe("stream.transfer_ms", stream.transfer_ms)
+        if getattr(stream, "backend_wall_ms", 0.0):
+            metrics.observe("stream.backend_wall_ms", stream.backend_wall_ms)
 
     result = DispatchResult(streams=[])
     if admission is not None:

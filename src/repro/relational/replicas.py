@@ -50,6 +50,7 @@ from repro.common.errors import (
     tag_request,
 )
 from repro.obs import obs_parts
+from repro.relational.backends.base import resolve_backend
 from repro.relational.connection import Connection
 from repro.relational.faults import CircuitBreaker, StreamAttemptStats
 
@@ -90,7 +91,8 @@ class ReplicaSet:
         self.connections = connections
 
     @classmethod
-    def from_connection(cls, connection, n, faults=None, transfer_models=None):
+    def from_connection(cls, connection, n, faults=None, transfer_models=None,
+                        backends=None):
         """Clone ``connection`` into an ``n``-replica set.
 
         Replica 0 *is* the given connection (same engine, same cache);
@@ -105,6 +107,13 @@ class ReplicaSet:
         (the lever for chaos scenarios — one hard-down replica, one slow
         one).  ``transfer_models`` optionally does the same for transfer
         coefficients; identical models keep hedged timings identical.
+        ``backends`` pins each replica's default execution backend the
+        same way — a sequence of length ``n`` of backend names or
+        :class:`~repro.relational.backends.Backend` instances (None
+        entries keep pure simulation), so a set can mix simulated and
+        real-SQLite members.  Because a real backend never changes rows
+        or simulated timings, a mixed set still routes, hedges, and
+        fails over byte-identically to an all-simulated one.
         """
         if n < 1:
             raise ValueError(f"need at least 1 replica, got {n}")
@@ -113,9 +122,17 @@ class ReplicaSet:
                 f"transfer_models has {len(transfer_models)} entries "
                 f"for {n} replicas"
             )
+        if backends is not None and len(backends) != n:
+            raise ValueError(
+                f"backends has {len(backends)} entries for {n} replicas"
+            )
         per_replica = cls._fault_plan(connection, n, faults)
         connections = [connection]
         connection.faults = per_replica[0]
+        if backends is not None:
+            connection.backend = resolve_backend(
+                backends[0], connection.database
+            )
         for i in range(1, n):
             transfer = None
             if transfer_models is not None:
@@ -125,6 +142,7 @@ class ReplicaSet:
                 connection.engine.cost_model,
                 transfer_model=transfer or connection.transfer_model,
                 faults=per_replica[i],
+                backend=backends[i] if backends is not None else None,
             )
             if connection.cache is not None:
                 conn.cache = connection.cache
@@ -318,7 +336,7 @@ class ReplicaPool:
 
     def run_spec(self, spec, epoch, budget_ms=None, retry=None, breaker=None,
                  faults=None, obs=None, hedge_ms=None, engine=None,
-                 batch_size=None):
+                 batch_size=None, backend=None):
         """Execute one stream spec with routing, failover, and hedging;
         return ``(stream, stats)``.
 
@@ -374,7 +392,7 @@ class ReplicaPool:
                 stream = conn.execute(
                     spec.plan, compact_rows=spec.compact, budget_ms=budget_ms,
                     sql=spec.sql, label=spec.label, faults=False, obs=obs,
-                    engine=engine, batch_size=batch_size,
+                    engine=engine, batch_size=batch_size, backend=backend,
                 )
             return stream, stats
         max_attempts = retry.max_attempts if retry is not None else 1
@@ -400,6 +418,7 @@ class ReplicaPool:
                         attempt=stats.attempts,
                         faults=policy if policy is not None else False,
                         obs=obs, engine=engine, batch_size=batch_size,
+                        backend=backend,
                     )
                 break
             except TransientConnectionError as exc:
@@ -457,7 +476,7 @@ class ReplicaPool:
                 stream, winner, winning_latency = self._hedge(
                     spec, epoch, stats, tracer, obs, budget_ms, policies,
                     hedge_ms, current, stream, primary_cost,
-                    backup, winning_latency, engine, batch_size,
+                    backup, winning_latency, engine, batch_size, backend,
                 )
         stats.fault_latency_ms += winning_latency
         stats.replica = winner
@@ -467,7 +486,8 @@ class ReplicaPool:
 
     def _hedge(self, spec, epoch, stats, tracer, obs, budget_ms, policies,
                hedge_ms, primary, primary_stream, primary_cost,
-               backup, winning_latency, engine=None, batch_size=None):
+               backup, winning_latency, engine=None, batch_size=None,
+               backend=None):
         """Issue the backup request; return the winning
         ``(stream, replica, fault_latency)`` by simulated completion."""
         stats.attempts += 1
@@ -488,6 +508,7 @@ class ReplicaPool:
                         attempt=stats.attempts,
                         faults=policy if policy is not None else False,
                         obs=obs, engine=engine, batch_size=batch_size,
+                        backend=backend,
                     )
             except TransientConnectionError as exc:
                 # A failed backup is abandoned: the primary already

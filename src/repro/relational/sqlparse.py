@@ -42,17 +42,36 @@ _KEYWORDS = {
     "null", "true", "date", "with",
 }
 
+_NAME_PART = r'(?:[A-Za-z_][\w]*|"(?:[^"]|"")*")'
+
 _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)
   | (?P<number>\d+(\.\d+)?)
   | (?P<string>'(?:[^']|'')*')
-  | (?P<name>[A-Za-z_][\w]*(\.[A-Za-z_][\w]*)*)
+  | (?P<name>{part}(\.{part})*)
   | (?P<op><=|>=|<>|!=|=|<|>)
   | (?P<punct>[(),])
-    """,
+    """.format(part=_NAME_PART),
     re.VERBOSE,
 )
+
+_NAME_PART_RE = re.compile(_NAME_PART)
+
+
+def _unquote_name(value):
+    """Strip identifier quoting from a (possibly dotted) name token:
+    ``a1."order"`` becomes ``a1.order`` — the algebra works on bare names;
+    quoting exists only in the SQL text."""
+    if '"' not in value:
+        return value
+    parts = []
+    for part in _NAME_PART_RE.findall(value):
+        if part.startswith('"'):
+            parts.append(part[1:-1].replace('""', '"'))
+        else:
+            parts.append(part)
+    return ".".join(parts)
 
 
 def _tokenize(text):
@@ -65,8 +84,11 @@ def _tokenize(text):
         kind = match.lastgroup
         value = match.group()
         if kind != "ws":
-            if kind == "name" and value.lower() in _KEYWORDS:
+            if kind == "name" and '"' not in value \
+                    and value.lower() in _KEYWORDS:
                 tokens.append(("kw", value.lower()))
+            elif kind == "name":
+                tokens.append((kind, _unquote_name(value)))
             else:
                 tokens.append((kind, value))
         pos = match.end()

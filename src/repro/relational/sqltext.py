@@ -15,9 +15,11 @@ subquery boundary.
 """
 
 import itertools
+import re
 from collections import Counter
 
 from repro.common.errors import QueryError
+from repro.relational.types import quote_sql_alias, quote_sql_ident
 from repro.relational.algebra import (
     walk,
     Scan,
@@ -124,7 +126,7 @@ class _Renderer:
             if is_plain_ref and expr_sql.split(".")[-1] == name:
                 rendered.append(expr_sql)
             else:
-                rendered.append(f"{expr_sql} AS {_ident(name)}")
+                rendered.append(f"{expr_sql} AS {_alias(name)}")
         sql = "SELECT "
         if distinct:
             sql += "DISTINCT "
@@ -178,7 +180,8 @@ class _Renderer:
                 where1 + where2 + conds
         if isinstance(op, Scan):
             items = [(_ident(c.name), c.name) for c in op.columns()]
-            return False, items, [f"{op.table_schema.name} {op.alias}"], []
+            from_item = f"{_ident(op.table_schema.name)} {_ident(op.alias)}"
+            return False, items, [from_item], []
         return self._flatten_derived(op)
 
     def _flatten_join_side(self, op):
@@ -281,8 +284,16 @@ def _expr_sql(expr):
 
 def _ident(name):
     """Column identifiers: base columns stay alias-qualified; generated
-    names (Skolem-term variables, L tags) are plain identifiers."""
-    return name
+    names (Skolem-term variables, L tags) are plain identifiers.  Parts
+    that collide with reserved words are double-quoted so the text is
+    accepted verbatim by a real SQL parser (and our own)."""
+    return quote_sql_ident(name.replace("$", "_"))
+
+
+def _alias(name):
+    """Output-column aliases are single identifiers: a dotted name (an
+    unprojected ``alias.column``) quotes as one label, not a path."""
+    return quote_sql_alias(name.replace("$", "_"))
 
 
 def _qualify(name, op, left_alias, right_alias):
@@ -302,3 +313,24 @@ def _require_projected(op):
 
 def _indent(text, prefix="  "):
     return "\n".join(prefix + line for line in text.splitlines())
+
+
+# -- dialect adaptation -------------------------------------------------------
+
+_DATE_LITERAL_RE = re.compile(r"\bDATE\s+('(?:[^']|'')*')")
+_NULLS_FIRST_RE = re.compile(r"[ \t]+NULLS\s+FIRST\b")
+
+
+def to_sqlite(sql):
+    """Adapt one generated SQL statement to the SQLite dialect.
+
+    The generated dialect is deliberately small, so only two rewrites are
+    needed: ``DATE '...'`` literals become plain ISO-8601 strings (SQLite
+    has no DATE literal; ISO text compares chronologically), and
+    ``NULLS FIRST`` is dropped from ORDER BY keys (SQLite's default ASC
+    order already places NULLs first, and older SQLite versions reject the
+    clause).  Identifier quoting and the ``''`` string escaping are shared
+    with SQLite already, so everything else passes through verbatim.
+    """
+    sql = _DATE_LITERAL_RE.sub(r"\1", sql)
+    return _NULLS_FIRST_RE.sub("", sql)

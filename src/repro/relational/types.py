@@ -93,6 +93,56 @@ _STORAGE_WIDTHS = {
 }
 
 
+#: Words that cannot appear as bare identifiers in the generated SQL —
+#: the union of the keywords our own parser (:mod:`repro.relational.sqlparse`)
+#: reserves and SQLite's reserved-keyword list, so quoted output is accepted
+#: verbatim by both consumers.
+SQL_RESERVED_WORDS = frozenset("""
+    abort action add after all alter always analyze and as asc attach
+    autoincrement before begin between by cascade case cast check collate
+    column commit conflict constraint create cross current current_date
+    current_time current_timestamp database date default deferrable deferred
+    delete desc detach distinct do drop each else end escape except exclude
+    exclusive exists explain fail filter first following for foreign from
+    full generated glob group groups having if ignore immediate in index
+    indexed initially inner insert instead intersect into is isnull join key
+    last left like limit materialized natural no not nothing notnull null
+    nulls of offset on or order others outer over partition plan pragma
+    preceding primary query raise range recursive references regexp reindex
+    release rename replace restrict returning right rollback row rows
+    savepoint select set table temp temporary then ties to transaction
+    trigger true unbounded union unique update using vacuum values view
+    virtual when where window with without
+""".split())
+
+
+def quote_sql_ident(name):
+    """Quote the dotted parts of identifier ``name`` that a SQL parser
+    would not accept bare: reserved words and anything that is not a plain
+    identifier are wrapped in double quotes (with ``\"\"`` doubling), while
+    ordinary parts stay verbatim — so typical generated SQL is unchanged
+    and reserved-word schema names round-trip through every consumer."""
+    if "." not in name and _ident_is_plain(name):
+        return name
+    return ".".join(
+        part if _ident_is_plain(part) else '"%s"' % part.replace('"', '""')
+        for part in name.split(".")
+    )
+
+
+def quote_sql_alias(name):
+    """Quote ``name`` as a *single* identifier.  An output-column alias
+    is one name even when it contains dots (``r.regionkey`` as a column
+    label), so unlike :func:`quote_sql_ident` nothing is split."""
+    if _ident_is_plain(name):
+        return name
+    return '"%s"' % name.replace('"', '""')
+
+
+def _ident_is_plain(part):
+    return part.isidentifier() and part.lower() not in SQL_RESERVED_WORDS
+
+
 def sql_literal(value):
     """Render a Python value as a SQL literal, inferring the type."""
     if value is None:

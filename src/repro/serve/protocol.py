@@ -33,13 +33,14 @@ import math
 from repro.common.errors import ReproError
 from repro.core.options import ExecutionOptions
 from repro.core.sqlgen import PlanStyle
+from repro.relational.backends import BACKEND_NAMES
 from repro.relational.faults import FaultPolicy, RetryPolicy
 
 #: ExecutionOptions fields a client may set, with their wire codecs.
 WIRE_OPTIONS = (
     "style", "reduce", "budget_ms", "workers", "retries", "fault_seed",
     "fault_rate", "replicas", "hedge_ms", "max_concurrent", "engine",
-    "batch_size",
+    "batch_size", "backend",
 )
 
 _STYLES = {
@@ -118,6 +119,14 @@ def options_from_wire(wire):
                 f"unknown engine {engine!r} (expected 'batch' or 'tuple')"
             )
         fields["engine"] = engine
+    backend = wire.get("backend")
+    if backend is not None:
+        if backend not in BACKEND_NAMES:
+            raise ProtocolError(
+                f"unknown backend {backend!r} "
+                f"(expected one of {', '.join(BACKEND_NAMES)})"
+            )
+        fields["backend"] = backend
     return ExecutionOptions(**fields)
 
 
@@ -140,6 +149,10 @@ def options_to_wire(options):
         value = getattr(options, name)
         if value is not None:
             wire[name] = value
+    # Only backend *names* cross the wire; a live Backend instance is a
+    # local resource and stays client-side.
+    if isinstance(options.backend, str):
+        wire["backend"] = options.backend
     return wire
 
 

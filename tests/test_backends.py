@@ -1,0 +1,474 @@
+"""Tests for the real-backend layer (repro.relational.backends).
+
+The contract under test: a real backend never changes *anything*
+observable from the simulated path — rows, XML bytes, simulated timings,
+cache behaviour — it only adds cross-validation and a separately-reported
+measured wall clock.  The simulated engine stays the oracle; SQLite is
+the witness.
+"""
+
+import io
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.queries import QUERY_1, QUERY_2
+from repro.common.errors import BackendMismatchError, QueryError
+from repro.core.options import ExecutionOptions
+from repro.core.partition import enumerate_partitions
+from repro.core.silkroute import SilkRoute
+from repro.core.sqlgen import PlanStyle, SqlGenerator
+from repro.relational.algebra import (
+    ColumnRef,
+    Comparison,
+    Filter,
+    Literal,
+    Project,
+    ProjectItem,
+    Scan,
+    Sort,
+)
+from repro.relational.backends import (
+    BACKEND_NAMES,
+    Backend,
+    SimulatedBackend,
+    SqliteBackend,
+    resolve_backend,
+)
+from repro.relational.connection import Connection
+from repro.relational.database import Database
+from repro.relational.engine import CostModel
+from repro.relational.schema import Column, DatabaseSchema, TableSchema
+from repro.relational.sqlparse import parse_sql
+from repro.relational.sqltext import render_sql
+from repro.relational.types import SqlType
+
+
+@pytest.fixture()
+def sqlite_backend(tiny_db):
+    backend = SqliteBackend(tiny_db)
+    yield backend
+    backend.close()
+
+
+@pytest.fixture()
+def conn(tiny_db):
+    """A fresh connection per test — backend experiments must not leak
+    into the session-scoped ``tiny_conn``."""
+    return Connection(tiny_db, CostModel())
+
+
+class TestResolveBackend:
+    def test_names(self):
+        assert BACKEND_NAMES == ("simulated", "sqlite")
+
+    def test_none_passes_through(self):
+        assert resolve_backend(None) is None
+
+    def test_instance_passes_through(self, tiny_db):
+        backend = SqliteBackend(tiny_db)
+        assert resolve_backend(backend, tiny_db) is backend
+        backend.close()
+
+    def test_simulated_by_name(self):
+        backend = resolve_backend("simulated")
+        assert isinstance(backend, SimulatedBackend)
+        assert not backend.is_real
+
+    def test_sqlite_by_name_needs_database(self):
+        with pytest.raises(QueryError):
+            resolve_backend("sqlite")
+
+    def test_unknown_name_lists_choices(self, tiny_db):
+        with pytest.raises(QueryError) as info:
+            resolve_backend("postgres", tiny_db)
+        assert "simulated" in str(info.value)
+        assert "sqlite" in str(info.value)
+
+    def test_base_backend_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Backend().execute_sql(None, "SELECT 1")
+
+
+class TestSqliteMirror:
+    def test_row_counts_match(self, tiny_db, sqlite_backend):
+        for name in tiny_db.schema.table_names:
+            assert sqlite_backend.table_count(name) == len(
+                tiny_db.table(name)
+            )
+
+    def test_simple_scan_rows_match(self, tiny_db, conn, sqlite_backend):
+        plan = Sort(Scan(tiny_db.schema.table("Region"), "r"),
+                    ["r.regionkey"])
+        oracle = conn.engine.execute(plan).rows
+        rows, wall_ms = sqlite_backend.execute_sql(plan, render_sql(plan))
+        assert rows == oracle
+        assert wall_ms >= 0.0
+
+    def test_dates_round_trip_typed(self, tiny_db, conn, sqlite_backend):
+        import datetime
+
+        plan = Sort(
+            Project(
+                Scan(tiny_db.schema.table("Orders"), "o"),
+                [ProjectItem(ColumnRef("o.orderkey"), "okey"),
+                 ProjectItem(ColumnRef("o.date"), "odate")],
+            ),
+            ["okey"],
+        )
+        rows, _ = sqlite_backend.execute_sql(plan, render_sql(plan))
+        assert rows == conn.engine.execute(plan).rows
+        assert all(isinstance(row[1], datetime.date) for row in rows)
+
+    def test_mutation_triggers_reload(self, sqlite_backend):
+        # A private database: the shared fixture must stay pristine.
+        from repro.tpch.generator import TpchGenerator, TpchScale
+
+        db = TpchGenerator(
+            scale=TpchScale(suppliers=2, parts=2, customers=2, orders=2),
+            seed=7,
+        ).generate()
+        backend = SqliteBackend(db)
+        try:
+            before = backend.table_count("Region")
+            db.insert("Region", 99, "ATLANTIS")
+            assert backend.table_count("Region") == before + 1
+        finally:
+            backend.close()
+
+    def test_db_path_creates_file(self, tiny_db, tmp_path):
+        path = tmp_path / "mirror.db"
+        backend = SqliteBackend(tiny_db, db_path=str(path))
+        try:
+            assert backend.table_count("Nation") == len(
+                tiny_db.table("Nation")
+            )
+        finally:
+            backend.close()
+        assert path.exists() and path.stat().st_size > 0
+
+    def test_close_is_idempotent_and_reopens(self, tiny_db):
+        backend = SqliteBackend(tiny_db)
+        assert backend.table_count("Region") > 0
+        backend.close()
+        backend.close()
+        # Lazy reopen on next use.
+        assert backend.table_count("Region") > 0
+        backend.close()
+
+    def test_repr(self, tiny_db):
+        assert ":memory:" in repr(SqliteBackend(tiny_db))
+
+
+class TestConnectionIntegration:
+    def test_rows_and_timings_identical(self, conn, q1_tree, tiny_db):
+        gen = SqlGenerator(q1_tree, tiny_db.schema)
+        spec = gen.streams_for_partition(
+            list(enumerate_partitions(q1_tree))[0]
+        )[0]
+        plain = conn.execute(spec.plan, sql=spec.sql, label=spec.label)
+        real = conn.execute(spec.plan, sql=spec.sql, label=spec.label,
+                            backend="sqlite")
+        assert list(real) == list(plain)
+        assert real.server_ms == plain.server_ms
+        assert real.transfer_ms == plain.transfer_ms
+        assert real.backend == "sqlite"
+        assert real.backend_wall_ms > 0.0
+        assert plain.backend is None
+
+    def test_connection_default_backend(self, tiny_db):
+        connection = Connection(tiny_db, CostModel(), backend="sqlite")
+        plan = Sort(Scan(tiny_db.schema.table("Region"), "r"),
+                    ["r.regionkey"])
+        stream = connection.execute(plan)
+        assert stream.backend == "sqlite"
+        assert stream.backend_wall_ms > 0.0
+
+    def test_simulated_backend_name_is_inert(self, conn, tiny_db):
+        plan = Sort(Scan(tiny_db.schema.table("Region"), "r"),
+                    ["r.regionkey"])
+        stream = conn.execute(plan, backend="simulated")
+        assert stream.backend == "simulated"
+        assert stream.backend_wall_ms == 0.0
+
+    def test_cache_replay_skips_backend(self, tiny_db):
+        calls = []
+
+        class CountingBackend(SqliteBackend):
+            def execute_sql(self, plan, sql):
+                calls.append(sql)
+                return super().execute_sql(plan, sql)
+
+        connection = Connection(tiny_db, CostModel(), cache=True)
+        backend = CountingBackend(tiny_db)
+        plan = Sort(Scan(tiny_db.schema.table("Nation"), "n"),
+                    ["n.nationkey"])
+        first = connection.execute(plan, backend=backend)
+        assert len(calls) == 1
+        replay = connection.execute(plan, backend=backend)
+        assert len(calls) == 1, "cache replay must not contact the backend"
+        assert list(replay) == list(first)
+        assert replay.backend_wall_ms == 0.0
+        backend.close()
+
+    def test_missing_rows_raise_mismatch(self, tiny_db):
+        class LyingBackend(SqliteBackend):
+            def execute_sql(self, plan, sql):
+                rows, wall_ms = super().execute_sql(plan, sql)
+                return rows[1:], wall_ms
+
+        connection = Connection(tiny_db, CostModel())
+        backend = LyingBackend(tiny_db)
+        plan = Sort(Scan(tiny_db.schema.table("Region"), "r"),
+                    ["r.regionkey"])
+        with pytest.raises(BackendMismatchError) as info:
+            connection.execute(plan, backend=backend)
+        assert info.value.backend == "sqlite"
+        backend.close()
+
+    def test_wrong_order_raises_mismatch(self, tiny_db):
+        class ShuffledBackend(SqliteBackend):
+            def execute_sql(self, plan, sql):
+                rows, wall_ms = super().execute_sql(plan, sql)
+                return list(reversed(rows)), wall_ms
+
+        connection = Connection(tiny_db, CostModel())
+        backend = ShuffledBackend(tiny_db)
+        plan = Sort(Scan(tiny_db.schema.table("Region"), "r"),
+                    ["r.regionkey"])
+        with pytest.raises(BackendMismatchError) as info:
+            connection.execute(plan, backend=backend)
+        assert "order" in str(info.value).lower()
+        backend.close()
+
+    def test_cursor_validates_on_exhaustion(self, conn, tiny_db):
+        plan = Sort(Scan(tiny_db.schema.table("Nation"), "n"),
+                    ["n.nationkey"])
+        cursor = conn.execute_iter(plan, backend="sqlite")
+        rows = list(cursor)
+        assert rows == conn.engine.execute(plan).rows
+        assert cursor.backend == "sqlite"
+        assert cursor.backend_wall_ms > 0.0
+
+    def test_cursor_mismatch_raises_on_exhaustion(self, tiny_db):
+        class LyingBackend(SqliteBackend):
+            def execute_sql(self, plan, sql):
+                rows, wall_ms = super().execute_sql(plan, sql)
+                return rows[:-1], wall_ms
+
+        connection = Connection(tiny_db, CostModel())
+        backend = LyingBackend(tiny_db)
+        plan = Sort(Scan(tiny_db.schema.table("Region"), "r"),
+                    ["r.regionkey"])
+        cursor = connection.execute_iter(plan, backend=backend)
+        with pytest.raises(BackendMismatchError):
+            list(cursor)
+        backend.close()
+
+    def test_partial_drain_skips_validation(self, tiny_db):
+        class LyingBackend(SqliteBackend):
+            def execute_sql(self, plan, sql):
+                rows, wall_ms = super().execute_sql(plan, sql)
+                return rows[:-1], wall_ms
+
+        connection = Connection(tiny_db, CostModel())
+        backend = LyingBackend(tiny_db)
+        plan = Sort(Scan(tiny_db.schema.table("Region"), "r"),
+                    ["r.regionkey"])
+        cursor = connection.execute_iter(plan, backend=backend)
+        next(iter(cursor))
+        cursor.close()   # abandoned before exhaustion: no verdict, no raise
+        backend.close()
+
+
+class TestOptionsAndSession:
+    def test_options_hashable_with_backend(self, tiny_db):
+        backend = SqliteBackend(tiny_db)
+        opts = ExecutionOptions(backend=backend)
+        assert hash(opts) == hash(ExecutionOptions(backend=backend))
+        assert opts != ExecutionOptions(backend="sqlite")
+        assert hash(ExecutionOptions(backend="sqlite")) is not None
+        backend.close()
+
+    def test_session_materialize_with_backend(self, tiny_db):
+        from repro.session import Session
+
+        # Separate sessions: a shared session would replay the first
+        # run's cached streams, and cache replays never contact the
+        # backend (so its wall would legitimately be zero).
+        plain = Session(Connection(tiny_db, CostModel())).materialize(
+            QUERY_1, "fully-partitioned"
+        )
+        real = Session(Connection(tiny_db, CostModel())).materialize(
+            QUERY_1, "fully-partitioned",
+            options=ExecutionOptions(backend="sqlite"),
+        )
+        assert real.xml == plain.xml
+        assert real.report.query_ms == plain.report.query_ms
+        assert real.report.backend == "sqlite"
+        assert real.report.backend_wall_ms > 0.0
+        assert plain.report.backend is None
+
+
+def _views(tiny_db):
+    silk = SilkRoute(Connection(tiny_db, CostModel()))
+    return {
+        "q1": silk.define_view(QUERY_1),
+        "q2": silk.define_view(QUERY_2),
+    }
+
+
+class TestCrossEngineByteIdentity:
+    """Hypothesis-random partitions of both query families are
+    byte-identical across simulated-only and sqlite-validated runs, for
+    both execution engines and concurrent dispatch."""
+
+    @settings(
+        max_examples=12, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_random_partition_byte_identity(self, tiny_db, data):
+        views = _views(tiny_db)
+        query = data.draw(st.sampled_from(sorted(views)))
+        view = views[query]
+        partitions = list(enumerate_partitions(view.tree))
+        partition = partitions[
+            data.draw(st.integers(0, len(partitions) - 1))
+        ]
+        engine = data.draw(st.sampled_from(["tuple", "batch"]))
+        style = data.draw(st.sampled_from([
+            PlanStyle.OUTER_JOIN, PlanStyle.OUTER_UNION,
+        ]))
+        plain = view.materialize(
+            partition, engine=engine, style=style, workers=3,
+        )
+        real = view.materialize(
+            partition, engine=engine, style=style, workers=3,
+            backend="sqlite",
+        )
+        assert real.xml == plain.xml
+        assert real.report.query_ms == plain.report.query_ms
+        assert real.report.transfer_ms == plain.report.transfer_ms
+        for plain_stream, real_stream in zip(
+            plain.report.streams, real.report.streams
+        ):
+            assert real_stream.server_ms == plain_stream.server_ms
+            assert real_stream.backend == "sqlite"
+
+    def test_streaming_path_byte_identity(self, tiny_db):
+        views = _views(tiny_db)
+        for view in views.values():
+            plain = view.materialize("fully-partitioned")
+            sink = io.StringIO()
+            streamed = view.materialize_to(
+                sink, "fully-partitioned", backend="sqlite"
+            )
+            assert sink.getvalue() == plain.xml
+            assert streamed.report.backend == "sqlite"
+            assert streamed.report.backend_wall_ms > 0.0
+
+    def test_replica_pool_with_backend(self, tiny_db):
+        views = _views(tiny_db)
+        view = views["q1"]
+        plain = view.materialize("fully-partitioned", workers=2)
+        real = view.materialize(
+            "fully-partitioned", workers=2, replicas=2, backend="sqlite",
+        )
+        assert real.xml == plain.xml
+        assert real.report.backend == "sqlite"
+
+    def test_mixed_replica_set(self, tiny_db):
+        from repro.relational.replicas import ReplicaSet
+
+        connection = Connection(tiny_db, CostModel())
+        silk = SilkRoute(connection)
+        view = silk.define_view(QUERY_1)
+        plain = view.materialize("fully-partitioned", workers=2)
+        replicas = ReplicaSet.from_connection(
+            connection, 3, backends=[None, "sqlite", None]
+        )
+        mixed = view.materialize(
+            "fully-partitioned", workers=2, replicas=replicas,
+        )
+        assert mixed.xml == plain.xml
+        assert mixed.report.query_ms == plain.report.query_ms
+
+    def test_mixed_replica_set_length_checked(self, tiny_db):
+        from repro.relational.replicas import ReplicaSet
+
+        connection = Connection(tiny_db, CostModel())
+        with pytest.raises(ValueError):
+            ReplicaSet.from_connection(connection, 2, backends=["sqlite"])
+
+
+RESERVED_ROWS = [
+    (1, "alpha", "x'y"),
+    (2, "beta", None),
+    (3, "o'brien", "quote''quote"),
+]
+
+
+def _reserved_db():
+    """A schema whose identifiers are all SQL reserved words — the
+    quoting gauntlet for generated text on a real parser."""
+    schema = DatabaseSchema(
+        tables=[
+            TableSchema(
+                "order",
+                [
+                    Column("key", SqlType.INTEGER),
+                    Column("from", SqlType.VARCHAR),
+                    Column("select", SqlType.VARCHAR, nullable=True),
+                ],
+                key=["key"],
+            ),
+        ],
+    )
+    db = Database(schema)
+    for row in RESERVED_ROWS:
+        db.insert("order", *row)
+    return db
+
+
+class TestReservedWordIdentifiers:
+    def test_rendered_sql_quotes_reserved_words(self):
+        db = _reserved_db()
+        plan = Sort(Scan(db.schema.table("order"), "o"), ["o.key"])
+        sql = render_sql(plan)
+        assert '"order"' in sql
+        assert '"from"' in sql
+        assert '"select"' in sql
+
+    def test_roundtrips_through_own_parser(self):
+        db = _reserved_db()
+        engine_conn = Connection(db, CostModel())
+        plan = Sort(
+            Filter(
+                Scan(db.schema.table("order"), "o"),
+                Comparison("!=", ColumnRef("o.key"), Literal(2)),
+            ),
+            ["o.key"],
+        )
+        sql = render_sql(plan)
+        reparsed = parse_sql(sql, db.schema)
+        assert engine_conn.engine.execute(reparsed).rows \
+            == engine_conn.engine.execute(plan).rows
+
+    def test_executes_identically_on_sqlite(self):
+        db = _reserved_db()
+        connection = Connection(db, CostModel())
+        plan = Sort(
+            Project(
+                Filter(
+                    Scan(db.schema.table("order"), "o"),
+                    Comparison("!=", ColumnRef("o.from"), Literal("beta")),
+                ),
+                [ProjectItem(ColumnRef("o.key"), "key"),
+                 ProjectItem(ColumnRef("o.select"), "select")],
+            ),
+            ["key"],
+        )
+        stream = connection.execute(plan, backend="sqlite")
+        assert stream.backend == "sqlite"
+        assert list(stream) == connection.engine.execute(plan).rows

@@ -293,3 +293,81 @@ class TestReplicaFlags:
         )
         assert code == 0
         assert output.startswith("<view>")
+
+
+def reject_main(*argv):
+    """Run main() expecting a validation exit; return (code, stderr)."""
+    import contextlib
+
+    err = io.StringIO()
+    out = io.StringIO()
+    with contextlib.redirect_stderr(err):
+        with pytest.raises(SystemExit) as info:
+            main(list(argv), out=out)
+    return info.value.code, err.getvalue()
+
+
+class TestBackendFlags:
+    def test_unknown_backend_rejected(self):
+        code, err = reject("materialize", "--backend", "postgres")
+        assert code == 2
+        assert "--backend" in err
+
+    def test_db_path_requires_sqlite_backend(self):
+        code, err = reject_main("materialize", "--db-path", "x.db")
+        assert code == 2
+        error_lines = [l for l in err.splitlines() if "error:" in l]
+        assert len(error_lines) == 1
+        assert "--db-path" in error_lines[0]
+
+    def test_db_path_with_simulated_backend_rejected(self):
+        code, err = reject_main(
+            "materialize", "--backend", "simulated", "--db-path", "x.db"
+        )
+        assert code == 2
+        assert "--db-path" in err
+
+    def test_materialize_with_sqlite_backend(self):
+        code, output = run_cli(
+            "materialize", "--strategy", "fully-partitioned",
+            "--backend", "sqlite",
+        )
+        assert code == 0
+        assert "-- backend: sqlite" in output
+        assert "cross-validated" in output
+
+    def test_backend_run_matches_plain_run(self):
+        _, plain = run_cli("materialize", "--strategy", "fully-partitioned")
+        _, backed = run_cli(
+            "materialize", "--strategy", "fully-partitioned",
+            "--backend", "sqlite",
+        )
+        assert backed[:backed.index("\n-- ")] == plain[:plain.index("\n-- ")]
+        # The simulated summary line is byte-identical too: real-backend
+        # walls never leak into the simulated timings.
+        plain_summary = [l for l in plain.splitlines()
+                         if "stream(s), simulated" in l]
+        backed_summary = [l for l in backed.splitlines()
+                          if "stream(s), simulated" in l]
+        assert backed_summary == plain_summary
+
+    def test_simulated_backend_named_in_summary(self):
+        code, output = run_cli(
+            "materialize", "--strategy", "unified", "--backend", "simulated"
+        )
+        assert code == 0
+        assert "-- backend: simulated" in output
+
+    def test_db_path_writes_file(self, tmp_path):
+        target = tmp_path / "silk.db"
+        code, output = run_cli(
+            "materialize", "--strategy", "unified",
+            "--backend", "sqlite", "--db-path", str(target),
+        )
+        assert code == 0
+        assert "-- backend: sqlite" in output
+        assert target.exists() and target.stat().st_size > 0
+
+    def test_sweep_accepts_backend_flag(self):
+        args = build_parser().parse_args(["sweep", "--backend", "sqlite"])
+        assert args.backend == "sqlite"

@@ -143,6 +143,23 @@ class TestProtocol:
         assert options_from_wire(None) is None
         assert options_to_wire(None) is None
 
+    def test_backend_name_roundtrips(self):
+        back = options_from_wire(
+            options_to_wire(ExecutionOptions(backend="sqlite"))
+        )
+        assert back.backend == "sqlite"
+        with pytest.raises(ProtocolError, match="backend"):
+            options_from_wire({"backend": "postgres"})
+
+    def test_backend_instance_stays_client_side(self):
+        # A live Backend object is a local resource: it must not be
+        # serialized onto the wire (only names cross).
+        class FakeBackend:
+            pass
+
+        wire = options_to_wire(ExecutionOptions(backend=FakeBackend()))
+        assert "backend" not in wire
+
     def test_report_nan_crosses_as_null(self):
         report = PlanReport(
             partition=frozenset(), n_streams=3, query_ms=float("nan"),
