@@ -1,0 +1,138 @@
+"""Recovery soak: SIGKILL the serving process at randomized crash points,
+recover, and prove the restarted server is indistinguishable.
+
+Each round drives :func:`repro.bench.crash.run_crash_round`: a child
+process applies a deterministic mutation plan through a WAL-backed
+:class:`~repro.serve.Server` and kills itself — honestly, ``SIGKILL``,
+no cleanup handlers — at a named durability boundary (mid-append around
+the write and the fsync, mid-checkpoint around the snapshot rename and
+the log truncation, or after committing but before acknowledging).  The
+parent recovers the directory and holds the result to the repo's
+strongest equivalence:
+
+* the recovered database serves **byte-identical XML with bit-identical
+  simulated timings** versus a never-crashed oracle that applied exactly
+  the committed prefix — for every workload query, on both engines, and
+  (for the rounds that ask) through the cross-validated SQLite mirror;
+* retrying the *entire* plan against the restarted server is
+  **exactly-once**: committed requests deduplicate from the log's
+  recorded results, lost ones apply, and the final state equals the
+  full-plan oracle.
+
+Recovery wall-clock times land in ``BENCH_recovery.json`` at the
+repository root so CI can flag recovery-time regressions.
+"""
+
+import json
+import pathlib
+import shutil
+import statistics
+import tempfile
+import time
+
+from repro.bench.crash import CRASH_POINT_CHOICES, run_crash_round
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The soak schedule: the no-crash control, then every crash point, seeds
+#: staggered so plans differ between rounds.  The final round also runs
+#: the recovered fingerprints through the SQLite mirror (which
+#: cross-validates every stream against the simulated engine).
+ROUNDS = (
+    [{"point": None, "after": 1, "seed": 7, "backends": ("simulated",)}]
+    + [
+        {
+            "point": point,
+            "after": 2 if point.startswith("append") else 1,
+            "seed": 11 + i,
+            "backends": ("simulated",),
+        }
+        for i, point in enumerate(CRASH_POINT_CHOICES)
+    ]
+)
+ROUNDS[-1]["backends"] = ("simulated", "sqlite")
+
+N_OPS = 12
+
+
+def test_recovery_soak(report_writer):
+    rounds = []
+    for spec in ROUNDS:
+        wal_dir = tempfile.mkdtemp(prefix="bench-crash-")
+        started = time.perf_counter()
+        try:
+            result = run_crash_round(
+                wal_dir, n_ops=N_OPS, seed=spec["seed"],
+                point=spec["point"], after=spec["after"],
+                backends=spec["backends"],
+            )
+        finally:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+        result["round_wall_s"] = round(time.perf_counter() - started, 3)
+        result["backends"] = list(spec["backends"])
+
+        label = spec["point"] or "control"
+        assert result["prefix_diffs"] == [], (label, result["prefix_diffs"])
+        assert result["retry_diffs"] == [], (label, result["retry_diffs"])
+        if spec["point"] is None:
+            assert not result["crashed"]
+            assert result["committed"] == N_OPS
+        else:
+            assert result["crashed"], f"{label} never fired"
+        # Exactly-once over the whole plan: everything committed before
+        # the crash deduplicates, everything lost applies.
+        assert result["retries_deduplicated"] == result["committed"]
+        assert result["retries_applied"] == N_OPS - result["committed"]
+        rounds.append(result)
+
+    recover_ms = [r["recover_wall_ms"] for r in rounds]
+    payload = {
+        "experiment": "crash_recovery_soak",
+        "rounds": len(rounds),
+        "ops_per_round": N_OPS,
+        "crash_points": list(CRASH_POINT_CHOICES),
+        "recover_ms": {
+            "mean": round(statistics.mean(recover_ms), 3),
+            "max": round(max(recover_ms), 3),
+        },
+        "records_replayed": sum(r["records_replayed"] for r in rounds),
+        "torn_bytes": sum(r["torn_bytes"] for r in rounds),
+        "retries_deduplicated": sum(r["retries_deduplicated"]
+                                    for r in rounds),
+        "retries_applied": sum(r["retries_applied"] for r in rounds),
+        "zero_diffs": all(
+            not r["prefix_diffs"] and not r["retry_diffs"] for r in rounds
+        ),
+        "per_round": [
+            {
+                "point": r["point"] or "control",
+                "after": r["after"],
+                "crashed": r["crashed"],
+                "acked": r["acked"],
+                "committed": r["committed"],
+                "recover_wall_ms": round(r["recover_wall_ms"], 3),
+                "records_replayed": r["records_replayed"],
+                "snapshot_rows": r["snapshot_rows"],
+                "torn_bytes": r["torn_bytes"],
+                "backends": r["backends"],
+            }
+            for r in rounds
+        ],
+    }
+    (REPO_ROOT / "BENCH_recovery.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    crashed = sum(1 for r in rounds if r["crashed"])
+    report_writer(
+        "recovery_soak",
+        f"{len(rounds)} rounds ({crashed} SIGKILLed) x {N_OPS} mutations: "
+        f"recovered in {payload['recover_ms']['mean']:.1f}ms mean / "
+        f"{payload['recover_ms']['max']:.1f}ms max\n"
+        f"{payload['records_replayed']} records replayed, "
+        f"{payload['torn_bytes']} torn bytes dropped, "
+        f"{payload['retries_deduplicated']} retries deduplicated / "
+        f"{payload['retries_applied']} applied\n"
+        f"zero XML/timing diffs vs the never-crashed oracle: "
+        f"{payload['zero_diffs']}",
+    )

@@ -30,10 +30,14 @@ from repro.common.errors import (
     TimeoutExceeded,
     TransientConnectionError,
     OverloadError,
+    WalError,
     DtdError,
     ValidationError,
 )
 from repro.relational import (
+    RecoveryReport,
+    WriteAheadLog,
+    recover,
     Backend,
     SimulatedBackend,
     SqliteBackend,
@@ -108,6 +112,10 @@ __all__ = [
     "TimeoutExceeded",
     "TransientConnectionError",
     "OverloadError",
+    "WalError",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "recover",
     "DtdError",
     "ValidationError",
     "FaultPolicy",

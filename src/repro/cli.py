@@ -9,6 +9,8 @@
     python -m repro trace q1 --out trace.json        # Chrome-trace profile
     python -m repro mutate --table Nation --op insert --rows 2
     python -m repro serve --port 7414                # multi-tenant service
+    python -m repro serve --wal state/ --checkpoint-every 256   # durable
+    python -m repro recover state/ --query q1        # inspect + prove a WAL
     python -m repro query --connect 127.0.0.1:7414 --query q1 --indent 2
 
 All commands run against a freshly generated Configuration-A TPC-H
@@ -319,6 +321,31 @@ def build_parser():
     serve.add_argument("--document-cache-bytes", type=_positive_int,
                        default=None,
                        help="LRU byte budget for finished documents")
+    serve.add_argument("--wal", default=None, metavar="PATH",
+                       help="directory for the durable write-ahead log; "
+                            "mutations are logged + fsynced before they "
+                            "apply, and a restart on the same path recovers "
+                            "the pre-crash state (tables, generations, and "
+                            "the request-dedup map) before serving")
+    serve.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                       help="snapshot the database and truncate the WAL "
+                            "after every N commit records (default: only "
+                            "on startup and graceful shutdown)")
+    serve.add_argument("--drain-timeout", type=_positive_float, default=30.0,
+                       help="seconds SIGTERM waits for in-flight requests "
+                            "before exiting (default: 30)")
+
+    recover_cmd = sub.add_parser(
+        "recover",
+        help="recover a database from a WAL directory and report what "
+             "was replayed",
+    )
+    recover_cmd.add_argument("wal", metavar="PATH",
+                             help="the WAL directory a --wal serve wrote")
+    recover_cmd.add_argument("--query", choices=sorted(_QUERIES),
+                             default=None,
+                             help="also materialize this query against the "
+                                  "recovered database (proof of life)")
 
     mutate = sub.add_parser(
         "mutate",
@@ -379,7 +406,17 @@ def build_parser():
 
 
 def _run_serve(args, out):
-    """The ``serve`` command: the multi-tenant service over q1/q2."""
+    """The ``serve`` command: the multi-tenant service over q1/q2.
+
+    With ``--wal`` the server is durable (recovering the directory's
+    state before it listens) and SIGTERM triggers a graceful drain:
+    in-flight requests finish, new ones are shed with the typed
+    ``draining`` overload reason, the WAL is checkpointed, and the
+    process exits cleanly.
+    """
+    import signal
+    import threading
+
     from repro.relational.replicas import AdmissionPolicy
     from repro.serve import Server
 
@@ -389,7 +426,37 @@ def _run_serve(args, out):
     server = Server(
         queries=dict(_QUERIES), default_policy=policy,
         document_cache_bytes=args.document_cache_bytes,
+        wal=args.wal, checkpoint_every=args.checkpoint_every,
     )
+    if server.session.recovery is not None:
+        report = server.session.recovery
+        print(
+            f"-- recovered {report.path}: {report.snapshot_rows} snapshot "
+            f"row(s) + {report.records_scanned} log record(s) "
+            f"({report.ops_applied} op(s) applied, "
+            f"{report.torn_bytes} torn byte(s) dropped) "
+            f"in {report.wall_ms:.1f}ms",
+            file=out,
+        )
+
+    drainers = []
+
+    def on_sigterm(signum, frame):
+        # socketserver.shutdown() deadlocks when called from the thread
+        # running serve_forever (which this handler interrupts), so the
+        # drain runs on a helper thread — joined below, so the process
+        # cannot exit before the final checkpoint lands on disk.
+        thread = threading.Thread(
+            target=server.terminate, kwargs={"timeout": args.drain_timeout},
+            name="repro-drain", daemon=True,
+        )
+        drainers.append(thread)
+        thread.start()
+
+    try:
+        signal.signal(signal.SIGTERM, on_sigterm)
+    except ValueError:
+        pass  # not on the main thread (tests drive _run_serve directly)
 
     def ready(address):
         print(f"serving {sorted(_QUERIES)} on "
@@ -401,6 +468,43 @@ def _run_serve(args, out):
         server.serve_forever(host=args.host, port=args.port, ready=ready)
     except KeyboardInterrupt:
         print("-- interrupted", file=out)
+        server.terminate(timeout=args.drain_timeout)
+    for thread in drainers:
+        thread.join(args.drain_timeout + 30)
+    return 0
+
+
+def _run_recover(args, out):
+    """The ``recover`` command: rebuild a database from a WAL directory,
+    print the recovery report, and optionally prove it serves."""
+    from repro.relational.wal import recover
+    from repro.tpch.schema import tpch_schema
+
+    database, report = recover(args.wal, schema=tpch_schema())
+    print(f"recovered {report.path} in {report.wall_ms:.1f}ms:", file=out)
+    print(
+        f"  snapshot: {report.snapshot_rows} row(s); log: "
+        f"{report.records_scanned} record(s) scanned, "
+        f"{report.ops_applied} op(s) applied, "
+        f"{report.ops_skipped} already in snapshot, "
+        f"{report.torn_bytes} torn byte(s) dropped",
+        file=out,
+    )
+    for name in sorted(report.tables):
+        rows, generation = report.tables[name]
+        print(f"  {name}: {rows} row(s), generation {generation}", file=out)
+    if report.dedup:
+        print(f"  dedup map: {len(report.dedup)} committed request id(s)",
+              file=out)
+    if args.query is not None:
+        session = Session(database)
+        result = session.materialize(_QUERIES[args.query], root_tag="view")
+        print(
+            f"-- {args.query}: {len(result.xml)} character(s), simulated "
+            f"{result.report.query_ms:.0f}ms query + "
+            f"{result.report.transfer_ms:.0f}ms transfer",
+            file=out,
+        )
     return 0
 
 
@@ -453,6 +557,9 @@ def main(argv=None, out=sys.stdout):
 
     if args.command == "serve":
         return _run_serve(args, out)
+
+    if args.command == "recover":
+        return _run_recover(args, out)
 
     if args.command == "query" and args.connect:
         return _run_remote_query(args, out)

@@ -135,6 +135,17 @@ class ExecutionOptions:
     #: its tenant/request id.  Purely diagnostic — never affects results,
     #: timings, or cache keys.
     request: object = None
+    #: Durability knobs, consumed by :class:`~repro.session.Session` (and
+    #: ``repro serve --wal``): ``wal_path`` is a directory for the
+    #: :class:`~repro.relational.wal.WriteAheadLog` (snapshot + log) the
+    #: session's database commits mutations through — on a restart the
+    #: same path recovers the pre-crash state; ``checkpoint_every``
+    #: snapshots + truncates after every N commit records (None never
+    #: auto-checkpoints).  Like ``obs``/``request``, these never affect
+    #: results, simulated timings, or cache keys — the serving layer
+    #: strips them from its canonical option keys.
+    wal_path: object = None
+    checkpoint_every: int = None
 
     def __post_init__(self):
         object.__setattr__(self, "keep", tuple(self.keep))

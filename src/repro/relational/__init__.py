@@ -92,6 +92,11 @@ from repro.relational.calibrate import (
     calibrate,
     plan_agreement,
 )
+from repro.relational.wal import (
+    RecoveryReport,
+    WriteAheadLog,
+    recover,
+)
 from repro.relational.replicas import (
     AdmissionController,
     AdmissionPolicy,
@@ -174,4 +179,7 @@ __all__ = [
     "CalibrationResult",
     "calibrate",
     "plan_agreement",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "recover",
 ]

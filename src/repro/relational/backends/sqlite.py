@@ -186,6 +186,18 @@ class SqliteBackend(Backend):
             )
             return cursor.fetchone()[0]
 
+    def refresh(self):
+        """Forget the recorded per-table generations so the next
+        execution reloads **every** table from the in-memory database.
+
+        The post-recovery hook: :func:`~repro.relational.wal.recover`
+        calls this on each attached backend after restoring table
+        contents, because a restore rewrites rows *and* pins generation
+        counters — the generation diff alone can no longer be trusted to
+        notice which mirrored tables changed underneath it."""
+        with self._lock:
+            self._generations = {}
+
     def close(self):
         with self._lock:
             if self._conn is not None:

@@ -17,9 +17,10 @@ story of the delta-propagation layer.  The summed :attr:`generation` and
 """
 
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass
 
-from repro.common.errors import SchemaError
+from repro.common.errors import SchemaError, WalError
 from repro.relational.table import Table
 from repro.relational.types import SqlType
 
@@ -60,6 +61,23 @@ class Database:
         self.tables = {name: Table(schema.table(name)) for name in schema.table_names}
         self._stats = {}  # table name -> (table version, TableStats)
         self._token = next(Database._tokens)
+        self._wal = None
+        self._txn = None
+
+    @property
+    def wal(self):
+        """The attached :class:`~repro.relational.wal.WriteAheadLog`, or
+        None when mutations are memory-only."""
+        return self._wal
+
+    def attach_wal(self, wal):
+        """Bind this database to a write-ahead log: every subsequent
+        mutation is logged + fsynced before it is applied.  Use
+        :meth:`~repro.relational.wal.WriteAheadLog.attach` (which calls
+        this) so restore-on-restart happens too."""
+        if self._wal is not None:
+            raise WalError("database is already attached to a WAL")
+        self._wal = wal
 
     @property
     def generation(self):
@@ -102,7 +120,24 @@ class Database:
             raise SchemaError(f"unknown table {name!r}") from None
 
     def insert(self, table_name, *values, **named):
-        return self.table(table_name).insert(*values, **named)
+        """Insert one row.  With a WAL attached the physical row is
+        logged and fsynced *before* it is applied (log-then-apply), so a
+        crash after this returns cannot lose the write."""
+        table = self.table(table_name)
+        if self._wal is None:
+            return table.insert(*values, **named)
+        from repro.relational import wal as _wal
+
+        row = table.prepare_row(values, named)
+        op = _wal.insert_op(table_name, row, table.version + 1)
+        if self._txn is not None:
+            table._append_row(row)
+            self._txn.ops.append(op)
+            return row
+        self._wal.append([op])
+        table._append_row(row)
+        self._wal.maybe_checkpoint(self)
+        return row
 
     def update(self, table_name, where, changes):
         """Update rows of ``table_name`` matching ``where``; returns the
@@ -110,13 +145,83 @@ class Database:
         mapping or a callable over the row dict; ``changes`` maps columns
         to new values (or callables over the row dict).  Order-preserving:
         updated rows keep their slots, so unaffected plans replay
-        byte-identically."""
-        return self.table(table_name).update(where, changes)
+        byte-identically.  With a WAL attached the *computed* new rows
+        are logged value-by-value before the commit — replay never
+        re-runs the callables."""
+        table = self.table(table_name)
+        if self._wal is None:
+            return table.update(where, changes)
+        from repro.relational import wal as _wal
+
+        plan = table.plan_update(where, changes)
+        if plan is None:
+            return 0
+        op = _wal.update_op(table_name, plan[1], table.version + 1)
+        if self._txn is not None:
+            count = table.commit_plan(plan)
+            self._txn.ops.append(op)
+            return count
+        self._wal.append([op])
+        count = table.commit_plan(plan)
+        self._wal.maybe_checkpoint(self)
+        return count
 
     def delete(self, table_name, where):
         """Delete rows of ``table_name`` matching ``where``; returns the
-        deleted-row count.  Surviving rows keep their relative order."""
-        return self.table(table_name).delete(where)
+        deleted-row count.  Surviving rows keep their relative order.
+        With a WAL attached the victims' primary keys are logged before
+        the commit."""
+        table = self.table(table_name)
+        if self._wal is None:
+            return table.delete(where)
+        from repro.relational import wal as _wal
+
+        plan = table.plan_delete(where)
+        if plan is None:
+            return 0
+        op = _wal.delete_op(table_name, plan[1], table.version + 1)
+        if self._txn is not None:
+            count = table.commit_plan(plan)
+            self._txn.ops.append(op)
+            return count
+        self._wal.append([op])
+        count = table.commit_plan(plan)
+        self._wal.maybe_checkpoint(self)
+        return count
+
+    @contextmanager
+    def transaction(self, request_id=None):
+        """Group several mutations into ONE durable commit record.
+
+        Inside the block mutations apply eagerly (reads see them) but
+        their physical ops are buffered; on clean exit they are appended
+        to the WAL as a single checksummed record — the group is atomic
+        on disk: a crash mid-block loses all of it, a crash after the
+        block's fsync loses none.  ``request_id`` (with the recorder's
+        ``result`` attribute) feeds the exactly-once dedup map.  Without
+        an attached WAL the block is a plain pass-through recorder.
+        Nesting raises :class:`~repro.common.errors.WalError`; an
+        exception inside the block logs nothing (in-memory effects of
+        already-applied ops remain — callers treat that as a failed
+        request and do not acknowledge it).
+        """
+        from repro.relational.wal import WalTransaction
+
+        if self._txn is not None:
+            raise WalError("transaction() groups do not nest")
+        txn = WalTransaction(request_id)
+        self._txn = txn
+        try:
+            yield txn
+        except BaseException:
+            self._txn = None
+            raise
+        self._txn = None
+        if self._wal is not None and (txn.ops or request_id is not None):
+            self._wal.append(
+                txn.ops, request_id=request_id, result=txn.result
+            )
+            self._wal.maybe_checkpoint(self)
 
     def check_foreign_keys(self):
         """Verify every foreign key; raise :class:`SchemaError` on the first

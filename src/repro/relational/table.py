@@ -30,6 +30,19 @@ class Table:
 
     def insert(self, *values, **named):
         """Insert one row, given positionally or by column name."""
+        row = self.prepare_row(values, named)
+        return self._append_row(row)
+
+    def prepare_row(self, values=(), named=None):
+        """Validate one prospective row without committing it.
+
+        Performs everything :meth:`insert` would check — arity, types,
+        NOT NULL, key and unique collisions against the current contents —
+        and returns the normalized row tuple, touching no table state.
+        The write-ahead log uses this to validate *before* logging, so a
+        rejected insert never reaches the durable log (log-then-apply).
+        """
+        named = named or {}
         if values and named:
             raise SchemaError("pass values positionally or by name, not both")
         if named:
@@ -56,18 +69,33 @@ class Table:
             candidate = tuple(
                 row[self.schema.column_index(c)] for c in unique_set
             )
-            index = self._unique_indexes.setdefault(unique_set, set())
-            if candidate in index:
+            if candidate in self._unique_indexes.get(unique_set, ()):
                 raise SchemaError(
                     f"{self.schema.name}: duplicate value {candidate} for "
                     f"unique columns {unique_set}"
                 )
-            index.add(candidate)
+        return row
+
+    def _append_row(self, row):
+        """Commit a row already validated by :meth:`prepare_row`."""
+        key = tuple(row[self.schema.column_index(k)] for k in self.schema.key)
         self._key_index[key] = row
+        for unique_set in self.schema.unique_sets:
+            candidate = tuple(
+                row[self.schema.column_index(c)] for c in unique_set
+            )
+            self._unique_indexes.setdefault(unique_set, set()).add(candidate)
         self.rows.append(row)
         self._indexes.clear()
         self.version += 1
         return row
+
+    def _key_positions(self):
+        return [self.schema.column_index(k) for k in self.schema.key]
+
+    def row_key(self, row):
+        """The primary-key tuple of ``row``."""
+        return tuple(row[p] for p in self._key_positions())
 
     def _check_types(self, row):
         for column, value in zip(self.schema.columns, row):
@@ -149,13 +177,29 @@ class Table:
         them.  A successful update with at least one matched row bumps
         :attr:`version`.
         """
+        plan = self.plan_update(where, changes)
+        if plan is None:
+            return 0
+        return self.commit_plan(plan)
+
+    def plan_update(self, where, changes):
+        """The fully validated physical plan of an update, uncommitted.
+
+        Returns ``None`` when no row matches; otherwise a plan tuple for
+        :meth:`commit_plan` whose ``pairs`` element maps each matched
+        row's *pre-image* primary key to its replacement row — the
+        value-based delta the write-ahead log records before the commit
+        is applied.
+        """
         pred = self._predicate(where)
         change_plan = [
             (self.schema.column_index(name), value)
             for name, value in changes.items()
         ]
         names = self.schema.column_names
+        key_positions = self._key_positions()
         new_rows = []
+        pairs = []
         matched = 0
         for row in self.rows:
             if pred(row):
@@ -165,14 +209,15 @@ class Table:
                     if callable(value):
                         value = value(dict(zip(names, row)))
                     values[position] = value
-                row = tuple(values)
-                self._check_types(row)
+                new = tuple(values)
+                self._check_types(new)
+                pairs.append((tuple(row[p] for p in key_positions), new))
+                row = new
             new_rows.append(row)
         if not matched:
-            return 0
+            return None
         key_index, unique_indexes = self._reindexed(new_rows)
-        self._commit(new_rows, key_index, unique_indexes)
-        return matched
+        return (new_rows, pairs, matched, key_index, unique_indexes)
 
     def delete(self, where):
         """Delete the rows matching ``where``; returns the count deleted.
@@ -181,14 +226,80 @@ class Table:
         delete are a subsequence of the scans before it.  A delete that
         removes at least one row bumps :attr:`version`.
         """
-        pred = self._predicate(where)
-        kept = [row for row in self.rows if not pred(row)]
-        removed = len(self.rows) - len(kept)
-        if not removed:
+        plan = self.plan_delete(where)
+        if plan is None:
             return 0
+        return self.commit_plan(plan)
+
+    def plan_delete(self, where):
+        """The fully validated physical plan of a delete, uncommitted.
+
+        Returns ``None`` when no row matches; otherwise a plan tuple for
+        :meth:`commit_plan` whose ``pairs`` element holds the primary
+        keys of the victims (the delta the write-ahead log records).
+        """
+        pred = self._predicate(where)
+        key_positions = self._key_positions()
+        kept = []
+        keys = []
+        for row in self.rows:
+            if pred(row):
+                keys.append(tuple(row[p] for p in key_positions))
+            else:
+                kept.append(row)
+        if not keys:
+            return None
+        key_index, unique_indexes = self._reindexed(kept)
+        return (kept, keys, len(keys), key_index, unique_indexes)
+
+    def commit_plan(self, plan):
+        """Commit a plan from :meth:`plan_update` / :meth:`plan_delete`;
+        returns the matched/removed count.  Bumps :attr:`version` once,
+        exactly as the one-shot :meth:`update` / :meth:`delete` would."""
+        new_rows, _, count, key_index, unique_indexes = plan
+        self._commit(new_rows, key_index, unique_indexes)
+        return count
+
+    # -- physical appliers (write-ahead-log replay) -------------------------
+
+    def apply_update(self, pairs):
+        """Replace rows by ``(pre-image key, new row)`` pairs, preserving
+        slots — the recovery applier for a logged update.  The pre-image
+        key identifies the slot even when the update moved key columns."""
+        replacement = {tuple(key): tuple(row) for key, row in pairs}
+        key_positions = self._key_positions()
+        new_rows = [
+            replacement.get(tuple(row[p] for p in key_positions), row)
+            for row in self.rows
+        ]
+        key_index, unique_indexes = self._reindexed(new_rows)
+        self._commit(new_rows, key_index, unique_indexes)
+
+    def apply_delete(self, keys):
+        """Remove the rows with the given primary keys, preserving the
+        survivors' order — the recovery applier for a logged delete."""
+        drop = {tuple(key) for key in keys}
+        key_positions = self._key_positions()
+        kept = [
+            row for row in self.rows
+            if tuple(row[p] for p in key_positions) not in drop
+        ]
         key_index, unique_indexes = self._reindexed(kept)
         self._commit(kept, key_index, unique_indexes)
-        return removed
+
+    def restore(self, rows, version):
+        """Physically replace the whole contents and pin the generation
+        counter — the snapshot-restore primitive of crash recovery.
+        Indexes are rebuilt (validating key/unique integrity of the
+        snapshot) and :attr:`version` is set *exactly*, so recovered
+        generation vectors match the pre-crash ones bit for bit."""
+        rows = [tuple(row) for row in rows]
+        key_index, unique_indexes = self._reindexed(rows)
+        self.rows = rows
+        self._key_index = key_index
+        self._unique_indexes = unique_indexes
+        self._indexes.clear()
+        self.version = version
 
     def lookup_key(self, key_values):
         """Return the row with the given primary-key values, or None."""

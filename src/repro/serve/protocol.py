@@ -22,9 +22,17 @@ execution — the originating ``tenant``/``request_id`` stamped by
 Only a whitelisted subset of
 :class:`~repro.core.options.ExecutionOptions` crosses the wire
 (:data:`WIRE_OPTIONS`); everything else — observability sessions,
-replica pool objects, request contexts — is the server's business.
-Simulated timings are deterministic, so ``NaN`` (a timed-out sum) is
-the only non-JSON float a report can hold; it crosses as ``null``.
+replica pool objects, request contexts, durability paths — is the
+server's business.  Simulated timings are deterministic, so ``NaN`` (a
+timed-out sum) is the only non-JSON float a report can hold; it crosses
+as ``null``.
+
+The wire is hardened, not trusted: a frame longer than
+:data:`MAX_FRAME_BYTES` or one that is not valid JSON gets a structured
+``{"ok": false}`` error response (tenant/request id stamped when the
+frame was parseable enough to carry them) and the connection *stays
+open* — a malformed request must not tear down a connection other
+requests are multiplexed on.
 """
 
 import json
@@ -35,6 +43,11 @@ from repro.core.options import ExecutionOptions
 from repro.core.sqlgen import PlanStyle
 from repro.relational.backends import BACKEND_NAMES
 from repro.relational.faults import FaultPolicy, RetryPolicy
+
+#: Hard cap on one request frame (bytes, newline included).  Far above
+#: any legitimate request — inline RXL texts are a few KiB — and far
+#: below what a hostile or confused client could make the server buffer.
+MAX_FRAME_BYTES = 1 << 20
 
 #: ExecutionOptions fields a client may set, with their wire codecs.
 WIRE_OPTIONS = (

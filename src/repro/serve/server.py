@@ -38,13 +38,15 @@ callers use :meth:`Server.query` / :meth:`Server.mutate` directly.
 import socketserver
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 
-from repro.common.errors import QueryError, ReproError
+from repro.common.errors import OverloadError, QueryError, ReproError, tag_request
 from repro.core.options import RequestContext, resolve_options
 from repro.obs.metrics import MetricsRegistry
 from repro.relational.cache import SingleFlight
 from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
     ProtocolError,
     error_to_wire,
     options_from_wire,
@@ -122,13 +124,20 @@ class Server:
 
     def __init__(self, session=None, db=None, queries=None,
                  default_policy=None, options=None,
-                 document_cache_bytes=None):
+                 document_cache_bytes=None, wal=None, checkpoint_every=None,
+                 max_frame_bytes=None):
         if session is None:
             session = Session(db, options=options,
-                              document_cache_bytes=document_cache_bytes)
+                              document_cache_bytes=document_cache_bytes,
+                              wal=wal, checkpoint_every=checkpoint_every)
         self.session = session
         self.registry = TenantRegistry(default_policy)
         self.metrics = MetricsRegistry()
+        if self.session.wal is not None:
+            # The log's wal.* counters land next to the serve.* ones.
+            self.session.wal.metrics = self.metrics
+        self.max_frame_bytes = (max_frame_bytes if max_frame_bytes is not None
+                                else MAX_FRAME_BYTES)
         self._queries = dict(queries or {})
         self._rw = _ReadWriteLock()
         self._flight = SingleFlight()
@@ -136,6 +145,17 @@ class Server:
         self._log_lock = threading.Lock()
         self._id_lock = threading.Lock()
         self._next_seq = 0
+        #: Auto-generated request ids carry a per-process token so ids
+        #: never collide across a restart — the WAL's dedup map must see
+        #: a *retry* as equal and a *new request* as fresh.
+        self._id_token = uuid.uuid4().hex[:8]
+        #: Fallback exactly-once map for servers without a WAL: request
+        #: id -> recorded mutate result (process-local, capped).
+        self._dedup = {}
+        self._dedup_order = []
+        self._draining = False
+        self._inflight = 0
+        self._drain_cv = threading.Condition()
         self._tcp = None
         self._tcp_thread = None
 
@@ -162,7 +182,67 @@ class Server:
             return request_id
         with self._id_lock:
             self._next_seq += 1
-            return f"r-{self._next_seq}"
+            return f"r-{self._id_token}-{self._next_seq}"
+
+    # -- drain -------------------------------------------------------------
+
+    def _enter_request(self, tenant, request_id):
+        """Count one request in flight; shed it when draining.  The shed
+        is typed (``OverloadError(reason="draining")``) so a client's
+        retry logic can distinguish a restarting server from a full one."""
+        with self._drain_cv:
+            if self._draining:
+                self.metrics.inc("serve.draining_shed")
+                raise tag_request(
+                    OverloadError("server is draining", reason="draining"),
+                    tenant, request_id,
+                )
+            self._inflight += 1
+
+    def _exit_request(self):
+        with self._drain_cv:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drain_cv.notify_all()
+
+    @property
+    def draining(self):
+        return self._draining
+
+    def drain(self, timeout=30.0):
+        """Stop admitting new requests and wait (up to ``timeout``
+        seconds) for the in-flight ones to finish; returns True when the
+        server is empty.  Idempotent — the SIGTERM path of graceful
+        shutdown."""
+        with self._drain_cv:
+            self._draining = True
+            deadline = time.monotonic() + timeout
+            while self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._drain_cv.wait(remaining)
+            return True
+
+    def undrain(self):
+        """Re-open admission (tests and planned maintenance windows)."""
+        with self._drain_cv:
+            self._draining = False
+
+    def terminate(self, timeout=30.0):
+        """Graceful SIGTERM shutdown: drain, stop the socket front end,
+        checkpoint the WAL (so the next start recovers from a snapshot,
+        not a long log replay), and close it.  Returns True when every
+        in-flight request finished inside ``timeout``."""
+        drained = self.drain(timeout)
+        self.shutdown()
+        wal = self.session.wal
+        if wal is not None:
+            try:
+                wal.checkpoint(self.session.database)
+            finally:
+                wal.close()
+        return drained
 
     def _resolve_rxl(self, query):
         if isinstance(query, dict):
@@ -208,7 +288,8 @@ class Server:
                     or policy.max_queued_streams is not None
                     or policy.deadline_ms is not None):
                 opts = opts.replace(max_concurrent=policy)
-        return opts.replace(obs=None, request=None)
+        return opts.replace(obs=None, request=None, wal_path=None,
+                            checkpoint_every=None)
 
     def _append_log(self, kind, **payload):
         with self._log_lock:
@@ -239,8 +320,10 @@ class Server:
         self.metrics.inc("serve.requests")
         self.metrics.inc(f"serve.tenant.{tenant}.requests")
         start = time.perf_counter()
-        controller = self._admit(tenant, request_id)
+        self._enter_request(tenant, request_id)
+        controller = None
         try:
+            controller = self._admit(tenant, request_id)
             with self._rw.read():
                 rxl = self._resolve_rxl(query)
                 opts = self._canonical_options(options, overrides, controller)
@@ -282,6 +365,7 @@ class Server:
         finally:
             if controller is not None:
                 controller.release_request()
+            self._exit_request()
             self.metrics.observe(
                 "serve.latency_ms", (time.perf_counter() - start) * 1000.0,
             )
@@ -298,24 +382,68 @@ class Server:
             )
             return self.session.explain(rxl, partition, options=opts)
 
+    def _recorded_mutation(self, request_id):
+        """The recorded result of an already-committed mutation request,
+        or None.  With a WAL the map is the log's (durable, restart-proof);
+        without one it is a process-local capped dict — enough to absorb
+        a client's in-session retries."""
+        if request_id is None:
+            return None
+        wal = self.session.wal
+        if wal is not None:
+            return wal.request_result(request_id)
+        return self._dedup.get(request_id)
+
+    def _record_mutation(self, request_id, recorded):
+        if request_id is None or self.session.wal is not None:
+            return  # the WAL's commit record already carries it
+        self._dedup[request_id] = recorded
+        self._dedup_order.append(request_id)
+        while len(self._dedup_order) > 4096:
+            self._dedup.pop(self._dedup_order.pop(0), None)
+
     def mutate(self, table, op="insert", rows=1, seed=0, tenant="default",
                request_id=None):
         """Apply a delta through the service: exclusive against every
-        query, logged, and immediately visible (dependent cache keys move
-        with the table generation)."""
+        query, logged, durable when a WAL is attached, and immediately
+        visible (dependent cache keys move with the table generation).
+
+        ``request_id`` makes the mutation **exactly-once**: a repeat of
+        an already-committed id (a client retry after a lost response —
+        or, with a WAL, after a server crash and restart) returns the
+        recorded result without re-applying the delta."""
         request_id = self._request_id(request_id)
         self.metrics.inc("serve.requests")
         self.metrics.inc(f"serve.tenant.{tenant}.requests")
         start = time.perf_counter()
-        controller = self._admit(tenant, request_id)
+        self._enter_request(tenant, request_id)
+        controller = None
         try:
+            controller = self._admit(tenant, request_id)
             with self._rw.write():
+                recorded = self._recorded_mutation(request_id)
+                if recorded is not None:
+                    self.metrics.inc("serve.deduped")
+                    stats = {
+                        "generation": recorded["generation"],
+                        "deduplicated": True,
+                        "serve": {"tenant": tenant, "request_id": request_id},
+                    }
+                    return QueryResult(
+                        mutated=recorded["mutated"],
+                        table=recorded["table"], stats=stats,
+                    )
                 try:
                     result = self.session.mutate(table, op=op, rows=rows,
-                                                 seed=seed)
-                except Exception:
+                                                 seed=seed,
+                                                 request_id=request_id)
+                except Exception as exc:
                     self.metrics.inc("serve.errors")
-                    raise
+                    raise tag_request(exc, tenant, request_id)
+                self._record_mutation(request_id, {
+                    "mutated": result.mutated, "table": result.table,
+                    "generation": result.stats.get("generation"),
+                })
                 self._append_log(
                     "mutate", tenant=tenant, request_id=request_id,
                     table=table, op=op, rows=rows, seed=seed,
@@ -329,6 +457,7 @@ class Server:
         finally:
             if controller is not None:
                 controller.release_request()
+            self._exit_request()
             self.metrics.observe(
                 "serve.latency_ms", (time.perf_counter() - start) * 1000.0,
             )
@@ -345,10 +474,28 @@ class Server:
             "shed": self.metrics.counter("serve.shed"),
             "mutations": self.metrics.counter("serve.mutations"),
             "errors": self.metrics.counter("serve.errors"),
+            "deduped": self.metrics.counter("serve.deduped"),
+            "draining": self._draining,
+            "draining_shed": self.metrics.counter("serve.draining_shed"),
+            "client_disconnects": self.metrics.counter(
+                "serve.client_disconnects"),
+            "malformed_frames": self.metrics.counter(
+                "serve.malformed_frames"),
+            "oversized_frames": self.metrics.counter(
+                "serve.oversized_frames"),
             "tenants": self.registry.stats(),
             "latency_ms": latency,
             "log_entries": len(self.execution_log()),
         }
+        wal = self.session.wal
+        if wal is not None:
+            stats["wal"] = {
+                "appends": self.metrics.counter("wal.appends"),
+                "fsyncs": self.metrics.counter("wal.fsyncs"),
+                "checkpoints": self.metrics.counter("wal.checkpoints"),
+                "dedup_hits": self.metrics.counter("wal.dedup_hits"),
+                "size_bytes": wal.size_bytes(),
+            }
         cache = self.session.silkroute.cache
         if cache is not None:
             stats["plan_cache"] = cache.stats().as_dict()
@@ -434,10 +581,15 @@ class Server:
                     "mutated": result.mutated,
                     "table": result.table,
                     "generation": result.stats.get("generation"),
+                    "deduplicated": bool(result.stats.get("deduplicated")),
                 }
             raise ProtocolError(f"unknown op {op!r}")
         except (ReproError, ProtocolError, ValueError, TypeError) as exc:
-            return {"ok": False, "error": error_to_wire(exc)}
+            # Stamp the request identity so even pre-dispatch failures
+            # (unknown op, malformed options) name their originator.
+            return {"ok": False,
+                    "error": error_to_wire(tag_request(exc, tenant,
+                                                       request_id))}
 
     def start(self, host="127.0.0.1", port=0):
         """Bind the JSON-line front end and serve it from a background
@@ -456,14 +608,16 @@ class Server:
         """Bind and serve on the calling thread (the CLI's entry point).
         ``ready`` is called with the bound ``(host, port)`` once
         listening."""
-        self._tcp = _TcpFrontEnd((host, port), _Handler)
-        self._tcp.repro_server = self
+        tcp = self._tcp = _TcpFrontEnd((host, port), _Handler)
+        tcp.repro_server = self
         if ready is not None:
-            ready(self._tcp.server_address[:2])
+            ready(tcp.server_address[:2])
         try:
-            self._tcp.serve_forever()
+            tcp.serve_forever()
         finally:
-            self._tcp.server_close()
+            # A concurrent terminate()/shutdown() may have closed and
+            # cleared self._tcp already; closing twice is harmless.
+            tcp.server_close()
             self._tcp = None
 
     def shutdown(self):
@@ -484,24 +638,74 @@ class Server:
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: JSON-line requests in, JSON-line responses out."""
+    """One connection: JSON-line requests in, JSON-line responses out.
+
+    Hardened against the wire's realities: an oversized frame is drained
+    and answered with a structured error (the connection survives), a
+    malformed frame gets the same treatment, and a client that vanished
+    mid-read or mid-response (``BrokenPipeError``/``ConnectionResetError``
+    — also surfacing as ``ConnectionError``/``OSError`` from the socket
+    layer) is counted in ``serve.client_disconnects`` and the handler
+    returns cleanly — the request slot and thread are released, never
+    left writing to a dead socket.
+    """
 
     def handle(self):
         from repro.serve.protocol import decode, encode
 
         server = self.server.repro_server
-        for line in self.rfile:
-            if not line.strip():
-                continue
+        limit = server.max_frame_bytes
+        while True:
             try:
-                response = server.handle_request(decode(line))
-            except Exception as exc:  # never kill the connection loop
-                response = {"ok": False, "error": error_to_wire(exc)}
+                line = self.rfile.readline(limit + 1)
+            except (ConnectionError, OSError):
+                server.metrics.inc("serve.client_disconnects")
+                return
+            if not line:
+                return
+            if len(line) > limit:
+                if not self._drain_oversized(server):
+                    return
+                server.metrics.inc("serve.oversized_frames")
+                response = {"ok": False, "error": error_to_wire(
+                    ProtocolError(
+                        f"frame exceeds {limit} bytes"
+                    ))}
+            elif not line.strip():
+                continue
+            else:
+                try:
+                    request = decode(line)
+                except ProtocolError as exc:
+                    server.metrics.inc("serve.malformed_frames")
+                    response = {"ok": False, "error": error_to_wire(exc)}
+                else:
+                    try:
+                        response = server.handle_request(request)
+                    except Exception as exc:  # never kill the loop
+                        response = {"ok": False, "error": error_to_wire(exc)}
             try:
                 self.wfile.write(encode(response))
                 self.wfile.flush()
-            except (BrokenPipeError, ConnectionResetError):
+            except (ConnectionError, OSError):
+                server.metrics.inc("serve.client_disconnects")
                 return
+
+    def _drain_oversized(self, server):
+        """Swallow the rest of an oversized frame up to its newline so
+        the next read starts on a frame boundary; False when the client
+        disconnected (or the frame never ends within reason)."""
+        for _ in range(1024):  # caps drained garbage at ~1024 * limit
+            try:
+                chunk = self.rfile.readline(server.max_frame_bytes + 1)
+            except (ConnectionError, OSError):
+                server.metrics.inc("serve.client_disconnects")
+                return False
+            if not chunk:
+                return False
+            if chunk.endswith(b"\n"):
+                return True
+        return False
 
 
 class _TcpFrontEnd(socketserver.ThreadingTCPServer):

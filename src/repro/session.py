@@ -176,14 +176,40 @@ class Session:
     the per-view splice and finished-document caches — the incremental
     path.  ``document_cache_bytes`` bounds each view's finished-document
     cache by total XML size (LRU).
+
+    ``wal`` makes the session durable: a directory path (or an existing
+    :class:`~repro.relational.wal.WriteAheadLog`) the database commits
+    every mutation through.  When the directory already holds state from
+    a previous run, the session *recovers it on construction* — tables,
+    generation counters, and the request-dedup map come back exactly as
+    committed, and :attr:`recovery` carries the
+    :class:`~repro.relational.wal.RecoveryReport`.  ``checkpoint_every``
+    snapshots + truncates the log after every N commit records.  Both
+    default from ``options.wal_path`` / ``options.checkpoint_every``.
     """
 
     def __init__(self, db=None, options=None, cache=True, estimator=None,
-                 source=None, document_cache_bytes=None):
+                 source=None, document_cache_bytes=None, wal=None,
+                 checkpoint_every=None):
         self.options = options
         self.document_cache_bytes = document_cache_bytes
         self._views = {}
         self._silkroute = self._resolve(db, cache, estimator, source)
+        if wal is None and options is not None:
+            wal = options.wal_path
+        if checkpoint_every is None and options is not None:
+            checkpoint_every = options.checkpoint_every
+        self.wal = None
+        self.recovery = None
+        if wal is not None:
+            from repro.relational.wal import WriteAheadLog
+
+            if not isinstance(wal, WriteAheadLog):
+                wal = WriteAheadLog(wal, checkpoint_every=checkpoint_every)
+            elif checkpoint_every is not None:
+                wal.checkpoint_every = checkpoint_every
+            self.wal = wal
+            self.recovery = wal.attach(self.database)
 
     @staticmethod
     def _resolve(db, cache, estimator, source):
@@ -324,7 +350,7 @@ class Session:
             stats["sweep_cache"] = sweep.cache_stats.as_dict()
         return QueryResult(sweep=sweep, stats=stats)
 
-    def mutate(self, table, op="insert", rows=1, seed=0):
+    def mutate(self, table, op="insert", rows=1, seed=0, request_id=None):
         """Apply a synthesized delta to base table ``table`` (see
         :func:`apply_delta`); returns a :class:`QueryResult` with the
         affected-row count and the table's new generation in ``stats``.
@@ -332,9 +358,34 @@ class Session:
         Mutations bump the table's generation, which moves every
         dependent cache key — the next materialization of an affected
         view re-executes only what the delta touched.
+
+        With a :attr:`wal` attached the whole delta commits as ONE
+        durable record, and ``request_id`` makes it **exactly-once**: a
+        repeat of an already-committed id returns the recorded result
+        without touching the database — across process restarts too,
+        since the dedup map lives in the log.
         """
-        changed = apply_delta(self.database, table, op=op, rows=rows,
-                              seed=seed)
+        if self.wal is not None:
+            if request_id is not None:
+                recorded = self.wal.request_result(request_id)
+                if recorded is not None:
+                    stats = self._stats()
+                    stats["generation"] = recorded["generation"]
+                    stats["deduplicated"] = True
+                    return QueryResult(
+                        mutated=recorded["mutated"],
+                        table=recorded["table"], stats=stats,
+                    )
+            with self.database.transaction(request_id) as txn:
+                changed = apply_delta(self.database, table, op=op,
+                                      rows=rows, seed=seed)
+                txn.result = {
+                    "mutated": changed, "table": table,
+                    "generation": self.database.table(table).version,
+                }
+        else:
+            changed = apply_delta(self.database, table, op=op, rows=rows,
+                                  seed=seed)
         stats = self._stats()
         stats["generation"] = self.database.table(table).version
         return QueryResult(mutated=changed, table=table, stats=stats)

@@ -16,6 +16,11 @@ The load-bearing contracts:
   engines).
 """
 
+import os
+import shutil
+import socket
+import struct
+import tempfile
 import threading
 import time
 
@@ -490,6 +495,229 @@ class TestSocketFrontEnd:
         response = server.handle_request({"op": "reboot"})
         assert response["ok"] is False
         assert response["error"]["type"] == "ProtocolError"
+
+
+class TestDrain:
+    def test_drain_sheds_with_typed_reason(self):
+        server = make_server()
+        assert server.drain() is True
+        assert server.draining is True
+        with pytest.raises(OverloadError) as info:
+            server.query("q1", tenant="acme", request_id="d-1")
+        exc = info.value
+        assert exc.reason == "draining"
+        assert exc.tenant == "acme"
+        assert exc.request_id == "d-1"
+        stats = server.stats()
+        assert stats["draining"] is True
+        assert stats["draining_shed"] == 1
+        server.undrain()
+        assert server.query("q1").xml  # admission re-opened
+
+    def test_drain_waits_for_inflight_requests(self):
+        server = make_server()
+        results = {}
+        drained = {}
+        with _GatedSession(server) as gate:
+            worker = threading.Thread(
+                target=lambda: results.update(q=server.query("q1")))
+            worker.start()
+            assert wait_until(lambda: gate.calls)
+            drainer = threading.Thread(
+                target=lambda: drained.update(ok=server.drain(timeout=30)))
+            drainer.start()
+            time.sleep(0.05)
+            # The pinned request holds the drain open...
+            assert not drained
+            # ...while new arrivals are shed, not queued.
+            with pytest.raises(OverloadError):
+                server.query("q1")
+            gate.go.set()
+            drainer.join(30)
+        worker.join(30)
+        assert drained.get("ok") is True
+        assert results["q"].xml  # the in-flight request completed normally
+
+    def test_drain_times_out_when_requests_hang(self):
+        server = make_server()
+        with _GatedSession(server) as gate:
+            worker = threading.Thread(target=lambda: server.query("q1"))
+            worker.start()
+            assert wait_until(lambda: gate.calls)
+            assert server.drain(timeout=0.05) is False
+            gate.go.set()
+        worker.join(30)
+        server.undrain()
+
+    def test_terminate_checkpoints_the_wal(self):
+        wal_dir = tempfile.mkdtemp(prefix="serve-wal-")
+        try:
+            server = Server(db=fresh_db(), queries=QUERIES, wal=wal_dir)
+            server.mutate("Nation", op="insert", rows=2, request_id="t-1")
+            gens = server.session.database.table_generations()
+            assert server.terminate() is True
+            # The snapshot absorbed the log: the next start recovers from
+            # it with nothing to replay.
+            assert os.path.getsize(os.path.join(wal_dir, "wal.log")) == 8
+            restarted = Server(db=fresh_db(), queries=QUERIES, wal=wal_dir)
+            assert restarted.session.recovery.records_scanned == 0
+            assert restarted.session.database.table_generations() == gens
+            # And the idempotency map survived the checkpoint.
+            replay = restarted.mutate("Nation", op="insert", rows=2,
+                                      request_id="t-1")
+            assert replay.stats.get("deduplicated") is True
+            restarted.session.wal.close()
+        finally:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+class TestFrameHardening:
+    def test_oversized_frame_gets_structured_error(self):
+        with make_server(max_frame_bytes=512) as server:
+            host, port = server.start()
+            client = ServeClient(host, port)
+            try:
+                client._sock.sendall(b'{"op": "ping", "pad": "' +
+                                     b"x" * 2048 + b'"}\n')
+                response = decode(client._rfile.readline())
+                assert response["ok"] is False
+                assert response["error"]["type"] == "ProtocolError"
+                assert "exceeds 512 bytes" in response["error"]["message"]
+                # The frame was drained to its newline: the connection
+                # survives and the next request parses cleanly.
+                assert client.ping() is True
+                assert server.stats()["oversized_frames"] == 1
+            finally:
+                client.close()
+
+    def test_malformed_frame_is_counted(self):
+        with make_server() as server:
+            host, port = server.start()
+            client = ServeClient(host, port)
+            try:
+                client._sock.sendall(b"this is not json\n")
+                response = decode(client._rfile.readline())
+                assert response["ok"] is False
+                assert response["error"]["type"] == "ProtocolError"
+                assert client.ping() is True
+                assert server.stats()["malformed_frames"] == 1
+            finally:
+                client.close()
+
+    def test_disconnect_mid_response_releases_the_slot(self):
+        # A client that vanishes (RST via SO_LINGER-0 close) while its
+        # query executes: the handler's write fails, the disconnect is
+        # counted, and the server keeps serving other clients.
+        with make_server() as server:
+            host, port = server.start()
+            with _GatedSession(server) as gate:
+                sock = socket.create_connection((host, port), timeout=10)
+                sock.sendall(encode({"op": "query", "query": "q1"}))
+                assert wait_until(lambda: gate.calls)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+                sock.close()
+                gate.go.set()
+            assert wait_until(
+                lambda: server.metrics.counter("serve.client_disconnects") >= 1
+            ), "disconnect never counted"
+            with ServeClient(host, port) as client:
+                assert client.ping() is True
+
+
+class TestClientRetry:
+    def test_retry_survives_a_server_restart(self):
+        sleeps = []
+        with make_server() as server:
+            host, port = server.start()
+            direct = server.query("q1", partition="unified")
+            client = ServeClient(host, port, retries=3, backoff_s=0.01,
+                                 sleep=sleeps.append)
+            try:
+                assert client.ping() is True
+                # Restart the front end AND sever the established
+                # connection (shutdown() only closes the listener; the
+                # per-connection handler threads live on).
+                server.shutdown()
+                server.start(host, port)  # same port, new listener
+                client._sock.shutdown(socket.SHUT_RDWR)
+                reply = client.query("q1", partition="unified")
+                assert reply["xml"] == direct.xml
+                assert sleeps, "the dead connection should have cost a retry"
+            finally:
+                client.close()
+
+    def test_backoff_doubles_and_caps(self):
+        sleeps = []
+        with make_server() as server:
+            host, port = server.start()
+            client = ServeClient(host, port, retries=4, backoff_s=0.1,
+                                 max_backoff_s=0.25, sleep=sleeps.append)
+            assert client.ping() is True
+        # Listener gone for good; sever the established pipe too (the
+        # per-connection handler outlives the listener), so every
+        # attempt must reconnect — and fail.
+        client._sock.shutdown(socket.SHUT_RDWR)
+        with pytest.raises((ConnectionError, OSError)):
+            client.ping()
+        assert sleeps == [0.1, 0.2, 0.25, 0.25]
+        client.close()
+
+    def test_server_errors_are_never_retried(self):
+        sleeps = []
+        with make_server() as server:
+            host, port = server.start()
+            with ServeClient(host, port, retries=5, backoff_s=0.01,
+                             sleep=sleeps.append) as client:
+                with pytest.raises(ServeError):
+                    client.query("nope")
+                assert sleeps == []  # the server answered; no retry
+
+    def test_retried_mutation_is_exactly_once(self):
+        with make_server() as server:
+            host, port = server.start()
+            with ServeClient(host, port, retries=3, backoff_s=0.01,
+                             sleep=lambda s: None) as client:
+                first = client.mutate("Nation", op="insert", rows=2,
+                                      request_id="x-1")
+                assert first["deduplicated"] is False
+                # The resend (response lost, client retried) returns the
+                # recorded result instead of applying twice.
+                second = client.mutate("Nation", op="insert", rows=2,
+                                       request_id="x-1")
+                assert second["deduplicated"] is True
+                assert second["mutated"] == first["mutated"]
+                assert second["generation"] == first["generation"]
+                assert server.stats()["deduped"] == 1
+                # A fresh call (retries pin a NEW auto id) applies.
+                third = client.mutate("Nation", op="insert", rows=1, seed=9)
+                assert third["deduplicated"] is False
+
+    def test_retried_mutation_dedups_across_wal_restart(self):
+        wal_dir = tempfile.mkdtemp(prefix="serve-wal-")
+        try:
+            server = Server(db=fresh_db(), queries=QUERIES, wal=wal_dir)
+            host, port = server.start()
+            client = ServeClient(host, port, retries=3, backoff_s=0.01,
+                                 sleep=lambda s: None)
+            first = client.mutate("Supplier", op="update", rows=2,
+                                  request_id="x-9")
+            server.shutdown()
+            server.session.wal.close()
+            # Full process-style restart: fresh base, recover from disk,
+            # bind the SAME port — the client's retry rides through it.
+            restarted = Server(db=fresh_db(), queries=QUERIES, wal=wal_dir)
+            restarted.start(host, port)
+            client._sock.shutdown(socket.SHUT_RDWR)  # sever the old pipe
+            replay = client.mutate("Supplier", op="update", rows=2,
+                                   request_id="x-9")
+            assert replay["deduplicated"] is True
+            assert replay["mutated"] == first["mutated"]
+            client.close()
+            restarted.shutdown()
+            restarted.session.wal.close()
+        finally:
+            shutil.rmtree(wal_dir, ignore_errors=True)
 
 
 # -- the soak: concurrent mixes == serial replay ---------------------------
